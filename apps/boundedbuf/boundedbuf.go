@@ -1,0 +1,156 @@
+// Package boundedbuf implements the two-way bounded buffer of §4.4.1.
+//
+// Producers (think teletype drivers) deliver items to a consumer (think
+// file server) that buffers to match speeds. The producer double-buffers:
+// it prepares the next item while the previous PUT is outstanding. The
+// consumer buffers on two resources — requester signatures queue in the
+// handler (CLOSING it when full, which backpressures the producers'
+// kernels), and accepted data queues for the task to process. Flow control
+// on data is automatic: a producer will not issue a new request until its
+// previous one is ACCEPTed.
+package boundedbuf
+
+import (
+	"soda"
+	"soda/sodal"
+)
+
+// ConsumerPattern is the consumer's well-known entry point.
+var ConsumerPattern = soda.WellKnownPattern(0o2100)
+
+// Producer returns a program that produces count items with produce
+// (invoked with the item index; it may Hold to model production time) and
+// ships them to the consumer, overlapping production with delivery through
+// double buffering (§4.4.1). onDone, if non-nil, runs after the last item
+// is delivered.
+func Producer(count int, produce func(c *soda.Client, i int) []byte, onDone func(c *soda.Client)) soda.Program {
+	return soda.Program{
+		Task: func(c *soda.Client) {
+			consumer, ok := c.Discover(ConsumerPattern)
+			if !ok {
+				return
+			}
+			var (
+				outstanding soda.TID
+				pending     bool
+				done        bool
+			)
+			for i := 0; i < count; i++ {
+				item := produce(c, i) // overlaps with the outstanding PUT
+				if pending {
+					c.WaitUntil(func() bool { return done })
+					pending = false
+				}
+				done = false
+				tid, err := c.Put(consumer, soda.OK, item)
+				if err != nil {
+					return
+				}
+				outstanding = tid
+				pending = true
+				c.OnCompletion(outstanding, func(ev soda.Event) { done = true })
+			}
+			if pending {
+				c.WaitUntil(func() bool { return done })
+			}
+			if onDone != nil {
+				onDone(c)
+			}
+		},
+	}
+}
+
+// consumerState mirrors the thesis's consumer: Pending holds requester
+// signatures not yet accepted; Produced holds data awaiting consumption.
+// reserved counts data slots claimed by an ACCEPT still in flight — the
+// handler and the task can both be mid-accept (the task runs while the
+// handler blocks), so a slot must be reserved before blocking or the two
+// would overfill Produced (the critical section the thesis brackets with
+// CLOSE/OPEN, §4.4.1).
+type consumerState struct {
+	pending  *sodal.Queue[soda.Event]
+	produced *sodal.Queue[[]byte]
+	reserved int
+}
+
+// freeSlot claims a Produced slot if one is available.
+func (st *consumerState) freeSlot() bool {
+	if st.produced.Len()+st.reserved >= st.produced.Cap() {
+		return false
+	}
+	st.reserved++
+	return true
+}
+
+// acceptInto performs the blocking accept under a reserved slot.
+func (st *consumerState) acceptInto(c *soda.Client, asker soda.RequesterSig, putSize int) {
+	res := c.AcceptPut(asker, soda.OK, putSize)
+	st.reserved--
+	if res.Status == soda.AcceptSuccess {
+		st.produced.EnQueue(res.Data)
+	}
+}
+
+// Consumer returns the buffering consumer: dataSlots bounds buffered items
+// (the thesis's MAXQSIZE), sigSlots bounds queued requester signatures
+// (MAXPORTSIZE). process consumes one item and may Hold to model work.
+func Consumer(dataSlots, sigSlots int, process func(c *soda.Client, data []byte)) soda.Program {
+	if dataSlots <= 0 {
+		dataSlots = 4
+	}
+	if sigSlots <= 0 {
+		sigSlots = 4
+	}
+	return soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			c.SetStash(&consumerState{
+				pending:  sodal.NewQueue[soda.Event](sigSlots),
+				produced: sodal.NewQueue[[]byte](dataSlots),
+			})
+			if err := c.Advertise(ConsumerPattern); err != nil {
+				panic(err)
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind != soda.EventRequestArrival || ev.Pattern != ConsumerPattern {
+				return
+			}
+			st := c.Stash().(*consumerState)
+			if !st.freeSlot() {
+				// No data buffer free: remember the signature for later;
+				// if even that queue fills, CLOSE for backpressure
+				// (§4.4.1).
+				st.pending.EnQueue(ev)
+				if st.pending.IsFull() {
+					c.Close()
+				}
+				return
+			}
+			st.acceptInto(c, ev.Asker, ev.PutSize)
+		},
+		Task: func(c *soda.Client) {
+			st := c.Stash().(*consumerState)
+			for {
+				c.WaitUntil(func() bool {
+					return !st.produced.IsEmpty() || !st.pending.IsEmpty()
+				})
+				// Critical section on the shared queues (the thesis
+				// brackets it with CLOSE/OPEN; our runtime freezes the
+				// task while the handler runs, so plain code suffices
+				// between blocking points).
+				var work []byte
+				if w, ok := st.produced.DeQueue(); ok {
+					work = w
+				}
+				if _, ok := st.pending.Peek(); ok && st.freeSlot() {
+					ev, _ := st.pending.DeQueue()
+					c.Open() // room again in the signature queue
+					st.acceptInto(c, ev.Asker, ev.PutSize)
+				}
+				if work != nil {
+					process(c, work)
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,139 @@
+package boundedbuf
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"soda"
+)
+
+func TestSingleProducerInOrder(t *testing.T) {
+	nw := soda.NewNetwork()
+	var got []string
+	nw.Register("consumer", Consumer(4, 4, func(c *soda.Client, data []byte) {
+		got = append(got, string(data))
+	}))
+	produced := 0
+	nw.Register("producer", Producer(10, func(c *soda.Client, i int) []byte {
+		produced++
+		c.Hold(5 * time.Millisecond) // production time
+		return []byte(fmt.Sprintf("item-%02d", i))
+	}, nil))
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "consumer")
+	nw.MustBoot(2, "producer")
+	if err := nw.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if produced != 10 || len(got) != 10 {
+		t.Fatalf("produced %d, consumed %d", produced, len(got))
+	}
+	for i, v := range got {
+		if want := fmt.Sprintf("item-%02d", i); v != want {
+			t.Fatalf("got[%d] = %q, want %q", i, v, want)
+		}
+	}
+}
+
+func TestDoubleBufferingOverlapsProductionWithDelivery(t *testing.T) {
+	// With production time P and a consumer that accepts promptly, a
+	// producer of N items should take roughly N·P plus one delivery —
+	// not N·(P + roundtrip). Compare against a serialized estimate.
+	const (
+		n     = 10
+		pTime = 40 * time.Millisecond
+	)
+	nw := soda.NewNetwork()
+	var doneAt time.Duration
+	nw.Register("consumer", Consumer(8, 8, func(c *soda.Client, data []byte) {}))
+	nw.Register("producer", Producer(n, func(c *soda.Client, i int) []byte {
+		c.Hold(pTime)
+		return make([]byte, 64)
+	}, func(c *soda.Client) { doneAt = c.Now() }))
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "consumer")
+	nw.MustBoot(2, "producer")
+	if err := nw.Run(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt == 0 {
+		t.Fatal("producer never finished")
+	}
+	// A fully serialized producer would need n·(pTime + ~10ms RPC); with
+	// double buffering the delivery hides inside the next production.
+	budget := time.Duration(n)*pTime + 150*time.Millisecond
+	if doneAt > budget {
+		t.Fatalf("finished at %v; double buffering not overlapping (budget %v)", doneAt, budget)
+	}
+}
+
+func TestSlowConsumerBackpressure(t *testing.T) {
+	// A consumer much slower than its producers must not lose items; the
+	// two queues plus handler CLOSE provide the flow control.
+	nw := soda.NewNetwork()
+	var got int
+	nw.Register("consumer", Consumer(2, 2, func(c *soda.Client, data []byte) {
+		c.Hold(50 * time.Millisecond) // slow consumption
+		got++
+	}))
+	mkProducer := func() soda.Program {
+		return Producer(6, func(c *soda.Client, i int) []byte {
+			return []byte{byte(i)}
+		}, nil)
+	}
+	nw.Register("producer", mkProducer())
+	nw.MustAddNode(1)
+	nw.MustBoot(1, "consumer")
+	for mid := soda.MID(2); mid <= 4; mid++ {
+		nw.MustAddNode(mid)
+		nw.MustBoot(mid, "producer")
+	}
+	if err := nw.Run(120 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != 18 {
+		t.Fatalf("consumed %d items, want 18", got)
+	}
+}
+
+func TestPerProducerOrderWithManyProducers(t *testing.T) {
+	nw := soda.NewNetwork()
+	byProducer := map[byte][]byte{}
+	nw.Register("consumer", Consumer(3, 3, func(c *soda.Client, data []byte) {
+		if len(data) == 2 {
+			byProducer[data[0]] = append(byProducer[data[0]], data[1])
+		}
+	}))
+	mk := func(id byte) soda.Program {
+		return Producer(5, func(c *soda.Client, i int) []byte {
+			return []byte{id, byte(i)}
+		}, nil)
+	}
+	nw.Register("p1", mk(1))
+	nw.Register("p2", mk(2))
+	nw.MustAddNode(1)
+	nw.MustBoot(1, "consumer")
+	nw.MustAddNode(2)
+	nw.MustAddNode(3)
+	nw.MustBoot(2, "p1")
+	nw.MustBoot(3, "p2")
+	if err := nw.Run(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for id, seq := range byProducer {
+		if len(seq) != 5 {
+			t.Fatalf("producer %d delivered %d items", id, len(seq))
+		}
+		for i, v := range seq {
+			if v != byte(i) {
+				t.Fatalf("producer %d out of order: %v", id, seq)
+			}
+		}
+	}
+	if len(byProducer) != 2 {
+		t.Fatalf("saw %d producers", len(byProducer))
+	}
+}

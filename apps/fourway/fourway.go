@@ -1,0 +1,275 @@
+// Package fourway implements the four-way bounded buffer of §4.4.2.
+//
+// Two clients are each attached to a device that both produces and accepts
+// data and follows a CTRL-S/CTRL-Q flow-control protocol. Each client reads
+// from its device and relays the data to the other client, which buffers it
+// in a FIFO queue and feeds its own device. Four buffers are therefore flow
+// controlled at once: each device's internal buffer and each client's
+// queue. The relay uses a blocking EXCHANGE whose returned status tells the
+// producer immediately when the remote buffer has filled (§4.4.2).
+package fourway
+
+import (
+	"time"
+
+	"soda"
+	"soda/sodal"
+)
+
+// Well-known relay entry points (§4.4.2's BUFFER_DATA and START).
+var (
+	BufferData = soda.WellKnownPattern(0o2200)
+	Restart    = soda.WellKnownPattern(0o2201)
+)
+
+// Flow-control bytes exchanged with the device.
+const (
+	CtrlS byte = 0x13 // stop
+	CtrlQ byte = 0x11 // resume
+)
+
+// Exchange statuses returned to the producing relay.
+const (
+	statusContinue byte = 0
+	statusFull     byte = 1
+)
+
+// Device simulates the §4.4.2 peripheral: it produces items at a fixed
+// rate (unless stopped with CTRL-S) and consumes written items at a fixed
+// rate into a bounded sink, emitting CTRL-S/CTRL-Q into its read stream as
+// the sink fills and drains. State advances lazily from the virtual clock.
+type Device struct {
+	c *soda.Client
+
+	// Production side.
+	items     [][]byte
+	next      int
+	rate      time.Duration
+	stopped   bool
+	lastProd  time.Duration
+	readQueue [][]byte // produced (plus control bytes) awaiting ReadIn
+
+	// Consumption side.
+	sinkCap   int
+	drainRate time.Duration
+	lastDrain time.Duration
+	sinkFill  int
+	Drained   [][]byte // everything the device consumed, in order
+	sentCtrlS bool
+}
+
+// NewDevice creates a device that will produce the given items, one per
+// rate tick, and drain writes into a sink of sinkCap items at drainRate.
+func NewDevice(c *soda.Client, items [][]byte, rate time.Duration, sinkCap int, drainRate time.Duration) *Device {
+	return &Device{
+		c:         c,
+		items:     items,
+		rate:      rate,
+		sinkCap:   sinkCap,
+		drainRate: drainRate,
+		lastProd:  c.Now(),
+		lastDrain: c.Now(),
+	}
+}
+
+// advance lazily evolves device state to the current virtual time.
+func (d *Device) advance() {
+	now := d.c.Now()
+	// Produce pending items.
+	for !d.stopped && d.next < len(d.items) && now-d.lastProd >= d.rate {
+		d.lastProd += d.rate
+		d.readQueue = append(d.readQueue, d.items[d.next])
+		d.next++
+	}
+	if d.stopped {
+		d.lastProd = now // no credit accrues while stopped
+	}
+	// Drain the sink.
+	for d.sinkFill > 0 && now-d.lastDrain >= d.drainRate {
+		d.lastDrain += d.drainRate
+		d.sinkFill--
+	}
+	if d.sinkFill == 0 {
+		d.lastDrain = now
+	}
+	// Emit flow control into the read stream as the sink crosses its
+	// thresholds.
+	if d.sinkFill >= d.sinkCap && !d.sentCtrlS {
+		d.sentCtrlS = true
+		d.readQueue = append(d.readQueue, []byte{CtrlS})
+	}
+	if d.sinkFill <= d.sinkCap/2 && d.sentCtrlS {
+		d.sentCtrlS = false
+		d.readQueue = append(d.readQueue, []byte{CtrlQ})
+	}
+}
+
+// InStatus reports DATA_AVAIL: the device has produced something.
+func (d *Device) InStatus() bool {
+	d.advance()
+	return len(d.readQueue) > 0
+}
+
+// ReadIn consumes one produced item (resetting DEV_IN_STATUS).
+func (d *Device) ReadIn() []byte {
+	d.advance()
+	if len(d.readQueue) == 0 {
+		return nil
+	}
+	b := d.readQueue[0]
+	d.readQueue = d.readQueue[1:]
+	return b
+}
+
+// OutReady reports whether the device can take another written item.
+func (d *Device) OutReady() bool {
+	d.advance()
+	return d.sinkFill < d.sinkCap
+}
+
+// WriteOut stores one item (or a control byte) into the device.
+func (d *Device) WriteOut(b []byte) {
+	d.advance()
+	if len(b) == 1 && (b[0] == CtrlS || b[0] == CtrlQ) {
+		d.stopped = b[0] == CtrlS
+		if !d.stopped {
+			d.lastProd = d.c.Now()
+		}
+		return
+	}
+	d.sinkFill++
+	d.Drained = append(d.Drained, b)
+}
+
+// Exhausted reports that every item has been produced and read.
+func (d *Device) Exhausted() bool {
+	d.advance()
+	return d.next >= len(d.items) && len(d.readQueue) == 0
+}
+
+// relayState is the per-client state of §4.4.2's listing.
+type relayState struct {
+	dev                 *Device
+	q                   *sodal.Queue[[]byte]
+	devBufFull          bool
+	partnerBufFull      bool
+	partnerBufEmpty     bool
+	remoteClientStopped bool
+	FullSignals         int // times we reported FULL to the remote producer
+	RestartSignals      int // times we restarted the remote producer
+}
+
+// Relay returns the §4.4.2 client: it reads its device, ships data to the
+// peer's BUFFER_DATA entry, buffers incoming data in a queue of queueCap,
+// and feeds its device, honoring CTRL-S/CTRL-Q in both directions. makeDev
+// constructs the attached device once the client is running; onState (may
+// be nil) observes the final state for tests.
+func Relay(peer soda.MID, queueCap int, makeDev func(c *soda.Client) *Device, onState func(*relayState)) soda.Program {
+	if queueCap <= 0 {
+		queueCap = 4
+	}
+	pollEvery := 2 * time.Millisecond
+	return soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			st := &relayState{
+				dev: makeDev(c),
+				q:   sodal.NewQueue[[]byte](queueCap),
+			}
+			c.SetStash(st)
+			if err := c.Advertise(BufferData); err != nil {
+				panic(err)
+			}
+			if err := c.Advertise(Restart); err != nil {
+				panic(err)
+			}
+			if onState != nil {
+				onState(st)
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind != soda.EventRequestArrival {
+				return
+			}
+			st := c.Stash().(*relayState)
+			switch ev.Pattern {
+			case BufferData:
+				if st.q.IsFull() {
+					// No room even for this item: refuse; the producer
+					// holds the item and retries after our restart.
+					st.remoteClientStopped = true
+					c.RejectCurrent()
+					return
+				}
+				// Buffer data from the other client, reporting FULL on
+				// the same EXCHANGE that delivered it (§4.4.2).
+				status := statusContinue
+				if st.q.AlmostFull() {
+					st.remoteClientStopped = true
+					st.FullSignals++
+					status = statusFull
+				}
+				res := c.AcceptCurrentExchange(soda.OK, []byte{status}, ev.PutSize)
+				if res.Status == soda.AcceptSuccess {
+					st.q.EnQueue(res.Data)
+				}
+			case Restart:
+				c.AcceptCurrentSignal(soda.OK)
+				st.partnerBufEmpty = true
+			}
+		},
+		Task: func(c *soda.Client) {
+			st := c.Stash().(*relayState)
+			remoteBuffer := soda.ServerSig{MID: peer, Pattern: BufferData}
+			remoteRestart := soda.ServerSig{MID: peer, Pattern: Restart}
+			var pendingOut []byte // item refused by the peer, awaiting retry
+			for {
+				// READ loop: move device output to the remote client.
+				if !st.partnerBufFull && (pendingOut != nil || st.dev.InStatus()) {
+					data := pendingOut
+					pendingOut = nil
+					if data == nil {
+						data = st.dev.ReadIn()
+					}
+					switch {
+					case len(data) == 1 && data[0] == CtrlS:
+						st.devBufFull = true
+					case len(data) == 1 && data[0] == CtrlQ:
+						st.devBufFull = false
+					default:
+						res := c.BExchange(remoteBuffer, soda.OK, data, 1)
+						switch {
+						case res.Status == soda.StatusSuccess && len(res.Data) == 1 && res.Data[0] == statusFull:
+							st.partnerBufFull = true
+						case res.Status == soda.StatusRejected:
+							// The peer's queue was completely full; hold
+							// the item and retry after its restart.
+							pendingOut = data
+							st.partnerBufFull = true
+						}
+					}
+				}
+				// WRITE loop: move buffered data into the device.
+				if !st.devBufFull && st.dev.OutReady() {
+					switch {
+					case st.partnerBufFull:
+						st.partnerBufFull = false
+						st.dev.WriteOut([]byte{CtrlS})
+					case st.partnerBufEmpty:
+						st.partnerBufEmpty = false
+						st.dev.WriteOut([]byte{CtrlQ})
+					default:
+						if data, ok := st.q.DeQueue(); ok {
+							st.dev.WriteOut(data)
+							if st.q.IsEmpty() && st.remoteClientStopped {
+								st.remoteClientStopped = false
+								st.RestartSignals++
+								c.BSignal(remoteRestart, soda.OK)
+							}
+						}
+					}
+				}
+				c.Hold(pollEvery)
+			}
+		},
+	}
+}

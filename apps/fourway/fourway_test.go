@@ -1,0 +1,93 @@
+package fourway
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"soda"
+)
+
+func items(prefix string, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s-%03d", prefix, i))
+	}
+	return out
+}
+
+// runRelay wires two relays with the given device parameters and runs
+// until both devices have drained everything (or the deadline passes).
+func runRelay(t *testing.T, nA, nB int, rateA, rateB, drainA, drainB time.Duration, queueCap, sinkCap int) (devA, devB *Device, stA, stB *relayState) {
+	t.Helper()
+	nw := soda.NewNetwork()
+	nw.Register("relayA", Relay(2, queueCap, func(c *soda.Client) *Device {
+		devA = NewDevice(c, items("a", nA), rateA, sinkCap, drainA)
+		return devA
+	}, func(st *relayState) { stA = st }))
+	nw.Register("relayB", Relay(1, queueCap, func(c *soda.Client) *Device {
+		devB = NewDevice(c, items("b", nB), rateB, sinkCap, drainB)
+		return devB
+	}, func(st *relayState) { stB = st }))
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "relayA")
+	nw.MustBoot(2, "relayB")
+	deadline := 240 * time.Second
+	step := 5 * time.Second
+	for elapsed := time.Duration(0); elapsed < deadline; elapsed += step {
+		if err := nw.Run(step); err != nil {
+			t.Fatal(err)
+		}
+		if len(devA.Drained) == nB && len(devB.Drained) == nA {
+			break
+		}
+	}
+	return devA, devB, stA, stB
+}
+
+func TestBidirectionalRelayDeliversAllInOrder(t *testing.T) {
+	devA, devB, _, _ := runRelay(t, 20, 20,
+		10*time.Millisecond, 10*time.Millisecond, // production rates
+		5*time.Millisecond, 5*time.Millisecond, // fast drains
+		4, 8)
+	check := func(name string, got [][]byte, prefix string, n int) {
+		if len(got) != n {
+			t.Fatalf("%s drained %d items, want %d", name, len(got), n)
+		}
+		for i, b := range got {
+			if want := fmt.Sprintf("%s-%03d", prefix, i); string(b) != want {
+				t.Fatalf("%s item %d = %q, want %q", name, i, b, want)
+			}
+		}
+	}
+	check("device A", devA.Drained, "b", 20)
+	check("device B", devB.Drained, "a", 20)
+}
+
+func TestFlowControlEngagesWithSlowDrain(t *testing.T) {
+	// Device B drains very slowly: relay B's queue must fill, B must
+	// report FULL, and A's device must be stopped until the restart.
+	devA, devB, stA, stB := runRelay(t, 24, 2,
+		4*time.Millisecond, 50*time.Millisecond, // A produces fast
+		4*time.Millisecond, 60*time.Millisecond, // B drains slowly
+		3, 4)
+	if len(devB.Drained) != 24 {
+		t.Fatalf("device B drained %d/24", len(devB.Drained))
+	}
+	for i, b := range devB.Drained {
+		if want := fmt.Sprintf("a-%03d", i); string(b) != want {
+			t.Fatalf("device B item %d = %q, want %q (order broken under backpressure)", i, b, want)
+		}
+	}
+	if len(devA.Drained) != 2 {
+		t.Fatalf("device A drained %d/2", len(devA.Drained))
+	}
+	if stB.FullSignals == 0 {
+		t.Error("relay B never reported FULL despite the slow drain")
+	}
+	if stB.RestartSignals == 0 {
+		t.Error("relay B never restarted relay A")
+	}
+	_ = stA
+}

@@ -1,0 +1,302 @@
+// Package philo implements the dining-philosophers solution of §4.4.3 —
+// the thesis's novel contribution to the problem.
+//
+// Five philosopher clients each own one fork (their right fork); to eat, a
+// philosopher first obtains its left fork (a SIGNAL to the left neighbor's
+// GETFORK entry) and then its own. A separate deadlock-detector process,
+// woken periodically by the timeserver, walks the ring asking each
+// philosopher whether it is "needful" (holding one fork, wanting the
+// other). If the walk returns to the starting philosopher with its
+// transaction id unchanged — proving no state change between probes — the
+// whole ring is deadlocked (the thesis proves this by induction) and one
+// philosopher is told to GIVE_BACK its fork. A list of "nice" philosophers
+// ensures no one is victimized twice before everyone has been victimized
+// once.
+package philo
+
+import (
+	"encoding/binary"
+	"time"
+
+	"soda"
+	"soda/timesrv"
+)
+
+// Well-known philosopher entry points (§4.4.3).
+var (
+	GetFork    = soda.WellKnownPattern(0o2301)
+	PutFork    = soda.WellKnownPattern(0o2302)
+	ReturnFork = soda.WellKnownPattern(0o2303)
+	Check      = soda.WellKnownPattern(0o2304)
+	GiveBack   = soda.WellKnownPattern(0o2305)
+)
+
+// forkState is the disposition of the fork a philosopher owns.
+type forkState int
+
+const (
+	forkIdle  forkState = iota + 1 // on the table, grantable
+	forkInUse                      // claimed by its owner
+	forkLent                       // at the right neighbor
+)
+
+// philState is a philosopher's shared (task ↔ handler) state.
+type philState struct {
+	ownFork    forkState
+	leftHeld   bool
+	needful    bool
+	myTID      soda.TID           // outstanding left-fork request (CHECK reports it)
+	hisRequest *soda.RequesterSig // right neighbor's deferred GETFORK
+	gaveBack   bool               // detector forced us to release the left fork
+	Meals      int
+	GiveBacks  int
+}
+
+// Philosopher returns one philosopher client. left names the left
+// neighbor's machine; the philosopher eats meals times (forever if
+// meals <= 0), thinking and eating for the given durations. onEat (may be
+// nil) observes each completed meal.
+func Philosopher(left soda.MID, meals int, thinkTime, eatTime time.Duration, onEat func(c *soda.Client, meal int)) soda.Program {
+	return soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			st := &philState{ownFork: forkIdle}
+			c.SetStash(st)
+			for _, p := range []soda.Pattern{GetFork, PutFork, ReturnFork, Check, GiveBack} {
+				if err := c.Advertise(p); err != nil {
+					panic(err)
+				}
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind != soda.EventRequestArrival {
+				return
+			}
+			st := c.Stash().(*philState)
+			switch ev.Pattern {
+			case GetFork:
+				// The right neighbor wants my fork.
+				if st.ownFork == forkIdle {
+					st.ownFork = forkLent
+					c.AcceptCurrentSignal(soda.OK)
+				} else {
+					// In use (or already lent — a stale retry): defer
+					// until I put my forks down (§4.4.3).
+					asker := ev.Asker
+					st.hisRequest = &asker
+				}
+			case PutFork:
+				// The right neighbor returns my fork after eating.
+				c.AcceptCurrentSignal(soda.OK)
+				st.ownFork = forkIdle
+			case ReturnFork:
+				// The right neighbor gives my fork back on the
+				// detector's orders; it will ask for it again.
+				c.AcceptCurrentSignal(soda.OK)
+				st.ownFork = forkIdle
+			case Check:
+				// The detector asks: needful? Report the TID identifying
+				// this acquisition attempt, or REJECT (§4.4.3).
+				if st.needful && st.leftHeld {
+					c.AcceptCurrentGet(soda.OK, tidBytes(st.myTID))
+				} else {
+					c.RejectCurrent()
+				}
+			case GiveBack:
+				c.AcceptCurrentSignal(soda.OK)
+				if st.needful && st.leftHeld {
+					// Release the held left fork; the task re-requests.
+					st.leftHeld = false
+					st.gaveBack = true
+					st.GiveBacks++
+					if _, err := c.Signal(soda.ServerSig{MID: left, Pattern: ReturnFork}, soda.OK); err == nil {
+						// Non-blocking; completion needs no action.
+					}
+				}
+			}
+		},
+		Task: func(c *soda.Client) {
+			st := c.Stash().(*philState)
+			leftSig := func(p soda.Pattern) soda.ServerSig { return soda.ServerSig{MID: left, Pattern: p} }
+			for meal := 0; meals <= 0 || meal < meals; meal++ {
+				c.Hold(thinkTime) // think()
+
+				// Obtain the left fork, re-requesting whenever the
+				// detector makes us give it back.
+				for !st.leftHeld {
+					st.gaveBack = false
+					got := false
+					tid, err := c.Signal(leftSig(GetFork), soda.OK)
+					if err != nil {
+						return
+					}
+					st.myTID = tid
+					c.OnCompletion(tid, func(ev soda.Event) {
+						got = ev.Status == soda.StatusSuccess
+						if got {
+							st.leftHeld = true
+						} else {
+							st.gaveBack = true // failed: retry the acquisition
+						}
+					})
+					st.needful = true
+					c.WaitUntil(func() bool { return st.leftHeld || st.gaveBack })
+				}
+
+				// Obtain my own fork; a GIVE_BACK can interrupt the wait.
+				for {
+					c.WaitUntil(func() bool { return !st.leftHeld || st.ownFork == forkIdle })
+					if !st.leftHeld {
+						// Victimized: reacquire the left fork first.
+						for !st.leftHeld {
+							st.gaveBack = false
+							tid, err := c.Signal(leftSig(GetFork), soda.OK)
+							if err != nil {
+								return
+							}
+							st.myTID = tid
+							c.OnCompletion(tid, func(ev soda.Event) {
+								if ev.Status == soda.StatusSuccess {
+									st.leftHeld = true
+								} else {
+									st.gaveBack = true
+								}
+							})
+							c.WaitUntil(func() bool { return st.leftHeld || st.gaveBack })
+						}
+						continue
+					}
+					st.ownFork = forkInUse
+					break
+				}
+				st.needful = false
+
+				c.Hold(eatTime) // eat()
+				st.Meals++
+				if onEat != nil {
+					onEat(c, st.Meals)
+				}
+
+				// Put both forks down: return the left fork, free mine.
+				c.BSignal(leftSig(PutFork), soda.OK)
+				st.leftHeld = false
+				st.ownFork = forkIdle
+				if st.hisRequest != nil {
+					st.ownFork = forkLent
+					asker := *st.hisRequest
+					st.hisRequest = nil
+					c.AcceptSignal(asker, soda.OK)
+				}
+			}
+		},
+	}
+}
+
+// Detector returns the deadlock-detector process of §4.4.3. ring lists the
+// philosophers' machine ids in seating order (each entry's left neighbor is
+// the previous element); interval is the probe period; onBreak (may be nil)
+// observes each deadlock broken with the victim's MID.
+func Detector(ring []soda.MID, interval time.Duration, onBreak func(victim soda.MID)) soda.Program {
+	return soda.Program{
+		Task: func(c *soda.Client) {
+			alarmSrv, ok := c.Discover(timesrv.AlarmPattern)
+			if !ok {
+				panic("philo: no timeserver on the network")
+			}
+			leftOf := func(i int) int { return (i - 1 + len(ring)) % len(ring) }
+			fair := newNiceList(len(ring))
+			victim := 0
+			check := func(i int) (soda.TID, bool) {
+				res := c.BGet(soda.ServerSig{MID: ring[i], Pattern: Check}, soda.OK, 8)
+				if res.Status != soda.StatusSuccess || len(res.Data) != 8 {
+					return 0, false
+				}
+				return soda.TID(binary.BigEndian.Uint64(res.Data)), true
+			}
+			for {
+				timesrv.Sleep(c, alarmSrv, interval)
+				if !fair.eligible(victim) {
+					victim = fair.next(victim)
+				}
+				firstTID, needful := check(victim)
+				if !needful {
+					continue // step 2: not needful; back to sleep
+				}
+				// Step 3: walk the ring; everyone must be needful.
+				deadlock := true
+				for cur := leftOf(victim); cur != victim; cur = leftOf(cur) {
+					if _, ok := check(cur); !ok {
+						deadlock = false
+						break
+					}
+				}
+				if !deadlock {
+					continue
+				}
+				// Step 4: re-check the starting philosopher; an
+				// unchanged TID proves no progress (§4.4.3's induction).
+				againTID, stillNeedful := check(victim)
+				if !stillNeedful || againTID != firstTID {
+					continue
+				}
+				// Step 5: break the deadlock; maintain fairness.
+				c.BSignal(soda.ServerSig{MID: ring[victim], Pattern: GiveBack}, soda.OK)
+				if onBreak != nil {
+					onBreak(ring[victim])
+				}
+				fair.punish(victim)
+				victim = fair.next(victim)
+			}
+		},
+	}
+}
+
+// niceList implements §4.4.3's LIST_OF_NICE_PHILOS: a philosopher asked to
+// return its fork is removed from the list and is not asked again until
+// every other philosopher has been asked once, at which point the list
+// reinitializes.
+type niceList struct {
+	nice []bool
+}
+
+func newNiceList(n int) *niceList {
+	l := &niceList{nice: make([]bool, n)}
+	l.reset()
+	return l
+}
+
+func (l *niceList) reset() {
+	for i := range l.nice {
+		l.nice[i] = true
+	}
+}
+
+func (l *niceList) eligible(i int) bool { return l.nice[i] }
+
+// punish removes i from the list, reinitializing when it empties.
+func (l *niceList) punish(i int) {
+	l.nice[i] = false
+	for _, n := range l.nice {
+		if n {
+			return
+		}
+	}
+	l.reset()
+}
+
+// next returns the first eligible philosopher after from.
+func (l *niceList) next(from int) int {
+	for off := 1; off <= len(l.nice); off++ {
+		i := (from + off) % len(l.nice)
+		if l.nice[i] {
+			return i
+		}
+	}
+	l.reset()
+	return (from + 1) % len(l.nice)
+}
+
+func tidBytes(t soda.TID) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(t))
+	return b
+}

@@ -1,0 +1,128 @@
+// Package rw implements the concurrent readers-and-writers moderator of
+// §4.4.4 (Courtois et al.'s problem).
+//
+// A moderator client — distinct from the database itself — arbitrates
+// START_READ / START_WRITE / END_READ / END_WRITE requests. Writers exclude
+// everyone; readers exclude writers. Fairness follows the thesis: once a
+// write is pending no new read starts, and the readers that accumulated
+// during a write are admitted before the next write.
+package rw
+
+import (
+	"soda"
+	"soda/sodal"
+)
+
+// The moderator's advertised entry points.
+var (
+	StartRead  = soda.WellKnownPattern(0o2001)
+	StartWrite = soda.WellKnownPattern(0o2002)
+	EndRead    = soda.WellKnownPattern(0o2003)
+	EndWrite   = soda.WellKnownPattern(0o2004)
+)
+
+// modState is the moderator's bookkeeping.
+type modState struct {
+	readQ      *sodal.Queue[soda.RequesterSig]
+	writeQ     *sodal.Queue[soda.RequesterSig]
+	readcount  int
+	writecount int
+}
+
+// Moderator returns the moderator program. queueCap bounds each of the
+// waiting-reader and waiting-writer queues.
+func Moderator(queueCap int) soda.Program {
+	if queueCap <= 0 {
+		queueCap = 16
+	}
+	return soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			st := &modState{
+				readQ:  sodal.NewQueue[soda.RequesterSig](queueCap),
+				writeQ: sodal.NewQueue[soda.RequesterSig](queueCap),
+			}
+			c.SetStash(st)
+			for _, p := range []soda.Pattern{StartRead, StartWrite, EndRead, EndWrite} {
+				if err := c.Advertise(p); err != nil {
+					panic(err)
+				}
+			}
+		},
+		// The moderator is entirely handler-driven; its task merely
+		// idles (§4.4.4's Task is `loop Idle() forever`).
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind != soda.EventRequestArrival {
+				return
+			}
+			st := c.Stash().(*modState)
+			switch ev.Pattern {
+			case StartRead:
+				// Admit unless a writer is active or pending (writer
+				// priority for admission fairness).
+				if st.writecount == 0 && st.writeQ.IsEmpty() {
+					c.AcceptCurrentSignal(soda.OK)
+					st.readcount++
+				} else if !st.readQ.EnQueue(ev.Asker) {
+					c.RejectCurrent()
+				}
+			case StartWrite:
+				if st.readcount == 0 && st.writecount == 0 {
+					c.AcceptCurrentSignal(soda.OK)
+					st.writecount++
+				} else if !st.writeQ.EnQueue(ev.Asker) {
+					c.RejectCurrent()
+				}
+			case EndRead:
+				c.AcceptCurrentSignal(soda.OK)
+				st.readcount--
+				if st.readcount == 0 {
+					if w, ok := st.writeQ.DeQueue(); ok {
+						c.AcceptSignal(w, soda.OK)
+						st.writecount++
+					}
+				}
+			case EndWrite:
+				c.AcceptCurrentSignal(soda.OK)
+				st.writecount--
+				if !st.readQ.IsEmpty() {
+					// Readers that accumulated during the write go first
+					// (§4.4.4).
+					for {
+						r, ok := st.readQ.DeQueue()
+						if !ok {
+							break
+						}
+						c.AcceptSignal(r, soda.OK)
+						st.readcount++
+					}
+				} else if w, ok := st.writeQ.DeQueue(); ok {
+					c.AcceptSignal(w, soda.OK)
+					st.writecount++
+				}
+			}
+		},
+	}
+}
+
+// Reader/writer client protocol helpers (the "correct client" contract of
+// §4.4.4: every access is bracketed by start/end).
+
+// ReadLock blocks until read access is granted.
+func ReadLock(c *soda.Client, mod soda.MID) soda.Status {
+	return c.BSignal(soda.ServerSig{MID: mod, Pattern: StartRead}, soda.OK).Status
+}
+
+// ReadUnlock releases read access.
+func ReadUnlock(c *soda.Client, mod soda.MID) soda.Status {
+	return c.BSignal(soda.ServerSig{MID: mod, Pattern: EndRead}, soda.OK).Status
+}
+
+// WriteLock blocks until exclusive write access is granted.
+func WriteLock(c *soda.Client, mod soda.MID) soda.Status {
+	return c.BSignal(soda.ServerSig{MID: mod, Pattern: StartWrite}, soda.OK).Status
+}
+
+// WriteUnlock releases write access.
+func WriteUnlock(c *soda.Client, mod soda.MID) soda.Status {
+	return c.BSignal(soda.ServerSig{MID: mod, Pattern: EndWrite}, soda.OK).Status
+}

@@ -1,0 +1,150 @@
+package rw
+
+import (
+	"testing"
+	"time"
+
+	"soda"
+)
+
+func TestMutualExclusionInvariants(t *testing.T) {
+	nw := soda.NewNetwork()
+	nw.Register("moderator", Moderator(16))
+
+	var (
+		activeReaders  int
+		activeWriters  int
+		maxReaders     int
+		violations     int
+		reads, writes  int
+		overlapReaders bool
+	)
+	check := func() {
+		if activeWriters > 1 || (activeWriters == 1 && activeReaders > 0) {
+			violations++
+		}
+		if activeReaders > maxReaders {
+			maxReaders = activeReaders
+		}
+		if activeReaders > 1 {
+			overlapReaders = true
+		}
+	}
+	reader := soda.Program{
+		Task: func(c *soda.Client) {
+			for i := 0; i < 5; i++ {
+				if st := ReadLock(c, 1); st != soda.StatusSuccess {
+					t.Errorf("read lock: %v", st)
+					return
+				}
+				activeReaders++
+				check()
+				c.Hold(30 * time.Millisecond)
+				activeReaders--
+				reads++
+				if st := ReadUnlock(c, 1); st != soda.StatusSuccess {
+					t.Errorf("read unlock: %v", st)
+					return
+				}
+			}
+		},
+	}
+	writer := soda.Program{
+		Task: func(c *soda.Client) {
+			for i := 0; i < 3; i++ {
+				if st := WriteLock(c, 1); st != soda.StatusSuccess {
+					t.Errorf("write lock: %v", st)
+					return
+				}
+				activeWriters++
+				check()
+				c.Hold(40 * time.Millisecond)
+				activeWriters--
+				writes++
+				if st := WriteUnlock(c, 1); st != soda.StatusSuccess {
+					t.Errorf("write unlock: %v", st)
+					return
+				}
+				c.Hold(20 * time.Millisecond)
+			}
+		},
+	}
+	nw.Register("reader", reader)
+	nw.Register("writer", writer)
+	nw.MustAddNode(1)
+	nw.MustBoot(1, "moderator")
+	for mid := soda.MID(2); mid <= 4; mid++ {
+		nw.MustAddNode(mid)
+		nw.MustBoot(mid, "reader")
+	}
+	for mid := soda.MID(5); mid <= 6; mid++ {
+		nw.MustAddNode(mid)
+		nw.MustBoot(mid, "writer")
+	}
+	if err := nw.Run(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if violations != 0 {
+		t.Fatalf("%d exclusion violations", violations)
+	}
+	if reads != 15 || writes != 6 {
+		t.Fatalf("reads=%d writes=%d, want 15/6", reads, writes)
+	}
+	if !overlapReaders {
+		t.Error("readers never overlapped; concurrency lost")
+	}
+}
+
+func TestPendingWriterBlocksNewReaders(t *testing.T) {
+	nw := soda.NewNetwork()
+	nw.Register("moderator", Moderator(16))
+
+	var order []string
+	nw.Register("longreader", soda.Program{
+		Task: func(c *soda.Client) {
+			ReadLock(c, 1)
+			order = append(order, "r1-start")
+			c.Hold(300 * time.Millisecond)
+			order = append(order, "r1-end")
+			ReadUnlock(c, 1)
+		},
+	})
+	nw.Register("writer", soda.Program{
+		Task: func(c *soda.Client) {
+			c.Hold(50 * time.Millisecond) // after r1 holds the lock
+			WriteLock(c, 1)
+			order = append(order, "w-start")
+			c.Hold(50 * time.Millisecond)
+			order = append(order, "w-end")
+			WriteUnlock(c, 1)
+		},
+	})
+	nw.Register("latereader", soda.Program{
+		Task: func(c *soda.Client) {
+			c.Hold(120 * time.Millisecond) // after the writer queued
+			ReadLock(c, 1)
+			order = append(order, "r2-start")
+			ReadUnlock(c, 1)
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustAddNode(3)
+	nw.MustAddNode(4)
+	nw.MustBoot(1, "moderator")
+	nw.MustBoot(2, "longreader")
+	nw.MustBoot(3, "writer")
+	nw.MustBoot(4, "latereader")
+	if err := nw.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"r1-start", "r1-end", "w-start", "w-end", "r2-start"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (late reader must wait behind the pending writer)", order, want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Benchmarks regenerating every table and figure of the thesis's
+// evaluation (chapter 5). The numbers that matter are the reported custom
+// metrics — virtual milliseconds per operation (virt_ms/op) and packets per
+// operation (pkt/op) — produced by the calibrated simulation; wall-clock
+// ns/op only measures the simulator itself. See EXPERIMENTS.md for the
+// paper-vs-measured comparison and cmd/sodabench for the tables in the
+// thesis's own format.
+package soda_test
+
+import (
+	"fmt"
+	"testing"
+
+	"soda/internal/bench"
+)
+
+// BenchmarkTablePerformance regenerates the "SODA Performance" table
+// (p. 115): milliseconds per PUT / GET / EXCHANGE for the pipelined and
+// non-pipelined kernels across message sizes (experiment E1), with the
+// packet counts of experiment E5 reported alongside.
+func BenchmarkTablePerformance(b *testing.B) {
+	for _, pipelined := range []bool{false, true} {
+		kernel := "nonpipelined"
+		if pipelined {
+			kernel = "pipelined"
+		}
+		for _, op := range []bench.Op{bench.OpPut, bench.OpGet, bench.OpExchange} {
+			for _, words := range []int{0, 1, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000} {
+				name := fmt.Sprintf("%s/%v/words=%d", kernel, op, words)
+				b.Run(name, func(b *testing.B) {
+					var res bench.Result
+					for i := 0; i < b.N; i++ {
+						res = bench.MeasureOp(bench.Config{
+							Op:        op,
+							Words:     words,
+							Pipelined: pipelined,
+							Ops:       20,
+						})
+					}
+					b.ReportMetric(float64(res.PerOp)/1e6, "virt_ms/op")
+					b.ReportMetric(res.FramesPerOp, "pkt/op")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTableBreakdown regenerates the "Breakdown of Communications
+// Overhead" table (p. 116): the per-SIGNAL cost split into connection
+// timers, retransmit timers, context switch, transmission, client overhead
+// and protocol time (experiment E2).
+func BenchmarkTableBreakdown(b *testing.B) {
+	var bd bench.Breakdown
+	for i := 0; i < b.N; i++ {
+		bd = bench.MeasureBreakdown(50)
+	}
+	ms := func(d interface{ Nanoseconds() int64 }) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	b.ReportMetric(ms(bd.ConnTimers), "conn_ms/op")
+	b.ReportMetric(ms(bd.RetransTimers), "retrans_ms/op")
+	b.ReportMetric(ms(bd.CtxSwitch), "ctxswitch_ms/op")
+	b.ReportMetric(ms(bd.Transmission), "tx_ms/op")
+	b.ReportMetric(ms(bd.ClientOverhead), "client_ms/op")
+	b.ReportMetric(ms(bd.Protocol), "protocol_ms/op")
+	b.ReportMetric(ms(bd.Total), "total_virt_ms/op")
+	b.ReportMetric(bd.FramesPerOp, "pkt/op")
+}
+
+// BenchmarkTableModComparison regenerates the §5.5 SODA-vs-*MOD numbers
+// (experiment E3): blocking and queued signals against the layered
+// port-call baseline.
+func BenchmarkTableModComparison(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  bench.Config
+	}{
+		{"SODA_B_SIGNAL_handler", bench.Config{Op: bench.OpSignal, Blocking: true}},
+		{"SODA_B_SIGNAL_queued", bench.Config{Op: bench.OpSignal, Blocking: true, Queued: true}},
+		{"SODA_SIGNAL_stream", bench.Config{Op: bench.OpSignal}},
+		{"SODA_SIGNAL_stream_queued", bench.Config{Op: bench.OpSignal, Queued: true}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var res bench.Result
+			for i := 0; i < b.N; i++ {
+				tc.cfg.Ops = 20
+				res = bench.MeasureOp(tc.cfg)
+			}
+			b.ReportMetric(float64(res.PerOp)/1e6, "virt_ms/op")
+		})
+	}
+	b.Run("MOD_port_calls", func(b *testing.B) {
+		var rows []bench.ModRow
+		for i := 0; i < b.N; i++ {
+			rows = bench.MeasureModComparison(20)
+		}
+		for _, row := range rows[4:] { // the two *MOD rows
+			metric := "mod_sync_virt_ms/op"
+			if row.Name == "*MOD asynchronous port call" {
+				metric = "mod_async_virt_ms/op"
+			}
+			b.ReportMetric(float64(row.PerOp)/1e6, metric)
+		}
+	})
+}
+
+// BenchmarkFigureDeltaT drives the "Typical Delta-t Situations" figure
+// (p. 106, experiment E4): every scripted protocol situation must hold.
+func BenchmarkFigureDeltaT(b *testing.B) {
+	var scenarios []bench.DeltaTScenario
+	for i := 0; i < b.N; i++ {
+		scenarios = bench.RunDeltaTScenarios()
+	}
+	ok := 0
+	for _, sc := range scenarios {
+		if sc.OK {
+			ok++
+		} else {
+			b.Errorf("scenario failed: %s", sc.Name)
+		}
+	}
+	b.ReportMetric(float64(ok), "scenarios_ok")
+}
+
+// BenchmarkTablePacketCounts isolates experiment E5: the per-operation
+// packet counts of §5.2.3 (PUT 2; GET 4 non-pipelined, 2 pipelined;
+// EXCHANGE up to 6 non-pipelined, 2 pipelined).
+func BenchmarkTablePacketCounts(b *testing.B) {
+	for _, tc := range []struct {
+		name      string
+		op        bench.Op
+		pipelined bool
+	}{
+		{"PUT", bench.OpPut, false},
+		{"GET_nonpipelined", bench.OpGet, false},
+		{"GET_pipelined", bench.OpGet, true},
+		{"EXCHANGE_nonpipelined", bench.OpExchange, false},
+		{"EXCHANGE_pipelined", bench.OpExchange, true},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var res bench.Result
+			for i := 0; i < b.N; i++ {
+				res = bench.MeasureOp(bench.Config{Op: tc.op, Words: 50, Pipelined: tc.pipelined, Ops: 20})
+			}
+			b.ReportMetric(res.FramesPerOp, "pkt/op")
+		})
+	}
+}
+
+// BenchmarkAblationRMR quantifies the §6.17.2 design choice: library-level
+// remote memory reference (a client process services PEEK through its
+// handler) versus the optional kernel-level service.
+func BenchmarkAblationRMR(b *testing.B) {
+	var ab bench.RMRAblation
+	for i := 0; i < b.N; i++ {
+		ab = bench.MeasureRMRAblation(20, 16)
+	}
+	b.ReportMetric(float64(ab.LibraryPeek)/1e6, "library_virt_ms/op")
+	b.ReportMetric(float64(ab.KernelPeek)/1e6, "kernel_virt_ms/op")
+}
+
+// BenchmarkAblationPiggyback quantifies the §5.2.3/§5.6 piggybacking design
+// choice: the same blocking PUT stream with acknowledgement piggybacking
+// disabled versus the calibrated default.
+func BenchmarkAblationPiggyback(b *testing.B) {
+	var ab bench.PiggybackAblation
+	for i := 0; i < b.N; i++ {
+		ab = bench.MeasurePiggybackAblation(20)
+	}
+	b.ReportMetric(float64(ab.WithPiggyback.PerOp)/1e6, "with_virt_ms/op")
+	b.ReportMetric(float64(ab.WithoutPiggyback.PerOp)/1e6, "without_virt_ms/op")
+	b.ReportMetric(ab.WithPiggyback.FramesPerOp, "with_pkt/op")
+	b.ReportMetric(ab.WithoutPiggyback.FramesPerOp, "without_pkt/op")
+}

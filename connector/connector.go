@@ -1,0 +1,128 @@
+// Package connector implements load-time interconnection (§4.3.1): a
+// connector process boots a set of cooperating modules onto free machines
+// and establishes their communication paths by editing each module's core
+// image before it starts — "a linkage editor which … links modules loosely
+// together by establishing entry points used for intermodule
+// communication".
+//
+// In this reproduction a core image is a registered program name, so the
+// connector appends a parameter block: the list of machine ids assigned to
+// every module plus a set of fresh GETUNIQUEID patterns, one per declared
+// link. Each module reads the block back with Client.BootParams and knows
+// exactly whom to ADVERTISE for and whom to REQUEST from — no broadcasts,
+// no well-known names (§4.3.1's second connection method).
+//
+// The connector also embodies a node-allocation policy (§4.3.1): it claims
+// the machines it needs via the reserved boot patterns, and the load
+// patterns it collects double as kill capabilities over the whole set.
+package connector
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"soda"
+)
+
+// Module declares one program to load.
+type Module struct {
+	// Program is the registered program name (no NUL bytes).
+	Program string
+}
+
+// Wiring is the parameter block every module receives: the machine
+// assignment of the whole set and the per-link patterns.
+type Wiring struct {
+	// Self is the index of the receiving module within Members.
+	Self int
+	// Members lists the machine ids, in Module declaration order.
+	Members []soda.MID
+	// LinkPatterns holds one fresh pattern per declared link, in
+	// declaration order. The convention is the link's *second* endpoint
+	// advertises the pattern and the first sends to it; modules are free
+	// to arrange otherwise.
+	LinkPatterns []soda.Pattern
+}
+
+// Encode serializes a wiring block for the core image.
+func (w Wiring) Encode() []byte {
+	buf := make([]byte, 0, 4+2*len(w.Members)+8*len(w.LinkPatterns))
+	buf = append(buf, byte(w.Self))
+	buf = append(buf, byte(len(w.Members)))
+	buf = append(buf, byte(len(w.LinkPatterns)), 0)
+	for _, mid := range w.Members {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(mid))
+	}
+	for _, p := range w.LinkPatterns {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(p))
+	}
+	return buf
+}
+
+// DecodeWiring parses a parameter block produced by Encode; modules call it
+// on Client.BootParams() in their Init section.
+func DecodeWiring(b []byte) (Wiring, error) {
+	if len(b) < 4 {
+		return Wiring{}, fmt.Errorf("connector: short wiring block (%d bytes)", len(b))
+	}
+	w := Wiring{Self: int(b[0])}
+	nm, np := int(b[1]), int(b[2])
+	need := 4 + 2*nm + 8*np
+	if len(b) != need {
+		return Wiring{}, fmt.Errorf("connector: wiring block %d bytes, want %d", len(b), need)
+	}
+	off := 4
+	for i := 0; i < nm; i++ {
+		w.Members = append(w.Members, soda.MID(binary.BigEndian.Uint16(b[off:])))
+		off += 2
+	}
+	for i := 0; i < np; i++ {
+		w.LinkPatterns = append(w.LinkPatterns, soda.Pattern(binary.BigEndian.Uint64(b[off:])))
+		off += 8
+	}
+	return w, nil
+}
+
+// Loaded reports a completed load: the machines used and the kill
+// capabilities over them.
+type Loaded struct {
+	Members  []soda.MID
+	LoadPats []soda.Pattern
+}
+
+// Load discovers enough free machines, mints one pattern per link, and
+// boots every module with the full wiring block. It must run from a client
+// task. On failure, already-started modules are killed and their machines
+// released.
+func Load(c *soda.Client, modules []Module, links int) (Loaded, error) {
+	free := c.DiscoverAll(soda.BootPattern, len(modules)+4)
+	if len(free) < len(modules) {
+		return Loaded{}, fmt.Errorf("connector: need %d free machines, found %d", len(modules), len(free))
+	}
+	members := append([]soda.MID(nil), free[:len(modules)]...)
+	patterns := make([]soda.Pattern, links)
+	for i := range patterns {
+		patterns[i] = c.GetUniqueID()
+	}
+	out := Loaded{Members: members}
+	for i, m := range modules {
+		w := Wiring{Self: i, Members: members, LinkPatterns: patterns}
+		loadPat, err := soda.BootRemoteWithParams(c, members[i], soda.BootPattern, m.Program, w.Encode())
+		if err != nil {
+			// Roll back what already started.
+			for j := 0; j < i; j++ {
+				soda.KillChild(c, members[j], out.LoadPats[j])
+			}
+			return Loaded{}, fmt.Errorf("connector: module %d (%s) on machine %d: %w", i, m.Program, members[i], err)
+		}
+		out.LoadPats = append(out.LoadPats, loadPat)
+	}
+	return out, nil
+}
+
+// KillAll reclaims every machine of a loaded set (§3.5.3).
+func KillAll(c *soda.Client, l Loaded) {
+	for i, mid := range l.Members {
+		soda.KillChild(c, mid, l.LoadPats[i])
+	}
+}

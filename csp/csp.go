@@ -1,0 +1,286 @@
+// Package csp implements CSP-style guarded communication over SODA,
+// including output guards via Bernstein's algorithm (§4.2.5.1).
+//
+// Symmetric rendezvous is deadlock-prone: if two processes query each other
+// simultaneously and both block, nothing progresses (§4.2.5). Bernstein's
+// algorithm breaks the symmetry with machine ids: a process that receives a
+// query while itself QUERYING delays the caller only when its own MID is
+// greater; otherwise it REJECTS, guaranteeing at least one query in any
+// cycle is refused and the cycle unwinds.
+//
+// A message's "type" (CSP matches on the type of the communicated variable)
+// is a small non-negative integer carried in the request argument.
+package csp
+
+import (
+	"fmt"
+	"time"
+
+	"soda"
+)
+
+// state is the tri-state of Bernstein's algorithm.
+type state int
+
+const (
+	// stateActive: executing a command list; queries are rejected.
+	stateActive state = iota + 1
+	// stateQuerying: evaluating an alternative command, issuing queries.
+	stateQuerying
+	// stateWaiting: all guards tried; parked until a query matches.
+	stateWaiting
+)
+
+// Guard is one arm of an alternative command. When (optional) is the
+// boolean part; exactly one of Send/Recv may be set (neither makes a pure
+// boolean guard). CSP forbids output expressions in guards; SODA makes them
+// cheap, which is the point of §4.2.5.1.
+type Guard struct {
+	// When must hold for the guard to be eligible; nil means true.
+	When func() bool
+	// Send attempts to output Value with type Type to the named process.
+	Send *SendGuard
+	// Recv accepts an input of type Type from any process.
+	Recv *RecvGuard
+}
+
+// SendGuard is an output guard.
+type SendGuard struct {
+	To    soda.ServerSig
+	Type  int32
+	Value []byte
+}
+
+// RecvGuard is an input guard.
+type RecvGuard struct {
+	Type int32
+	// MaxSize bounds the received value (default 64).
+	MaxSize int
+}
+
+// Result reports which guard fired and, for input guards, the value.
+type Result struct {
+	// Index is the position of the chosen guard, or -1 if every guard
+	// failed (the named processes terminated).
+	Index int
+	// Value is the received message for input guards (nil for output).
+	Value []byte
+	// From identifies the sender for input guards.
+	From soda.MID
+}
+
+// pendingQuery is a delayed or arrived output command from a peer.
+type pendingQuery struct {
+	asker soda.RequesterSig
+	typ   int32
+	size  int
+}
+
+// Runtime is the per-client CSP engine. Create it in Init, route handler
+// events through HandleEvent, and call Select from the task.
+type Runtime struct {
+	c     *soda.Client
+	name  soda.Pattern
+	state state
+	// queryPending marks an outstanding blocking query of our own (the
+	// condition for delaying a peer, §4.2.5.1).
+	queryPending bool
+	// acceptable maps message type → true while querying/waiting.
+	acceptable map[int32]bool
+	// delayed holds queries we chose to delay (we out-rank the caller).
+	delayed []pendingQuery
+	// matched is set by the handler when a query is accepted directly.
+	matched      bool
+	matchedType  int32
+	matchedValue []byte
+	matchedFrom  soda.MID
+	maxRecv      int
+}
+
+// New creates the runtime and advertises the process name.
+func New(c *soda.Client, name soda.Pattern) (*Runtime, error) {
+	r := &Runtime{
+		c:          c,
+		name:       name,
+		state:      stateActive,
+		acceptable: make(map[int32]bool),
+	}
+	if err := c.Advertise(name); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// HandleEvent processes a handler invocation; it reports true when the
+// event was CSP traffic. This is the thesis's handler case for MY_NAME.
+func (r *Runtime) HandleEvent(ev soda.Event) bool {
+	if ev.Kind != soda.EventRequestArrival || ev.Pattern != r.name {
+		return false
+	}
+	switch {
+	case r.state == stateWaiting && r.acceptable[ev.Arg]:
+		// A matching output command found us WAITING: rendezvous.
+		res := r.c.AcceptCurrentPut(soda.OK, ev.PutSize)
+		if res.Status == soda.AcceptSuccess {
+			r.matched = true
+			r.matchedType = ev.Arg
+			r.matchedValue = res.Data
+			r.matchedFrom = ev.Asker.MID
+			r.state = stateActive
+		}
+	case r.state == stateQuerying && r.acceptable[ev.Arg] && r.queryPending && r.c.MID() > ev.Asker.MID:
+		// Both of us are querying; we out-rank the caller, so delay its
+		// query instead of rejecting (§4.2.5.1).
+		r.delayed = append(r.delayed, pendingQuery{asker: ev.Asker, typ: ev.Arg, size: ev.PutSize})
+	default:
+		// ACTIVE, no type match, or QUERYING with a lower MID: REJECT.
+		// The caller may query again once we enter an alternative
+		// command, or we may query it.
+		r.c.RejectCurrent()
+	}
+	return true
+}
+
+// retryInterval paces re-evaluation of output guards while WAITING. The
+// thesis's algorithm leaves a WAITING process passive; two processes that
+// rejected each other's queries in a race (both momentarily ACTIVE) would
+// then wait forever despite compatible guards, so this implementation
+// re-queries periodically — preserving the delay/reject symmetry-breaking
+// while adding liveness.
+const retryInterval = 40 * time.Millisecond
+
+// Select evaluates an alternative command (EvalAltCmd, §4.2.5.1): exactly
+// one eligible guard communicates; the call blocks until some guard can.
+// It returns Index −1 only when no guard can ever succeed (named processes
+// terminated and no input guards). It must be called from the task.
+func (r *Runtime) Select(guards []Guard) Result {
+	r.state = stateQuerying
+	dead := make([]bool, len(guards))
+	defer func() {
+		r.state = stateActive
+		// Senders still delayed here would block forever once we leave
+		// the alternative command; reject them so they re-evaluate.
+		for _, q := range r.delayed {
+			r.c.Accept(q.asker, -1, nil, 0)
+		}
+		r.delayed = nil
+	}()
+
+	for {
+		// Record acceptable input types first so queries arriving
+		// mid-evaluation are delayed rather than rejected.
+		clear(r.acceptable)
+		r.maxRecv = 64
+		recvGuards := 0
+		for _, g := range guards {
+			if g.Recv != nil && (g.When == nil || g.When()) {
+				r.acceptable[g.Recv.Type] = true
+				recvGuards++
+				if g.Recv.MaxSize > r.maxRecv {
+					r.maxRecv = g.Recv.MaxSize
+				}
+			}
+		}
+		liveComm := 0
+		for i, g := range guards {
+			if dead[i] || (g.When != nil && !g.When()) {
+				continue
+			}
+			switch {
+			case g.Send == nil && g.Recv == nil:
+				return Result{Index: i} // pure boolean guard
+			case g.Recv != nil:
+				liveComm++
+				if res, ok := r.takeDelayed(i, g.Recv.Type); ok {
+					return res
+				}
+			case g.Send != nil:
+				liveComm++
+				res, ok, failed := r.tryOutput(i, guards, g.Send)
+				if ok {
+					return res
+				}
+				if failed {
+					dead[i] = true // the named process terminated
+					liveComm--
+				}
+			}
+		}
+		if liveComm == 0 {
+			return Result{Index: -1} // the alternative command fails
+		}
+		// WAITING: park until a matching query arrives, then retry the
+		// output guards if none did (§4.2.5.1 plus the liveness retry).
+		r.state = stateWaiting
+		r.matched = false
+		deadline := r.c.Now() + retryInterval
+		for !r.matched && r.c.Now() < deadline {
+			r.c.Hold(5 * time.Millisecond)
+		}
+		r.state = stateQuerying
+		if r.matched {
+			r.matched = false
+			for i, g := range guards {
+				if !dead[i] && g.Recv != nil && g.Recv.Type == r.matchedType && (g.When == nil || g.When()) {
+					return Result{Index: i, Value: r.matchedValue, From: r.matchedFrom}
+				}
+			}
+			// The matched type maps to no live guard (When changed
+			// under us); treat as a spurious wakeup and go around.
+		}
+	}
+}
+
+// takeDelayed completes a rendezvous with a delayed query matching an
+// input guard.
+func (r *Runtime) takeDelayed(idx int, typ int32) (Result, bool) {
+	for qi, q := range r.delayed {
+		if q.typ != typ {
+			continue
+		}
+		r.delayed = append(r.delayed[:qi], r.delayed[qi+1:]...)
+		res := r.c.AcceptPut(q.asker, soda.OK, q.size)
+		if res.Status != soda.AcceptSuccess {
+			continue // caller crashed or withdrew; try another
+		}
+		return Result{Index: idx, Value: res.Data, From: q.asker.MID}, true
+	}
+	return Result{}, false
+}
+
+// tryOutput issues the blocking query for an output guard (§4.2.5.1). ok
+// reports a completed rendezvous (possibly via a delayed query); failed
+// reports that the named process terminated, permanently failing the guard.
+func (r *Runtime) tryOutput(idx int, guards []Guard, sg *SendGuard) (res Result, ok, failed bool) {
+	r.queryPending = true
+	out := r.c.BPut(sg.To, sg.Type, sg.Value)
+	r.queryPending = false
+	switch out.Status {
+	case soda.StatusSuccess:
+		return Result{Index: idx}, true, false
+	case soda.StatusRejected:
+		// The peer did not match (or out-ranked us and later rejected).
+		// If we delayed someone meanwhile, complete that rendezvous now
+		// — this is the step that unwinds query cycles (§4.2.5.1).
+		for gi, g := range guards {
+			if g.Recv == nil || (g.When != nil && !g.When()) {
+				continue
+			}
+			if taken, tok := r.takeDelayed(gi, g.Recv.Type); tok {
+				return taken, true, false
+			}
+		}
+		return Result{}, false, false
+	default:
+		// CRASHED / UNADVERTISED: the named process terminated — the
+		// guard fails (CSP's input/output command failure rule).
+		return Result{}, false, true
+	}
+}
+
+// Name returns the advertised process name pattern.
+func (r *Runtime) Name() soda.Pattern { return r.name }
+
+func (r *Runtime) String() string {
+	return fmt.Sprintf("csp(%v state=%d delayed=%d)", r.name, r.state, len(r.delayed))
+}

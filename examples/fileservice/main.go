@@ -1,0 +1,92 @@
+// File service over SODA (§4.4.5): a file server bound to well-known OPEN
+// and DISCOVER patterns hands out per-file patterns minted by GETUNIQUEID;
+// two clients share files through it while a timeserver provides timeouts.
+//
+//	go run ./examples/fileservice
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"soda"
+	"soda/apps/fileserver"
+	"soda/timesrv"
+)
+
+func main() {
+	nw := soda.NewNetwork()
+
+	nw.Register("fs", fileserver.Server(map[string][]byte{
+		"readme": []byte("files are named by patterns, not descriptors"),
+	}, 32))
+	nw.Register("timesrv", timesrv.Program(8))
+
+	// Writer: appends log entries, then signs off.
+	nw.Register("writer", soda.Program{
+		Task: func(c *soda.Client) {
+			srv, ok := fileserver.Find(c)
+			if !ok {
+				fmt.Println("writer: no file server")
+				return
+			}
+			f, err := fileserver.Open(c, srv, "log")
+			if err != nil {
+				fmt.Println("writer:", err)
+				return
+			}
+			for i := 1; i <= 3; i++ {
+				line := fmt.Sprintf("entry %d at %v\n", i, c.Now())
+				if err := f.Write([]byte(line)); err != nil {
+					fmt.Println("writer:", err)
+					return
+				}
+				fmt.Printf("t=%8v  writer appended %q\n", c.Now(), line[:len(line)-1])
+				c.Hold(100 * time.Millisecond)
+			}
+			_ = f.Close()
+		},
+	})
+
+	// Reader: waits a while (using the timeserver's clock), then reads
+	// both files back.
+	nw.Register("reader", soda.Program{
+		Task: func(c *soda.Client) {
+			alarm, _ := c.Discover(timesrv.AlarmPattern)
+			timesrv.Sleep(c, alarm, 500*time.Millisecond)
+
+			srv, _ := fileserver.Find(c)
+			for _, name := range []string{"readme", "log"} {
+				f, err := fileserver.Open(c, srv, name)
+				if err != nil {
+					fmt.Println("reader:", err)
+					continue
+				}
+				var all []byte
+				for {
+					chunk, err := f.Read(32)
+					if err != nil || len(chunk) == 0 {
+						break
+					}
+					all = append(all, chunk...)
+				}
+				fmt.Printf("t=%8v  reader %s: %q\n", c.Now(), name, all)
+				_ = f.Close()
+			}
+		},
+	})
+
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustAddNode(3)
+	nw.MustAddNode(4)
+	nw.MustBoot(1, "fs")
+	nw.MustBoot(2, "timesrv")
+	nw.MustBoot(3, "writer")
+	nw.MustBoot(4, "reader")
+
+	if err := nw.Run(5 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+// A "typical SODA network" (thesis p. 7): a command interpreter boots an
+// application onto a free machine using the reserved boot patterns, the
+// application computes via an RPC math service, stores its result through
+// the file server, and the parent finally reclaims the machine with the
+// kill capability it obtained at boot time.
+//
+//	go run ./examples/network
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"time"
+
+	"soda"
+	"soda/apps/fileserver"
+	"soda/rpc"
+)
+
+var sumPattern = soda.WellKnownPattern(0o124)
+
+func main() {
+	nw := soda.NewNetwork()
+
+	// A floating-point-processor-ish service: sums a vector of uint16.
+	nw.Register("mathsvc", rpc.Server(map[soda.Pattern]rpc.Proc{
+		sumPattern: func(_ *soda.Client, in []byte) []byte {
+			var sum uint32
+			for i := 0; i+1 < len(in); i += 2 {
+				sum += uint32(binary.BigEndian.Uint16(in[i:]))
+			}
+			out := make([]byte, 4)
+			binary.BigEndian.PutUint32(out, sum)
+			return out
+		},
+	}))
+
+	nw.Register("fs", fileserver.Server(nil, 16))
+
+	// The application to be loaded onto a free machine: computes and
+	// stores a result, then idles until killed.
+	nw.Register("app", soda.Program{
+		Init: func(c *soda.Client, parent soda.MID) {
+			fmt.Printf("t=%8v  app: booted on machine %d by machine %d\n", c.Now(), c.MID(), parent)
+		},
+		Task: func(c *soda.Client) {
+			mathSrv, ok := c.Discover(sumPattern)
+			if !ok {
+				fmt.Println("app: no math service")
+				return
+			}
+			vec := make([]byte, 8)
+			for i, v := range []uint16{100, 200, 300, 400} {
+				binary.BigEndian.PutUint16(vec[2*i:], v)
+			}
+			out, err := rpc.Call(c, mathSrv, vec, 4)
+			if err != nil {
+				fmt.Println("app: rpc:", err)
+				return
+			}
+			sum := binary.BigEndian.Uint32(out)
+			fmt.Printf("t=%8v  app: remote sum = %d\n", c.Now(), sum)
+
+			fsrv, _ := fileserver.Find(c)
+			f, err := fileserver.Open(c, fsrv, "result")
+			if err != nil {
+				fmt.Println("app:", err)
+				return
+			}
+			_ = f.Write([]byte(fmt.Sprintf("%d", sum)))
+			_ = f.Close()
+			fmt.Printf("t=%8v  app: result stored; idling\n", c.Now())
+			c.WaitUntil(func() bool { return false }) // until killed
+		},
+	})
+
+	// The command interpreter: finds a free machine, boots the app,
+	// waits for its output, reclaims the machine.
+	nw.Register("shell", soda.Program{
+		Task: func(c *soda.Client) {
+			free := c.DiscoverAll(soda.BootPattern, 8)
+			fmt.Printf("t=%8v  shell: free machines %v\n", c.Now(), free)
+			if len(free) == 0 {
+				return
+			}
+			loadPat, err := soda.BootRemote(c, free[0], soda.BootPattern, "app")
+			if err != nil {
+				fmt.Println("shell: boot:", err)
+				return
+			}
+			c.Hold(2 * time.Second) // let the app work
+
+			fsrv, _ := fileserver.Find(c)
+			f, err := fileserver.Open(c, fsrv, "result")
+			if err != nil {
+				fmt.Println("shell:", err)
+				return
+			}
+			data, _ := f.Read(32)
+			_ = f.Close()
+			fmt.Printf("t=%8v  shell: app's stored result = %s\n", c.Now(), data)
+
+			if soda.KillChild(c, free[0], loadPat) {
+				fmt.Printf("t=%8v  shell: machine %d reclaimed\n", c.Now(), free[0])
+			}
+		},
+	})
+
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustAddNode(3)
+	nw.MustAddNode(4) // the free machine
+	nw.MustBoot(1, "shell")
+	nw.MustBoot(2, "mathsvc")
+	nw.MustBoot(3, "fs")
+
+	if err := nw.Run(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+// Dining philosophers with the thesis's deadlock detector (§4.4.3).
+//
+// Five philosopher processes each own one fork and acquire left-then-right
+// — a policy guaranteed to deadlock when they start synchronized. A
+// detector process, woken by the timeserver, walks the ring probing for
+// the "needful" state and breaks genuine deadlocks by making one
+// philosopher give its fork back, with a fairness list so victims rotate.
+//
+//	go run ./examples/philosophers
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"soda"
+	"soda/apps/philo"
+	"soda/timesrv"
+)
+
+func main() {
+	nw := soda.NewNetwork()
+
+	ring := []soda.MID{2, 3, 4, 5, 6}
+	names := []string{"Aristotle", "Plato", "Socrates", "Epicurus", "Zeno"}
+
+	// The timeserver is an ordinary client that owns the clock (§4.4.3).
+	nw.Register("timesrv", timesrv.Program(16))
+	nw.MustAddNode(1)
+	nw.MustBoot(1, "timesrv")
+
+	for i, mid := range ring {
+		i := i
+		left := ring[(i-1+len(ring))%len(ring)]
+		prog := philo.Philosopher(left, 0, 60*time.Millisecond, 40*time.Millisecond,
+			func(c *soda.Client, meal int) {
+				fmt.Printf("t=%8v  %-10s finished meal %d\n", c.Now(), names[i], meal)
+			})
+		nw.Register(names[i], prog)
+		nw.MustAddNode(mid)
+		nw.MustBoot(mid, names[i])
+	}
+
+	nw.Register("detector", philo.Detector(ring, 250*time.Millisecond, func(v soda.MID) {
+		for i, mid := range ring {
+			if mid == v {
+				fmt.Printf("            *** deadlock! %s gives back a fork ***\n", names[i])
+			}
+		}
+	}))
+	nw.MustAddNode(7)
+	nw.MustBoot(7, "detector")
+
+	if err := nw.Run(5 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// CSP rendezvous with output guards over SODA (§4.2.5).
+//
+// Hoare's CSP forbids output commands in guards because symmetric
+// rendezvous risks deadlock; SODA's flexible ACCEPT scheduling makes
+// Bernstein's algorithm cheap, so a process may guard on *sending* as well
+// as receiving. Here three workers trade work items around a ring, each
+// simultaneously offering to hand one off and to take one in — the
+// machine-id ordering breaks every query cycle.
+//
+//	go run ./examples/rendezvous
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"soda"
+	"soda/csp"
+)
+
+const typItem int32 = 1
+
+func name(mid soda.MID) soda.Pattern { return soda.WellKnownPattern(0o1000 + uint64(mid)) }
+
+func worker(next soda.MID, items int) soda.Program {
+	return soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			r, err := csp.New(c, name(c.MID()))
+			if err != nil {
+				panic(err)
+			}
+			c.SetStash(r)
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			c.Stash().(*csp.Runtime).HandleEvent(ev)
+		},
+		Task: func(c *soda.Client) {
+			r := c.Stash().(*csp.Runtime)
+			hold := items // work items currently held
+			for round := 0; round < 6; round++ {
+				res := r.Select([]csp.Guard{
+					{
+						// Output guard: offer an item to the successor
+						// whenever we hold one.
+						When: func() bool { return hold > 0 },
+						Send: &csp.SendGuard{
+							To:    soda.ServerSig{MID: next, Pattern: name(next)},
+							Type:  typItem,
+							Value: []byte{byte(c.MID())},
+						},
+					},
+					{
+						// Input guard: accept an item from anyone.
+						Recv: &csp.RecvGuard{Type: typItem},
+					},
+				})
+				switch res.Index {
+				case 0:
+					hold--
+					fmt.Printf("t=%8v  worker %d handed an item to %d (now holds %d)\n",
+						c.Now(), c.MID(), next, hold)
+				case 1:
+					hold++
+					fmt.Printf("t=%8v  worker %d took an item from %d (now holds %d)\n",
+						c.Now(), c.MID(), res.From, hold)
+				default:
+					fmt.Printf("t=%8v  worker %d: alternative failed\n", c.Now(), c.MID())
+					return
+				}
+			}
+			fmt.Printf("t=%8v  worker %d done holding %d items\n", c.Now(), c.MID(), hold)
+			c.WaitUntil(func() bool { return false }) // keep answering peers
+		},
+	}
+}
+
+func main() {
+	nw := soda.NewNetwork()
+	// Ring 1→2→3→1; worker 1 starts with all the items.
+	nw.Register("w1", worker(2, 3))
+	nw.Register("w2", worker(3, 0))
+	nw.Register("w3", worker(1, 0))
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustAddNode(3)
+	nw.MustBoot(1, "w1")
+	nw.MustBoot(2, "w2")
+	nw.MustBoot(3, "w3")
+	if err := nw.Run(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+}

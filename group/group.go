@@ -1,0 +1,135 @@
+// Package group implements the thesis's library-level extensions for sets
+// of cooperating clients: process groups (§6.12), reliable multicast
+// (§6.17.1), and bidding support (§6.17.5).
+//
+// SODA deliberately keeps these out of the kernel — "they can be
+// implemented as library routines on top of SODA" (§6.17) — and this
+// package is those routines. A process group is a GETUNIQUEID pattern
+// shared among members: kernel pattern screening keeps clients outside the
+// set from inadvertently communicating with members (§6.12). Reliable
+// multicast issues one REQUEST per member (the kernel provides no reliable
+// broadcast, §6.17.1). Bidding pairs DISCOVER with a per-server load query
+// so a requester can pick the least-loaded provider (§6.17.5).
+package group
+
+import (
+	"encoding/binary"
+
+	"soda"
+)
+
+// Group is a process group handle: a pattern shared by the members.
+type Group struct {
+	// Pattern names the group; DISCOVER on it finds the members.
+	Pattern soda.Pattern
+}
+
+// New mints a fresh group from the manager's GETUNIQUEID (§6.12). The
+// manager distributes the handle to prospective members out of band (boot
+// image, an earlier exchange, a connector).
+func New(c *soda.Client) Group {
+	return Group{Pattern: c.GetUniqueID()}
+}
+
+// Join advertises the group pattern: the client becomes discoverable and
+// addressable as a member.
+func (g Group) Join(c *soda.Client) error { return c.Advertise(g.Pattern) }
+
+// Leave unadvertises the pattern; requests already delivered are
+// unaffected (§3.4.1).
+func (g Group) Leave(c *soda.Client) error { return c.Unadvertise(g.Pattern) }
+
+// Members returns the machines currently advertising the group pattern.
+func (g Group) Members(c *soda.Client, max int) []soda.MID {
+	return c.DiscoverAll(g.Pattern, max)
+}
+
+// SendResult is one member's outcome from a multicast.
+type SendResult struct {
+	MID    soda.MID
+	Status soda.Status
+}
+
+// Multicast reliably delivers data to every listed destination: one
+// REQUEST per site (§6.17.1), overlapped up to the kernel's MAXREQUESTS
+// window, each individually acknowledged. The results arrive in the input
+// order. Must be called from the task.
+func Multicast(c *soda.Client, dsts []soda.ServerSig, arg int32, data []byte) []SendResult {
+	results := make([]SendResult, len(dsts))
+	done := make([]bool, len(dsts))
+	completed := 0
+	next := 0
+	for completed < len(dsts) {
+		// Keep the window full; ErrTooManyRequests just pauses issuing.
+		for next < len(dsts) {
+			i := next
+			tid, err := c.Put(dsts[i], arg, data)
+			if err != nil {
+				break
+			}
+			next++
+			c.OnCompletion(tid, func(ev soda.Event) {
+				st := ev.Status
+				if st == soda.StatusSuccess && ev.Arg < 0 {
+					st = soda.StatusRejected
+				}
+				results[i] = SendResult{MID: dsts[i].MID, Status: st}
+				done[i] = true
+				completed++
+			})
+		}
+		progress := completed
+		c.WaitUntil(func() bool { return completed > progress || completed >= len(dsts) })
+	}
+	return results
+}
+
+// MulticastGroup is Multicast to every discoverable member of a group.
+func MulticastGroup(c *soda.Client, g Group, arg int32, data []byte, maxMembers int) []SendResult {
+	mids := g.Members(c, maxMembers)
+	dsts := make([]soda.ServerSig, len(mids))
+	for i, mid := range mids {
+		dsts[i] = soda.ServerSig{MID: mid, Pattern: g.Pattern}
+	}
+	return Multicast(c, dsts, arg, data)
+}
+
+// LoadReporter equips a server with a bidding entry (§6.17.5): requests on
+// loadPattern are answered, in the handler, with the current value of
+// load(). Call it from the program handler; it reports true when the event
+// was consumed.
+func LoadReporter(c *soda.Client, loadPattern soda.Pattern, load func() uint32, ev soda.Event) bool {
+	if ev.Kind != soda.EventRequestArrival || ev.Pattern != loadPattern {
+		return false
+	}
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint32(buf, load())
+	c.AcceptCurrentGet(soda.OK, buf)
+	return true
+}
+
+// Bid is one server's answer to a load query.
+type Bid struct {
+	MID  soda.MID
+	Load uint32
+}
+
+// PickLeastLoaded discovers every server advertising loadPattern, asks each
+// for its load, and returns the bids sorted as received plus the index of
+// the winner (-1 if nobody answered). Ties go to the earlier responder.
+func PickLeastLoaded(c *soda.Client, loadPattern soda.Pattern, maxServers int) ([]Bid, int) {
+	mids := c.DiscoverAll(loadPattern, maxServers)
+	var bids []Bid
+	best := -1
+	for _, mid := range mids {
+		res := c.BGet(soda.ServerSig{MID: mid, Pattern: loadPattern}, soda.OK, 4)
+		if res.Status != soda.StatusSuccess || len(res.Data) != 4 {
+			continue
+		}
+		bids = append(bids, Bid{MID: mid, Load: binary.BigEndian.Uint32(res.Data)})
+		if best == -1 || bids[len(bids)-1].Load < bids[best].Load {
+			best = len(bids) - 1
+		}
+	}
+	return bids, best
+}

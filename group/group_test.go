@@ -1,0 +1,183 @@
+package group
+
+import (
+	"testing"
+	"time"
+
+	"soda"
+)
+
+func TestMulticastReachesEveryMember(t *testing.T) {
+	nw := soda.NewNetwork()
+	// A well-known handle stands in for one minted with New and
+	// distributed by a manager (New requires a running client).
+	g := Group{Pattern: soda.WellKnownPattern(0o777)}
+	received := map[soda.MID]string{}
+	nw.Register("member", soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			if err := g.Join(c); err != nil {
+				panic(err)
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind == soda.EventRequestArrival && ev.Pattern == g.Pattern {
+				res := c.AcceptCurrentPut(soda.OK, ev.PutSize)
+				if res.Status == soda.AcceptSuccess {
+					received[c.MID()] = string(res.Data)
+				}
+			}
+		},
+	})
+	var results []SendResult
+	nw.Register("manager", soda.Program{
+		Task: func(c *soda.Client) {
+			c.Hold(50 * time.Millisecond) // members joined at boot
+			results = MulticastGroup(c, g, soda.OK, []byte("announce"), 8)
+		},
+	})
+	nw.MustAddNode(9)
+	nw.MustBoot(9, "manager")
+	for mid := soda.MID(2); mid <= 4; mid++ {
+		nw.MustAddNode(mid)
+		nw.MustBoot(mid, "member")
+	}
+	if err := nw.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("multicast results: %v", results)
+	}
+	for _, r := range results {
+		if r.Status != soda.StatusSuccess {
+			t.Fatalf("member %d: %v", r.MID, r.Status)
+		}
+	}
+	for mid := soda.MID(2); mid <= 4; mid++ {
+		if received[mid] != "announce" {
+			t.Fatalf("member %d received %q", mid, received[mid])
+		}
+	}
+}
+
+func TestMulticastReportsPerMemberFailure(t *testing.T) {
+	nw := soda.NewNetwork()
+	g := Group{Pattern: soda.WellKnownPattern(0o770)}
+	nw.Register("member", soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) { _ = g.Join(c) },
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind == soda.EventRequestArrival {
+				c.AcceptCurrentPut(soda.OK, ev.PutSize)
+			}
+		},
+	})
+	var results []SendResult
+	nw.Register("manager", soda.Program{
+		Task: func(c *soda.Client) {
+			c.Hold(50 * time.Millisecond)
+			dsts := []soda.ServerSig{
+				{MID: 2, Pattern: g.Pattern},
+				{MID: 7, Pattern: g.Pattern}, // nonexistent machine
+				{MID: 3, Pattern: g.Pattern},
+			}
+			results = Multicast(c, dsts, soda.OK, []byte("x"))
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustBoot(1, "manager")
+	nw.MustAddNode(2)
+	nw.MustAddNode(3)
+	nw.MustBoot(2, "member")
+	nw.MustBoot(3, "member")
+	if err := nw.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results: %v", results)
+	}
+	if results[0].Status != soda.StatusSuccess || results[2].Status != soda.StatusSuccess {
+		t.Fatalf("live members failed: %v", results)
+	}
+	if results[1].Status != soda.StatusCrashed {
+		t.Fatalf("dead member status = %v, want CRASHED", results[1].Status)
+	}
+}
+
+func TestLeaveStopsDelivery(t *testing.T) {
+	nw := soda.NewNetwork()
+	g := Group{Pattern: soda.WellKnownPattern(0o771)}
+	nw.Register("member", soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) { _ = g.Join(c) },
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind == soda.EventRequestArrival {
+				c.AcceptCurrentPut(soda.OK, ev.PutSize)
+			}
+		},
+		Task: func(c *soda.Client) {
+			c.Hold(100 * time.Millisecond)
+			_ = g.Leave(c)
+			c.WaitUntil(func() bool { return false })
+		},
+	})
+	var before, after []soda.MID
+	nw.Register("manager", soda.Program{
+		Task: func(c *soda.Client) {
+			c.Hold(30 * time.Millisecond)
+			before = g.Members(c, 4)
+			c.Hold(300 * time.Millisecond)
+			after = g.Members(c, 4)
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(2, "member")
+	nw.MustBoot(1, "manager")
+	if err := nw.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 1 || before[0] != 2 {
+		t.Fatalf("before = %v", before)
+	}
+	if len(after) != 0 {
+		t.Fatalf("after leave = %v", after)
+	}
+}
+
+func TestBiddingPicksLeastLoaded(t *testing.T) {
+	nw := soda.NewNetwork()
+	loadPat := soda.WellKnownPattern(0o772)
+	mkServer := func(load uint32) soda.Program {
+		return soda.Program{
+			Init: func(c *soda.Client, _ soda.MID) { _ = c.Advertise(loadPat) },
+			Handler: func(c *soda.Client, ev soda.Event) {
+				LoadReporter(c, loadPat, func() uint32 { return load }, ev)
+			},
+		}
+	}
+	nw.Register("busy", mkServer(90))
+	nw.Register("idle", mkServer(5))
+	nw.Register("medium", mkServer(40))
+	var bids []Bid
+	best := -2
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			bids, best = PickLeastLoaded(c, loadPat, 8)
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustAddNode(3)
+	nw.MustAddNode(4)
+	nw.MustBoot(1, "busy")
+	nw.MustBoot(2, "idle")
+	nw.MustBoot(3, "medium")
+	nw.MustBoot(4, "client")
+	if err := nw.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(bids) != 3 || best < 0 {
+		t.Fatalf("bids = %v best = %d", bids, best)
+	}
+	if bids[best].MID != 2 || bids[best].Load != 5 {
+		t.Fatalf("winner = %+v, want machine 2 load 5", bids[best])
+	}
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"time"
+
+	"soda"
+	"soda/rmr"
+)
+
+// RMRAblation compares the two remote-memory-reference designs the thesis
+// weighs in §6.17.2: the library implementation (a client process services
+// PEEK/POKE through its handler, paying context switches and client
+// overhead) against the optional kernel-level service (requests answered
+// by the kernel processor directly). The thesis predicts the kernel path
+// "avoids the overhead of a completion interrupt"-class costs; this
+// ablation quantifies the gap under the calibrated cost model.
+type RMRAblation struct {
+	LibraryPeek time.Duration
+	KernelPeek  time.Duration
+	Ops         int
+}
+
+// MeasureRMRAblation times n PEEKs of size bytes through each design.
+func MeasureRMRAblation(n, size int) RMRAblation {
+	if n <= 0 {
+		n = 30
+	}
+	out := RMRAblation{Ops: n}
+	out.LibraryPeek = measureLibraryPeek(n, size)
+	out.KernelPeek = measureKernelPeek(n, size)
+	return out
+}
+
+func measureLibraryPeek(n, size int) time.Duration {
+	nw := soda.NewNetwork()
+	nw.Register("mem", rmr.Server(4096, nil))
+	var perOp time.Duration
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			const warmup = 3
+			var start time.Duration
+			for i := 0; i < n+warmup; i++ {
+				if i == warmup {
+					start = c.Now()
+				}
+				if _, err := rmr.Peek(c, 1, 0, size); err != nil {
+					panic(err)
+				}
+			}
+			perOp = (c.Now() - start) / time.Duration(n)
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "mem")
+	nw.MustBoot(2, "client")
+	if err := nw.Run(5 * time.Minute); err != nil {
+		panic(err)
+	}
+	return perOp
+}
+
+func measureKernelPeek(n, size int) time.Duration {
+	cfg := soda.DefaultNodeConfig()
+	cfg.KernelRMRSize = 4096
+	nw := soda.NewNetwork(soda.WithNodeConfig(cfg))
+	var perOp time.Duration
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			const warmup = 3
+			var start time.Duration
+			for i := 0; i < n+warmup; i++ {
+				if i == warmup {
+					start = c.Now()
+				}
+				if _, st := soda.KernelPeek(c, 1, 0, size); st != soda.StatusSuccess {
+					panic(st)
+				}
+			}
+			perOp = (c.Now() - start) / time.Duration(n)
+		},
+	})
+	nw.MustAddNode(1) // a free machine: only its kernel answers
+	nw.MustAddNode(2)
+	nw.MustBoot(2, "client")
+	if err := nw.Run(5 * time.Minute); err != nil {
+		panic(err)
+	}
+	return perOp
+}
+
+// PiggybackAblation quantifies §5.6's claim that "careful attention to
+// piggybacking acknowledgements led to significant performance
+// improvements": the same PUT stream with the accept window collapsed (no
+// ACCEPT+ACK piggyback — every accept travels as its own message) versus
+// the calibrated default.
+type PiggybackAblation struct {
+	WithPiggyback    Result
+	WithoutPiggyback Result
+}
+
+// MeasurePiggybackAblation measures n one-word PUTs per variant.
+func MeasurePiggybackAblation(n int) PiggybackAblation {
+	var out PiggybackAblation
+	out.WithPiggyback = MeasureOp(Config{Op: OpPut, Words: 1, Ops: n})
+	out.WithoutPiggyback = measurePutNoPiggyback(n)
+	return out
+}
+
+func measurePutNoPiggyback(n int) Result {
+	cfg := soda.DefaultNodeConfig()
+	cfg.AcceptWindow = time.Nanosecond // plain-ack immediately: no piggyback
+	cfg.Transport.A = time.Nanosecond  // nor deferred acknowledgements
+	nw := soda.NewNetwork(soda.WithNodeConfig(cfg))
+	nw.Register("server", server(Config{Op: OpPut, Words: 1}))
+	const warmup = 5
+	total := n + warmup
+	var (
+		startAt, finishAt      time.Duration
+		startFrames, endFrames uint64
+	)
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			dst := soda.ServerSig{MID: 1, Pattern: benchPattern}
+			for i := 0; i < total; i++ {
+				if i == warmup {
+					startAt = c.Now()
+					startFrames = nw.Stats().FramesSent
+				}
+				if res := c.BPut(dst, soda.OK, []byte{1, 2}); res.Status != soda.StatusSuccess {
+					panic(res.Status)
+				}
+			}
+			finishAt = c.Now()
+			endFrames = nw.Stats().FramesSent
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "server")
+	nw.MustBoot(2, "client")
+	if err := nw.Run(5 * time.Minute); err != nil {
+		panic(err)
+	}
+	return Result{
+		PerOp:       (finishAt - startAt) / time.Duration(n),
+		FramesPerOp: float64(endFrames-startFrames) / float64(n),
+		Ops:         n,
+	}
+}

@@ -1,0 +1,371 @@
+// Package bench is the measurement harness for the thesis's evaluation
+// (chapter 5): it reproduces the "SODA Performance" table, the "Breakdown
+// of Communications Overhead" table, the *MOD comparison of §5.5, the
+// Delta-t scenario figure, and the per-operation packet counts. Both the
+// root bench_test.go benchmarks and cmd/sodabench drive it.
+//
+// All times are VIRTUAL: the simulation's calibrated cost model stands in
+// for the thesis's PDP-11/Megalink hardware (see DESIGN.md). The claim
+// reproduced is the shape of the results, not the absolute numbers.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"soda"
+	"soda/internal/modport"
+)
+
+// Op selects the REQUEST variant measured (§3.3.2).
+type Op int
+
+const (
+	OpSignal Op = iota + 1
+	OpPut
+	OpGet
+	OpExchange
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSignal:
+		return "SIGNAL"
+	case OpPut:
+		return "PUT"
+	case OpGet:
+		return "GET"
+	case OpExchange:
+		return "EXCHANGE"
+	default:
+		return "OP(?)"
+	}
+}
+
+// WordSize is the client word in bytes (the thesis's PDP-11 word).
+const WordSize = 2
+
+var benchPattern = soda.WellKnownPattern(0o7700)
+
+// Result is one measurement cell.
+type Result struct {
+	PerOp       time.Duration
+	FramesPerOp float64
+	Ops         int
+}
+
+// Config selects the measurement variant.
+type Config struct {
+	Op    Op
+	Words int
+	// Pipelined selects the input-buffer kernel variant (§5.2.3).
+	Pipelined bool
+	// Blocking issues B_* requests instead of streaming MAXREQUESTS=3
+	// non-blocking requests (§5.5).
+	Blocking bool
+	// Queued makes the server accept from a task-side queue instead of
+	// immediately in the handler (the port-style 10.0 ms case of §5.5).
+	Queued bool
+	// Ops is the measured operation count (after warmup); default 50.
+	Ops int
+}
+
+// server builds the measurement server: immediate handler accepts, or the
+// queued task-side variant.
+func server(cfg Config) soda.Program {
+	reply := make([]byte, cfg.Words*WordSize)
+	needsReply := cfg.Op == OpGet || cfg.Op == OpExchange
+	accept := func(c *soda.Client, ev soda.Event) {
+		if needsReply {
+			c.AcceptExchange(ev.Asker, soda.OK, reply, ev.PutSize)
+		} else {
+			c.AcceptPut(ev.Asker, soda.OK, ev.PutSize)
+		}
+	}
+	if !cfg.Queued {
+		return soda.Program{
+			Init: func(c *soda.Client, _ soda.MID) {
+				if err := c.Advertise(benchPattern); err != nil {
+					panic(err)
+				}
+			},
+			Handler: func(c *soda.Client, ev soda.Event) {
+				if ev.Kind == soda.EventRequestArrival {
+					accept(c, ev)
+				}
+			},
+		}
+	}
+	return soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			q := []soda.Event{}
+			c.SetStash(&q)
+			if err := c.Advertise(benchPattern); err != nil {
+				panic(err)
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind == soda.EventRequestArrival {
+				q := c.Stash().(*[]soda.Event)
+				*q = append(*q, ev)
+			}
+		},
+		Task: func(c *soda.Client) {
+			q := c.Stash().(*[]soda.Event)
+			for {
+				c.WaitUntil(func() bool { return len(*q) > 0 })
+				ev := (*q)[0]
+				*q = (*q)[1:]
+				// SODAL queueing overhead: EnQueue/DeQueue plus the
+				// handler→task switch (0.7 ms in §5.5).
+				c.Hold(700 * time.Microsecond)
+				accept(c, ev)
+			}
+		},
+	}
+}
+
+// MeasureOp runs one steady-state measurement cell.
+func MeasureOp(cfg Config) Result {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 50
+	}
+	const warmup = 5
+	total := cfg.Ops + warmup
+
+	nodeCfg := soda.DefaultNodeConfig()
+	nodeCfg.Pipelined = cfg.Pipelined
+	nw := soda.NewNetwork(soda.WithNodeConfig(nodeCfg))
+	nw.Register("server", server(cfg))
+
+	putData := make([]byte, 0)
+	getSize := 0
+	switch cfg.Op {
+	case OpPut:
+		putData = make([]byte, cfg.Words*WordSize)
+	case OpGet:
+		getSize = cfg.Words * WordSize
+	case OpExchange:
+		putData = make([]byte, cfg.Words*WordSize)
+		getSize = cfg.Words * WordSize
+	}
+
+	var (
+		startAt     time.Duration
+		finishAt    time.Duration
+		startFrames uint64
+		endFrames   uint64
+	)
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			dst := soda.ServerSig{MID: 1, Pattern: benchPattern}
+			if cfg.Blocking {
+				for i := 0; i < total; i++ {
+					if i == warmup {
+						startAt = c.Now()
+						startFrames = nw.Stats().FramesSent
+					}
+					res := c.BExchange(dst, soda.OK, putData, getSize)
+					if res.Status != soda.StatusSuccess {
+						panic(fmt.Sprintf("bench: op %d failed: %v", i, res.Status))
+					}
+				}
+				finishAt = c.Now()
+				endFrames = nw.Stats().FramesSent
+				return
+			}
+			// Non-blocking stream with MAXREQUESTS outstanding (§5.5).
+			sent, completed := 0, 0
+			for completed < total {
+				for sent < total {
+					tid, err := c.Request(dst, soda.OK, putData, getSize)
+					if err != nil {
+						break // MAXREQUESTS reached
+					}
+					sent++
+					c.OnCompletion(tid, func(ev soda.Event) {
+						if ev.Status != soda.StatusSuccess {
+							panic(fmt.Sprintf("bench: completion %v", ev.Status))
+						}
+						completed++
+						if completed == warmup {
+							startAt = c.Now()
+							startFrames = nw.Stats().FramesSent
+						}
+						if completed == total {
+							finishAt = c.Now()
+							endFrames = nw.Stats().FramesSent
+						}
+					})
+				}
+				progress := completed
+				c.WaitUntil(func() bool { return completed > progress || completed >= total })
+			}
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "server")
+	nw.MustBoot(2, "client")
+	if err := nw.Run(10 * time.Minute); err != nil {
+		panic(err)
+	}
+	if finishAt == 0 {
+		panic(fmt.Sprintf("bench: %v words=%d never finished", cfg.Op, cfg.Words))
+	}
+	n := total - warmup
+	return Result{
+		PerOp:       (finishAt - startAt) / time.Duration(n),
+		FramesPerOp: float64(endFrames-startFrames) / float64(n),
+		Ops:         n,
+	}
+}
+
+// Breakdown is one row set of the "Breakdown of Communications Overhead"
+// table (§5.5): per-operation virtual time by component.
+type Breakdown struct {
+	ConnTimers     time.Duration
+	RetransTimers  time.Duration
+	CtxSwitch      time.Duration
+	Transmission   time.Duration
+	ClientOverhead time.Duration
+	Protocol       time.Duration
+	Copies         time.Duration
+	Total          time.Duration
+	FramesPerOp    float64
+}
+
+// MeasureBreakdown reproduces the SIGNAL cost breakdown: a stream of
+// blocking signals with immediate handler accepts, with every cost bucket
+// accumulated across both nodes and divided by the operation count.
+func MeasureBreakdown(ops int) Breakdown {
+	if ops <= 0 {
+		ops = 50
+	}
+	const warmup = 5
+	total := ops + warmup
+
+	nw := soda.NewNetwork()
+	nw.Register("server", server(Config{Op: OpSignal}))
+	var (
+		startAt  time.Duration
+		finishAt time.Duration
+	)
+	var bd Breakdown
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			dst := soda.ServerSig{MID: 1, Pattern: benchPattern}
+			for i := 0; i < total; i++ {
+				if i == warmup {
+					startAt = c.Now()
+					nw.ResetStats()
+					nw.Node(1).ResetTotals()
+					nw.Node(2).ResetTotals()
+				}
+				if res := c.BSignal(dst, soda.OK); res.Status != soda.StatusSuccess {
+					panic(fmt.Sprintf("bench: signal failed: %v", res.Status))
+				}
+			}
+			finishAt = c.Now()
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "server")
+	nw.MustBoot(2, "client")
+	if err := nw.Run(10 * time.Minute); err != nil {
+		panic(err)
+	}
+	n := time.Duration(ops)
+	st := nw.Stats()
+	for _, mid := range []soda.MID{1, 2} {
+		tt := nw.Node(mid).TransportTotals()
+		ct := nw.Node(mid).Totals()
+		bd.ConnTimers += tt.ConnTimer / n
+		bd.RetransTimers += tt.RetransTimer / n
+		bd.Protocol += tt.Protocol / n
+		bd.Copies += tt.Copy / n
+		bd.CtxSwitch += ct.CtxSwitch / n
+		bd.ClientOverhead += ct.ClientOverhead / n
+	}
+	// Transmission time from line rate and bytes on the wire.
+	bd.Transmission = time.Duration(int64(st.BytesSent) * 8 * int64(time.Second) / 1_000_000 / int64(ops))
+	bd.FramesPerOp = float64(st.FramesSent) / float64(ops)
+	bd.Total = (finishAt - startAt) / n
+	return bd
+}
+
+// ModRow is one row of the §5.5 SODA-vs-*MOD comparison.
+type ModRow struct {
+	Name  string
+	PerOp time.Duration
+}
+
+// MeasureModComparison reproduces §5.5's six numbers.
+func MeasureModComparison(ops int) []ModRow {
+	rows := []ModRow{
+		{Name: "SODA B_SIGNAL (handler accept)"},
+		{Name: "SODA B_SIGNAL (task-queued accept)"},
+		{Name: "SODA SIGNAL stream (handler accept)"},
+		{Name: "SODA SIGNAL stream (task-queued accept)"},
+		{Name: "*MOD synchronous port call"},
+		{Name: "*MOD asynchronous port call"},
+	}
+	rows[0].PerOp = MeasureOp(Config{Op: OpSignal, Blocking: true, Ops: ops}).PerOp
+	rows[1].PerOp = MeasureOp(Config{Op: OpSignal, Blocking: true, Queued: true, Ops: ops}).PerOp
+	rows[2].PerOp = MeasureOp(Config{Op: OpSignal, Ops: ops}).PerOp
+	rows[3].PerOp = MeasureOp(Config{Op: OpSignal, Queued: true, Ops: ops}).PerOp
+	rows[4].PerOp = measureMod(true, ops)
+	rows[5].PerOp = measureMod(false, ops)
+	return rows
+}
+
+var modPort = soda.WellKnownPattern(0o7701)
+
+func measureMod(sync bool, ops int) time.Duration {
+	if ops <= 0 {
+		ops = 50
+	}
+	const warmup = 5
+	total := ops + warmup
+	nw := soda.NewNetwork()
+	nw.Register("server", modport.Server(modPort, 8, func(*soda.Client, soda.MID, []byte) []byte {
+		return nil
+	}))
+	var perOp time.Duration
+	nw.Register("caller", soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			if err := modport.InitCaller(c); err != nil {
+				panic(err)
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) { modport.HandleEvent(c, ev) },
+		Task: func(c *soda.Client) {
+			dst := soda.ServerSig{MID: 1, Pattern: modPort}
+			var startAt time.Duration
+			for i := 0; i < total; i++ {
+				if i == warmup {
+					startAt = c.Now()
+				}
+				if sync {
+					if _, st := modport.SyncCall(c, dst, []byte{1}); st != soda.StatusSuccess {
+						panic(st)
+					}
+				} else {
+					if st := modport.AsyncCall(c, dst, []byte{1}); st != soda.StatusSuccess {
+						panic(st)
+					}
+				}
+			}
+			perOp = (c.Now() - startAt) / time.Duration(ops)
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "server")
+	nw.MustBoot(2, "caller")
+	if err := nw.Run(10 * time.Minute); err != nil {
+		panic(err)
+	}
+	return perOp
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPerformanceShapes pins the evaluation's reproduced claims (see
+// EXPERIMENTS.md): packet counts, linearity, the GET 0→1 word jump, the
+// pipelined-receive ≈ send equivalence, and the exchange kernel gap.
+func TestPerformanceShapes(t *testing.T) {
+	cell := func(op Op, words int, pipelined bool) Result {
+		return MeasureOp(Config{Op: op, Words: words, Pipelined: pipelined, Ops: 20})
+	}
+
+	t.Run("PUT is two packets at every size", func(t *testing.T) {
+		for _, w := range []int{0, 1, 100, 1000} {
+			if r := cell(OpPut, w, false); r.FramesPerOp != 2 {
+				t.Errorf("PUT %d words: %.1f pkt/op, want 2", w, r.FramesPerOp)
+			}
+		}
+	})
+
+	t.Run("PUT grows linearly", func(t *testing.T) {
+		r0 := cell(OpPut, 0, false)
+		r500 := cell(OpPut, 500, false)
+		r1000 := cell(OpPut, 1000, false)
+		slope1 := r500.PerOp - r0.PerOp
+		slope2 := r1000.PerOp - r500.PerOp
+		if ratio := float64(slope2) / float64(slope1); ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("PUT slope not linear: %v then %v", slope1, slope2)
+		}
+	})
+
+	t.Run("GET jumps from 2 to 4 packets at one word (non-pipelined)", func(t *testing.T) {
+		if r := cell(OpGet, 0, false); r.FramesPerOp != 2 {
+			t.Errorf("0-word GET: %.1f pkt/op, want 2", r.FramesPerOp)
+		}
+		if r := cell(OpGet, 1, false); r.FramesPerOp != 4 {
+			t.Errorf("1-word GET: %.1f pkt/op, want 4", r.FramesPerOp)
+		}
+	})
+
+	t.Run("pipelined GET costs what PUT costs (contribution 3)", func(t *testing.T) {
+		for _, w := range []int{1, 100, 1000} {
+			get := cell(OpGet, w, true)
+			put := cell(OpPut, w, true)
+			diff := float64(get.PerOp-put.PerOp) / float64(put.PerOp)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 0.05 {
+				t.Errorf("%d words: pipelined GET %v vs PUT %v (%.1f%% apart)", w, get.PerOp, put.PerOp, diff*100)
+			}
+			// The 2-packet flow holds while the ack-delay window spans
+			// the inter-request gap; at very large sizes the wire time
+			// exceeds it and a plain ACK slips in (timing unaffected).
+			if w <= 100 && get.FramesPerOp > 2.5 {
+				t.Errorf("%d words: pipelined GET %.1f pkt/op, want ~2", w, get.FramesPerOp)
+			}
+		}
+	})
+
+	t.Run("non-pipelined EXCHANGE pays the busy flow at small sizes", func(t *testing.T) {
+		np := cell(OpExchange, 50, false)
+		p := cell(OpExchange, 50, true)
+		if np.FramesPerOp < 5 {
+			t.Errorf("non-pipelined EXCHANGE: %.1f pkt/op, want ≥5 (§5.2.3's six-message flow)", np.FramesPerOp)
+		}
+		if p.FramesPerOp > 2.5 {
+			t.Errorf("pipelined EXCHANGE: %.1f pkt/op, want ~2", p.FramesPerOp)
+		}
+		if np.PerOp < p.PerOp*3/2 {
+			t.Errorf("non-pipelined %v vs pipelined %v: kernel gap lost", np.PerOp, p.PerOp)
+		}
+	})
+}
+
+// TestBreakdownMatchesCalibration checks the overhead table sums and that
+// the components account for the measured total.
+func TestBreakdownMatchesCalibration(t *testing.T) {
+	bd := MeasureBreakdown(50)
+	if bd.FramesPerOp != 2 {
+		t.Fatalf("SIGNAL frames/op = %.1f, want 2", bd.FramesPerOp)
+	}
+	check := func(name string, got, want time.Duration) {
+		if got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("connection timers", bd.ConnTimers, time.Millisecond)
+	check("retransmit timers", bd.RetransTimers, 700*time.Microsecond)
+	check("context switch", bd.CtxSwitch, 800*time.Microsecond)
+	check("client overhead", bd.ClientOverhead, 2200*time.Microsecond)
+	check("protocol", bd.Protocol, 2*time.Millisecond)
+	sum := bd.ConnTimers + bd.RetransTimers + bd.CtxSwitch + bd.Transmission +
+		bd.ClientOverhead + bd.Protocol + bd.Copies
+	// The components run on the critical path; the measured total must be
+	// within 10% of their sum (scheduling slack accounts for the rest).
+	lo, hi := sum*9/10, sum*11/10
+	if bd.Total < lo || bd.Total > hi {
+		t.Errorf("total %v vs component sum %v", bd.Total, sum)
+	}
+}
+
+// TestModComparisonShape pins §5.5's relationship: the layered baseline
+// costs roughly double the integrated kernel, and queueing adds a constant.
+func TestModComparisonShape(t *testing.T) {
+	rows := MeasureModComparison(30)
+	get := func(name string) time.Duration {
+		for _, r := range rows {
+			if r.Name == name {
+				return r.PerOp
+			}
+		}
+		t.Fatalf("row %q missing", name)
+		return 0
+	}
+	bsig := get("SODA B_SIGNAL (handler accept)")
+	bsigQ := get("SODA B_SIGNAL (task-queued accept)")
+	sync := get("*MOD synchronous port call")
+	stream := get("SODA SIGNAL stream (handler accept)")
+	streamQ := get("SODA SIGNAL stream (task-queued accept)")
+	async := get("*MOD asynchronous port call")
+
+	if ratio := float64(sync) / float64(bsigQ); ratio < 1.8 || ratio > 3.5 {
+		t.Errorf("*MOD sync / SODA queued B_SIGNAL = %.2f, want ≈2 (paper 2.07)", ratio)
+	}
+	if ratio := float64(async) / float64(streamQ); ratio < 1.4 || ratio > 2.6 {
+		t.Errorf("*MOD async / SODA queued stream = %.2f, want ≈1.9", ratio)
+	}
+	if bsigQ <= bsig {
+		t.Errorf("queued B_SIGNAL %v must exceed handler-accept %v", bsigQ, bsig)
+	}
+	if streamQ <= stream {
+		t.Errorf("queued stream %v must exceed handler-accept stream %v", streamQ, stream)
+	}
+}
+
+// TestDeltaTScenariosAllHold runs the figure's situations.
+func TestDeltaTScenariosAllHold(t *testing.T) {
+	for _, sc := range RunDeltaTScenarios() {
+		if !sc.OK {
+			t.Errorf("scenario failed: %s\n%v", sc.Name, sc.Events)
+		}
+	}
+}
+
+// TestMeasurementsDeterministic: the whole evaluation is replayable.
+func TestMeasurementsDeterministic(t *testing.T) {
+	a := MeasureOp(Config{Op: OpExchange, Words: 100, Ops: 20})
+	b := MeasureOp(Config{Op: OpExchange, Words: 100, Ops: 20})
+	if a != b {
+		t.Fatalf("measurement not reproducible: %+v vs %+v", a, b)
+	}
+}
+
+// TestRMRAblation: the kernel-level RMR of §6.17.2 must beat the library
+// implementation (which pays handler context switches and client overhead
+// at the server).
+func TestRMRAblation(t *testing.T) {
+	ab := MeasureRMRAblation(20, 16)
+	if ab.KernelPeek >= ab.LibraryPeek {
+		t.Fatalf("kernel peek %v not faster than library peek %v", ab.KernelPeek, ab.LibraryPeek)
+	}
+}
+
+// TestPiggybackAblation: disabling piggybacking must cost extra frames and
+// time (§5.6: "careful attention to piggybacking led to significant
+// performance improvements").
+func TestPiggybackAblation(t *testing.T) {
+	ab := MeasurePiggybackAblation(20)
+	if ab.WithoutPiggyback.FramesPerOp <= ab.WithPiggyback.FramesPerOp {
+		t.Fatalf("frames: without %.1f vs with %.1f", ab.WithoutPiggyback.FramesPerOp, ab.WithPiggyback.FramesPerOp)
+	}
+	if ab.WithoutPiggyback.PerOp <= ab.WithPiggyback.PerOp {
+		t.Fatalf("time: without %v vs with %v", ab.WithoutPiggyback.PerOp, ab.WithPiggyback.PerOp)
+	}
+}

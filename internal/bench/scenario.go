@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"soda/internal/bus"
+	"soda/internal/deltat"
+	"soda/internal/frame"
+	"soda/internal/sim"
+)
+
+// DeltaTScenario is one panel of the "Typical Delta-t Situations" figure
+// (p. 106): a scripted protocol situation with the observed event
+// narrative and a pass/fail verdict against the protocol's guarantee.
+type DeltaTScenario struct {
+	Name    string
+	Events  []string
+	OK      bool
+	Elapsed time.Duration
+}
+
+// deltaTRig is a two-endpoint harness for scenario scripting.
+type deltaTRig struct {
+	k        *sim.Kernel
+	b        *bus.Bus
+	e1, e2   *deltat.Endpoint
+	events   []string
+	received []string
+}
+
+func newDeltaTRig(seed int64, loss float64) *deltaTRig {
+	k := sim.New(seed)
+	k.SetEventLimit(2_000_000)
+	cfg := bus.DefaultConfig()
+	cfg.LossProb = loss
+	r := &deltaTRig{k: k, b: bus.New(k, cfg)}
+	mk := func(mid frame.MID) *deltat.Endpoint {
+		ep, err := deltat.New(k, r.b, mid, deltat.DefaultConfig(), deltat.Hooks{
+			OnData: func(src frame.MID, payload []byte) deltat.Decision {
+				r.received = append(r.received, string(payload))
+				r.logf("node %d delivered %q from %d", mid, payload, src)
+				return deltat.Decision{Verdict: deltat.VerdictAck}
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		return ep
+	}
+	r.e1 = mk(1)
+	r.e2 = mk(2)
+	return r
+}
+
+func (r *deltaTRig) logf(format string, args ...any) {
+	r.events = append(r.events, fmt.Sprintf("t=%8v  ", r.k.Now())+fmt.Sprintf(format, args...))
+}
+
+// RunDeltaTScenarios reproduces the figure's situations as executable
+// checks.
+func RunDeltaTScenarios() []DeltaTScenario {
+	cfg := deltat.DefaultConfig()
+	var out []DeltaTScenario
+
+	// Situation 1: a normal exchange opens a connection record implicitly
+	// — no handshake, one DATA and one ACK.
+	{
+		r := newDeltaTRig(1, 0)
+		acked := false
+		r.e1.Send(2, []byte("m1"), nil, func(res deltat.Result) {
+			acked = res.Kind == deltat.ResultAcked
+			r.logf("node 1 send result: acked=%v", acked)
+		})
+		_ = r.k.Run()
+		st := r.b.Stats()
+		out = append(out, DeltaTScenario{
+			Name:    "implicit connection: one DATA, one ACK, no handshake",
+			Events:  r.events,
+			OK:      acked && len(r.received) == 1 && st.FramesSent == 2,
+			Elapsed: r.k.Now(),
+		})
+	}
+
+	// Situation 2: a lost acknowledgement forces retransmission; the
+	// receiver's connection record suppresses the duplicate and replays
+	// the cached ACK ("client 2 will insist on correct SN").
+	{
+		var sc DeltaTScenario
+		for seed := int64(1); seed < 200; seed++ {
+			r := newDeltaTRig(seed, 0.5)
+			acked := false
+			r.e1.Send(2, []byte("m1"), nil, func(res deltat.Result) {
+				acked = res.Kind == deltat.ResultAcked
+				r.logf("node 1 send result: acked=%v", acked)
+			})
+			_ = r.k.Run()
+			st := r.b.Stats()
+			if acked && len(r.received) == 1 && st.ByKind[frame.TransportData] >= 2 {
+				sc = DeltaTScenario{
+					Name:    "lost ACK: retransmission suppressed as duplicate, ACK replayed",
+					Events:  r.events,
+					OK:      true,
+					Elapsed: r.k.Now(),
+				}
+				break
+			}
+		}
+		if !sc.OK {
+			sc = DeltaTScenario{Name: "lost ACK: retransmission suppressed", OK: false}
+		}
+		out = append(out, sc)
+	}
+
+	// Situation 3: after MPL+Δt of silence the receiver's record expires
+	// and any sequence number is accepted again ("take any SN timer
+	// expires if client 1 has been silent").
+	{
+		r := newDeltaTRig(1, 0)
+		r.e1.Send(2, []byte("m1"), nil, nil)
+		gap := cfg.ConnLifetime() + 5*time.Millisecond
+		r.k.At(gap, func() {
+			r.logf("silence of %v elapsed; record expired", gap)
+			r.e1.Send(2, []byte("m2"), nil, nil)
+		})
+		_ = r.k.Run()
+		out = append(out, DeltaTScenario{
+			Name:    fmt.Sprintf("take-any: record discarded after MPL+Δt = %v of silence", cfg.ConnLifetime()),
+			Events:  r.events,
+			OK:      len(r.received) == 2,
+			Elapsed: r.k.Now(),
+		})
+	}
+
+	// Situation 4: a crashed node stays silent for 2·MPL+Δt before
+	// rejoining ("OK for client 1 to send after crash").
+	{
+		r := newDeltaTRig(1, 0)
+		crashAt := 30 * time.Millisecond
+		var rejoinAt time.Duration
+		r.e1.Send(2, []byte("m1"), nil, nil)
+		r.k.At(crashAt, func() {
+			r.logf("node 1 crashes")
+			r.e1.Crash()
+			r.e1.Reboot(func() {
+				rejoinAt = r.k.Now()
+				r.logf("node 1 rejoins after quiet period")
+				r.e1.Send(2, []byte("m2"), nil, nil)
+			})
+		})
+		_ = r.k.Run()
+		quietOK := rejoinAt >= crashAt+cfg.QuietPeriod()
+		out = append(out, DeltaTScenario{
+			Name:    fmt.Sprintf("crash recovery: quiet for 2·MPL+Δt = %v before rejoining", cfg.QuietPeriod()),
+			Events:  r.events,
+			OK:      quietOK && len(r.received) == 2,
+			Elapsed: r.k.Now(),
+		})
+	}
+
+	// Situation 5: a silent peer is reported dead after MPL+Δt of
+	// unanswered retransmission.
+	{
+		r := newDeltaTRig(1, 0)
+		r.k.At(0, func() { r.e2.Crash() })
+		var deadAt time.Duration
+		dead := false
+		r.e1.Send(2, []byte("m1"), nil, func(res deltat.Result) {
+			dead = res.Kind == deltat.ResultPeerDead
+			deadAt = r.k.Now()
+			r.logf("node 1: destination reported dead")
+		})
+		_ = r.k.Run()
+		out = append(out, DeltaTScenario{
+			Name:    fmt.Sprintf("death detection: silence for MPL+Δt = %v reports the peer dead", cfg.DeadAfter()),
+			Events:  r.events,
+			OK:      dead && deadAt >= cfg.DeadAfter(),
+			Elapsed: r.k.Now(),
+		})
+	}
+	return out
+}

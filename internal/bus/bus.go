@@ -1,0 +1,206 @@
+// Package bus models the broadcast medium of a SODA network: a single
+// shared 1 Mbit/s bus in the style of CompuNet's Megalink (§5.1).
+//
+// The model serializes transmissions (the medium carries one frame at a
+// time), charges bandwidth-accurate transmission time for every frame, adds
+// a fixed propagation delay, and can drop frames independently per receiver
+// to emulate CRC-detected corruption (§5.2.2: "A message with an incorrect
+// CRC is simply discarded"). All randomness comes from the simulation
+// kernel's seeded source, so runs are reproducible.
+package bus
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"soda/internal/frame"
+	"soda/internal/sim"
+)
+
+// Config sets the physical characteristics of the medium.
+type Config struct {
+	// BandwidthBPS is the line rate in bits per second. The thesis's
+	// Megalink runs at 1 megabit (§5.1).
+	BandwidthBPS int64
+	// PropDelay is the propagation plus interface latency per delivery.
+	PropDelay time.Duration
+	// LossProb is the probability that any single receiver discards a
+	// frame (modelling CRC-detected corruption). Sampled independently
+	// per receiver.
+	LossProb float64
+	// ArbJitter bounds the random extra wait added when a sender finds
+	// the medium busy, standing in for backoff arbitration (§6.10).
+	ArbJitter time.Duration
+}
+
+// DefaultConfig matches the thesis's development network.
+func DefaultConfig() Config {
+	return Config{
+		BandwidthBPS: 1_000_000,
+		PropDelay:    20 * time.Microsecond,
+	}
+}
+
+// Stats counts traffic on the medium. FramesSent counts transmissions;
+// FramesDelivered counts per-receiver deliveries (a broadcast to N attached
+// interfaces can deliver N times); FramesLost counts per-receiver drops.
+type Stats struct {
+	FramesSent      uint64
+	FramesDelivered uint64
+	FramesLost      uint64
+	BytesSent       uint64
+	ByKind          map[frame.TransportKind]uint64
+}
+
+// TapEvent describes one transmission, for tracing.
+type TapEvent struct {
+	At   sim.Time
+	Src  frame.MID
+	Dst  frame.MID
+	Kind frame.TransportKind
+	Size int
+}
+
+// Bus is the shared medium. It is driven entirely from simulation context.
+type Bus struct {
+	k         *sim.Kernel
+	cfg       Config
+	ifaces    map[frame.MID]*Iface
+	busyUntil sim.Time
+	stats     Stats
+	tap       func(TapEvent)
+}
+
+// New creates a bus on the given simulation kernel.
+func New(k *sim.Kernel, cfg Config) *Bus {
+	if cfg.BandwidthBPS <= 0 {
+		cfg.BandwidthBPS = DefaultConfig().BandwidthBPS
+	}
+	return &Bus{
+		k:      k,
+		cfg:    cfg,
+		ifaces: make(map[frame.MID]*Iface),
+		stats:  Stats{ByKind: make(map[frame.TransportKind]uint64)},
+	}
+}
+
+// SetTap installs a per-transmission observer (nil disables).
+func (b *Bus) SetTap(tap func(TapEvent)) { b.tap = tap }
+
+// Stats returns a copy of the counters.
+func (b *Bus) Stats() Stats {
+	out := b.stats
+	out.ByKind = make(map[frame.TransportKind]uint64, len(b.stats.ByKind))
+	for k, v := range b.stats.ByKind {
+		out.ByKind[k] = v
+	}
+	return out
+}
+
+// ResetStats zeroes the counters; used to scope measurement windows.
+func (b *Bus) ResetStats() {
+	b.stats = Stats{ByKind: make(map[frame.TransportKind]uint64)}
+}
+
+// Iface is a node's attachment to the bus.
+type Iface struct {
+	bus  *Bus
+	mid  frame.MID
+	recv func(raw []byte)
+	up   bool
+}
+
+// Attach connects a machine to the bus. recv is invoked in simulation
+// context with the raw frame bytes for every frame addressed to mid (or
+// broadcast) that survives the loss model.
+func (b *Bus) Attach(mid frame.MID, recv func(raw []byte)) (*Iface, error) {
+	if mid == frame.BroadcastMID {
+		return nil, fmt.Errorf("bus: cannot attach the broadcast MID")
+	}
+	if _, dup := b.ifaces[mid]; dup {
+		return nil, fmt.Errorf("bus: MID %d already attached", mid)
+	}
+	i := &Iface{bus: b, mid: mid, recv: recv, up: true}
+	b.ifaces[mid] = i
+	return i, nil
+}
+
+// MID reports the interface's machine id.
+func (i *Iface) MID() frame.MID { return i.mid }
+
+// Down disconnects the interface (a crashed node hears nothing). Frames in
+// flight toward it are discarded at delivery time.
+func (i *Iface) Down() { i.up = false }
+
+// Up reconnects the interface after Down.
+func (i *Iface) Up() { i.up = true }
+
+// Send transmits raw to dst (or to every other attached interface when dst
+// is BroadcastMID). The frame's first byte is the transport kind; it is
+// used for accounting only. Send never blocks the caller: transmission and
+// delivery are scheduled in virtual time.
+func (i *Iface) Send(dst frame.MID, raw []byte) {
+	b := i.bus
+	if !i.up {
+		return // a downed interface cannot drive the line
+	}
+	start := b.k.Now()
+	if b.busyUntil > start {
+		start = b.busyUntil
+		if b.cfg.ArbJitter > 0 {
+			start += time.Duration(b.k.Rand().Int63n(int64(b.cfg.ArbJitter) + 1))
+		}
+	}
+	txTime := time.Duration(int64(len(raw)) * 8 * int64(time.Second) / b.cfg.BandwidthBPS)
+	end := start + txTime
+	b.busyUntil = end
+
+	b.stats.FramesSent++
+	b.stats.BytesSent += uint64(len(raw))
+	var kind frame.TransportKind
+	if len(raw) > 0 {
+		kind = frame.TransportKind(raw[0])
+		b.stats.ByKind[kind]++
+	}
+	if b.tap != nil {
+		b.tap(TapEvent{At: b.k.Now(), Src: i.mid, Dst: dst, Kind: kind, Size: len(raw)})
+	}
+
+	deliverAt := end + b.cfg.PropDelay
+	if dst == frame.BroadcastMID {
+		// Iterate in MID order: map iteration order would make event
+		// sequencing (and thus the whole simulation) nondeterministic.
+		mids := make([]frame.MID, 0, len(b.ifaces))
+		for mid := range b.ifaces {
+			if mid != i.mid {
+				mids = append(mids, mid)
+			}
+		}
+		slices.Sort(mids)
+		for _, mid := range mids {
+			b.scheduleDelivery(b.ifaces[mid], raw, deliverAt)
+		}
+		return
+	}
+	if target, ok := b.ifaces[dst]; ok {
+		b.scheduleDelivery(target, raw, deliverAt)
+	}
+}
+
+func (b *Bus) scheduleDelivery(target *Iface, raw []byte, at sim.Time) {
+	if b.cfg.LossProb > 0 && b.k.Rand().Float64() < b.cfg.LossProb {
+		b.stats.FramesLost++
+		return
+	}
+	buf := make([]byte, len(raw))
+	copy(buf, raw)
+	b.k.At(at, func() {
+		if !target.up {
+			b.stats.FramesLost++
+			return
+		}
+		b.stats.FramesDelivered++
+		target.recv(buf)
+	})
+}

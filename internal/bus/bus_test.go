@@ -1,0 +1,249 @@
+package bus
+
+import (
+	"testing"
+	"time"
+
+	"soda/internal/frame"
+	"soda/internal/sim"
+)
+
+func testFrame(kind frame.TransportKind, n int) []byte {
+	raw := make([]byte, n)
+	if n > 0 {
+		raw[0] = byte(kind)
+	}
+	return raw
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	k := sim.New(1)
+	b := New(k, DefaultConfig())
+	var got []byte
+	var at sim.Time
+	if _, err := b.Attach(2, func(raw []byte) { got = raw; at = k.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	i1, err := b.Attach(1, func([]byte) { t.Error("sender must not hear itself") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := testFrame(frame.TransportData, 125) // 1000 bits @ 1 Mbit = 1 ms
+	i1.Send(2, payload)
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got == nil {
+		t.Fatal("frame not delivered")
+	}
+	want := time.Millisecond + DefaultConfig().PropDelay
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestBroadcastDeliversToAllButSender(t *testing.T) {
+	k := sim.New(1)
+	b := New(k, DefaultConfig())
+	heard := make(map[frame.MID]int)
+	var senderIface *Iface
+	for mid := frame.MID(1); mid <= 4; mid++ {
+		mid := mid
+		i, err := b.Attach(mid, func([]byte) { heard[mid]++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mid == 1 {
+			senderIface = i
+		}
+	}
+	senderIface.Send(frame.BroadcastMID, testFrame(frame.TransportData, 20))
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if heard[1] != 0 {
+		t.Error("sender heard its own broadcast")
+	}
+	for mid := frame.MID(2); mid <= 4; mid++ {
+		if heard[mid] != 1 {
+			t.Errorf("node %d heard %d copies, want 1", mid, heard[mid])
+		}
+	}
+}
+
+func TestMediumSerializesTransmissions(t *testing.T) {
+	k := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.PropDelay = 0
+	b := New(k, cfg)
+	var times []sim.Time
+	if _, err := b.Attach(9, func([]byte) { times = append(times, k.Now()) }); err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := b.Attach(1, func([]byte) {})
+	i2, _ := b.Attach(2, func([]byte) {})
+	// Two 125-byte frames sent at t=0 must serialize: 1 ms and 2 ms.
+	i1.Send(9, testFrame(frame.TransportData, 125))
+	i2.Send(9, testFrame(frame.TransportData, 125))
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(times) != 2 || times[0] != time.Millisecond || times[1] != 2*time.Millisecond {
+		t.Fatalf("delivery times = %v, want [1ms 2ms]", times)
+	}
+}
+
+func TestLossModelDropsFrames(t *testing.T) {
+	k := sim.New(42)
+	cfg := DefaultConfig()
+	cfg.LossProb = 0.5
+	b := New(k, cfg)
+	received := 0
+	if _, err := b.Attach(2, func([]byte) { received++ }); err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := b.Attach(1, func([]byte) {})
+	const n = 400
+	for range [n]struct{}{} {
+		i1.Send(2, testFrame(frame.TransportData, 10))
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if received == 0 || received == n {
+		t.Fatalf("received %d/%d; loss model inert", received, n)
+	}
+	st := b.Stats()
+	if st.FramesLost+st.FramesDelivered != n {
+		t.Fatalf("lost %d + delivered %d != sent %d", st.FramesLost, st.FramesDelivered, n)
+	}
+}
+
+func TestDownedInterface(t *testing.T) {
+	k := sim.New(1)
+	b := New(k, DefaultConfig())
+	received := 0
+	i2, err := b.Attach(2, func([]byte) { received++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := b.Attach(1, func([]byte) {})
+	i2.Down()
+	i1.Send(2, testFrame(frame.TransportData, 10))
+	// A downed sender cannot transmit either.
+	i2.Send(1, testFrame(frame.TransportData, 10))
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if received != 0 {
+		t.Fatalf("downed interface received %d frames", received)
+	}
+	st := b.Stats()
+	if st.FramesSent != 1 {
+		t.Fatalf("FramesSent = %d, want 1 (downed iface must not transmit)", st.FramesSent)
+	}
+
+	// After Up, traffic flows again.
+	i2.Up()
+	i1.Send(2, testFrame(frame.TransportData, 10))
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if received != 1 {
+		t.Fatalf("received %d after Up, want 1", received)
+	}
+}
+
+func TestAttachErrors(t *testing.T) {
+	k := sim.New(1)
+	b := New(k, DefaultConfig())
+	if _, err := b.Attach(frame.BroadcastMID, func([]byte) {}); err == nil {
+		t.Error("attaching broadcast MID must fail")
+	}
+	if _, err := b.Attach(1, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Attach(1, func([]byte) {}); err == nil {
+		t.Error("duplicate attach must fail")
+	}
+}
+
+func TestStatsByKindAndReset(t *testing.T) {
+	k := sim.New(1)
+	b := New(k, DefaultConfig())
+	if _, err := b.Attach(2, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := b.Attach(1, func([]byte) {})
+	i1.Send(2, testFrame(frame.TransportData, 30))
+	i1.Send(2, testFrame(frame.TransportAck, 12))
+	i1.Send(2, testFrame(frame.TransportAck, 12))
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := b.Stats()
+	if st.ByKind[frame.TransportData] != 1 || st.ByKind[frame.TransportAck] != 2 {
+		t.Fatalf("ByKind = %v", st.ByKind)
+	}
+	if st.BytesSent != 54 {
+		t.Fatalf("BytesSent = %d, want 54", st.BytesSent)
+	}
+	b.ResetStats()
+	if got := b.Stats(); got.FramesSent != 0 || len(got.ByKind) != 0 {
+		t.Fatalf("stats not reset: %+v", got)
+	}
+}
+
+func TestTapObservesTransmissions(t *testing.T) {
+	k := sim.New(1)
+	b := New(k, DefaultConfig())
+	if _, err := b.Attach(2, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := b.Attach(1, func([]byte) {})
+	var evs []TapEvent
+	b.SetTap(func(e TapEvent) { evs = append(evs, e) })
+	i1.Send(2, testFrame(frame.TransportNack, 12))
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("tap saw %d events, want 1", len(evs))
+	}
+	e := evs[0]
+	if e.Src != 1 || e.Dst != 2 || e.Kind != frame.TransportNack || e.Size != 12 {
+		t.Fatalf("tap event = %+v", e)
+	}
+}
+
+func TestSendToUnknownDestinationIsSilent(t *testing.T) {
+	k := sim.New(1)
+	b := New(k, DefaultConfig())
+	i1, _ := b.Attach(1, func([]byte) {})
+	i1.Send(99, testFrame(frame.TransportData, 10))
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st := b.Stats(); st.FramesDelivered != 0 {
+		t.Fatalf("delivered %d frames to nobody", st.FramesDelivered)
+	}
+}
+
+func TestDeliveredPayloadIsACopy(t *testing.T) {
+	k := sim.New(1)
+	b := New(k, DefaultConfig())
+	var got []byte
+	if _, err := b.Attach(2, func(raw []byte) { got = raw }); err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := b.Attach(1, func([]byte) {})
+	payload := testFrame(frame.TransportData, 4)
+	i1.Send(2, payload)
+	payload[1] = 0xAA // mutate after send; receiver must see the original
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got[1] != 0 {
+		t.Fatal("receiver observed sender's post-send mutation")
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"soda/internal/deltat"
+	"soda/internal/frame"
+)
+
+// onReservedRequest executes the kernel routines bound to RESERVED patterns
+// (§3.4.3, §3.5). These accept immediately — their execution cannot be
+// impeded by the client handler state — so the reply always piggybacks on
+// the request's acknowledgement.
+func (n *Node) onReservedRequest(src frame.MID, m *frame.Request) deltat.Decision {
+	switch {
+	case n.bootPats[m.Pattern]:
+		return n.onBootRequest(m)
+	case m.Pattern == n.loadPat && n.loadPat != 0:
+		return n.onLoadRequest(src, m)
+	case m.Pattern == n.killPat:
+		// KILL: stop the client regardless of handler state (§3.5.3).
+		if n.client != nil {
+			n.Die()
+		}
+		return acceptNow(m.TID, 0, nil)
+	case m.Pattern == SystemPattern:
+		return n.onSystemRequest(src, m)
+	case m.Pattern == RMRPattern && n.rmrMemory != nil:
+		return n.onRMRRequest(m)
+	default:
+		return deltat.Decision{Verdict: deltat.VerdictError, Err: frame.ErrUnadvertised}
+	}
+}
+
+// onBootRequest handles a GET on a BOOT pattern (§3.5.2): unadvertise the
+// boot pattern, mint a LOAD pattern via GETUNIQUEID, convert it to a
+// RESERVED pattern, and return it as the value of the GET.
+func (n *Node) onBootRequest(m *frame.Request) deltat.Decision {
+	if n.client != nil || n.loadPat != 0 {
+		// The machine was claimed since the pattern was advertised.
+		return deltat.Decision{Verdict: deltat.VerdictError, Err: frame.ErrUnadvertised}
+	}
+	unique := n.GetUniqueID()
+	n.loadPat = frame.ReservedPattern(uint64(unique))
+	n.bootImage = nil
+	buf := binary.BigEndian.AppendUint64(nil, uint64(n.loadPat))
+	if int(m.GetSize) < len(buf) {
+		buf = buf[:m.GetSize]
+	}
+	return acceptNow(m.TID, 0, buf)
+}
+
+// onLoadRequest handles requests on the LOAD pattern: PUTs append to the
+// core image; the first SIGNAL starts the new client; a second SIGNAL —
+// or one sent while a client is running — terminates it (§3.5.2).
+func (n *Node) onLoadRequest(src frame.MID, m *frame.Request) deltat.Decision {
+	if m.PutSize > 0 {
+		if n.client != nil {
+			// Loading over a running client is refused (REJECT).
+			return acceptNow(m.TID, -1, nil)
+		}
+		if !m.HasData {
+			// The data was stripped by a retransmission; the kernel
+			// handler is always available, so this cannot happen on a
+			// first delivery. Ask for a clean retry.
+			return deltat.Decision{Verdict: deltat.VerdictBusy}
+		}
+		n.bootImage = append(n.bootImage, m.Data...)
+		return acceptNow(m.TID, 0, nil)
+	}
+	// SIGNAL on the load pattern.
+	if n.client != nil {
+		// Parent killing its (runaway) child (§3.5.3).
+		n.Die()
+		return acceptNow(m.TID, 0, nil)
+	}
+	name, params := splitImage(n.bootImage)
+	prog, ok := n.registry[name]
+	if !ok {
+		// Unknown image: reject; the node stays claimable via the
+		// still-valid load pattern.
+		n.bootImage = nil
+		return acceptNow(m.TID, -1, nil)
+	}
+	n.bootImage = nil
+	n.startClientWithParams(prog, name, src, params)
+	return acceptNow(m.TID, 0, nil)
+}
+
+// onRMRRequest services the kernel-level remote memory reference of
+// §6.17.2: the argument is the address, the buffer sizes give the extent,
+// PEEK is a GET and POKE a PUT. The client's CLOSE gates access — that is
+// the synchronization hook the section prescribes — so a request arriving
+// while the region is closed is retried like any busy handler.
+func (n *Node) onRMRRequest(m *frame.Request) deltat.Decision {
+	if n.client != nil && !n.client.open {
+		return deltat.Decision{Verdict: deltat.VerdictBusy}
+	}
+	addr := int(m.Arg)
+	switch {
+	case m.GetSize > 0 && m.PutSize == 0: // PEEK
+		end := addr + int(m.GetSize)
+		if addr < 0 || end > len(n.rmrMemory) {
+			return acceptNow(m.TID, -1, nil)
+		}
+		out := make([]byte, m.GetSize)
+		copy(out, n.rmrMemory[addr:end])
+		return acceptNow(m.TID, 0, out)
+	case m.PutSize > 0 && m.GetSize == 0: // POKE
+		end := addr + int(m.PutSize)
+		if addr < 0 || end > len(n.rmrMemory) || !m.HasData {
+			return acceptNow(m.TID, -1, nil)
+		}
+		copy(n.rmrMemory[addr:end], m.Data)
+		return acceptNow(m.TID, 0, nil)
+	default:
+		return acceptNow(m.TID, -1, nil)
+	}
+}
+
+// KernelPeek reads size bytes at addr from dst's kernel RMR region.
+func KernelPeek(c *Client, dst frame.MID, addr, size int) ([]byte, Status) {
+	res := c.BGet(frame.ServerSig{MID: dst, Pattern: RMRPattern}, int32(addr), size)
+	if res.Status != StatusSuccess {
+		return nil, res.Status
+	}
+	return res.Data, StatusSuccess
+}
+
+// KernelPoke writes value at addr into dst's kernel RMR region.
+func KernelPoke(c *Client, dst frame.MID, addr int, value []byte) Status {
+	return c.BPut(frame.ServerSig{MID: dst, Pattern: RMRPattern}, int32(addr), value).Status
+}
+
+// onSystemRequest alters reserved patterns; only machine 0 may issue these
+// (§3.5.4).
+func (n *Node) onSystemRequest(src frame.MID, m *frame.Request) deltat.Decision {
+	if src != 0 {
+		return deltat.Decision{Verdict: deltat.VerdictError, Err: frame.ErrUnadvertised}
+	}
+	if !m.HasData || len(m.Data) != 8 {
+		return acceptNow(m.TID, -1, nil)
+	}
+	p := frame.Pattern(binary.BigEndian.Uint64(m.Data))
+	if !p.Reserved() || !p.Valid() {
+		return acceptNow(m.TID, -1, nil)
+	}
+	switch m.Arg {
+	case SysAddBootPattern:
+		n.bootPats[p] = true
+	case SysDelBootPattern:
+		delete(n.bootPats, p)
+	case SysReplaceKillPattern:
+		n.killPat = p
+	default:
+		return acceptNow(m.TID, -1, nil)
+	}
+	return acceptNow(m.TID, 0, nil)
+}
+
+// acceptNow builds the immediate-accept decision used by kernel routines.
+func acceptNow(tid frame.TID, arg int32, data []byte) deltat.Decision {
+	return deltat.Decision{
+		Verdict: deltat.VerdictAck,
+		Reply:   frame.Encode(&frame.Accept{TID: tid, Arg: arg, GetSize: 0, Data: data}),
+	}
+}
+
+// BootChunkSize is the PUT granularity used by BootRemote when shipping the
+// core image (§3.5.2 describes "a series of PUTs").
+const BootChunkSize = 64
+
+// splitImage separates a core image into the program name and the
+// connector-supplied parameter block (§4.3.1): everything after the first
+// NUL byte is parameters.
+func splitImage(image []byte) (name string, params []byte) {
+	for i, b := range image {
+		if b == 0 {
+			return string(image[:i]), append([]byte(nil), image[i+1:]...)
+		}
+	}
+	return string(image), nil
+}
+
+// BootRemote drives the full remote boot protocol from a running client
+// (§3.5.2): GET the load pattern from the boot pattern, PUT the core image
+// (here: the registered program's name), then SIGNAL to start execution.
+// It returns the load pattern, which doubles as the kill capability the
+// parent holds over the child (§3.5.3).
+func BootRemote(c *Client, target frame.MID, bootPat frame.Pattern, progName string) (frame.Pattern, error) {
+	return BootRemoteWithParams(c, target, bootPat, progName, nil)
+}
+
+// BootRemoteWithParams is BootRemote with a connector-style parameter block
+// appended to the core image (§4.3.1): the booted client reads it back with
+// Client.BootParams. The program name must not contain a NUL byte.
+func BootRemoteWithParams(c *Client, target frame.MID, bootPat frame.Pattern, progName string, params []byte) (frame.Pattern, error) {
+	res := c.BGet(frame.ServerSig{MID: target, Pattern: bootPat}, OK, 8)
+	if res.Status != StatusSuccess || len(res.Data) != 8 {
+		return 0, &BootError{Stage: "claim", MID: target, Status: res.Status}
+	}
+	loadPat := frame.Pattern(binary.BigEndian.Uint64(res.Data))
+	loadSig := frame.ServerSig{MID: target, Pattern: loadPat}
+	image := []byte(progName)
+	if len(params) > 0 {
+		image = append(image, 0)
+		image = append(image, params...)
+	}
+	for off := 0; off < len(image); off += BootChunkSize {
+		end := min(off+BootChunkSize, len(image))
+		if res := c.BPut(loadSig, OK, image[off:end]); res.Status != StatusSuccess {
+			return 0, &BootError{Stage: "load", MID: target, Status: res.Status}
+		}
+	}
+	if res := c.BSignal(loadSig, OK); res.Status != StatusSuccess {
+		return 0, &BootError{Stage: "start", MID: target, Status: res.Status}
+	}
+	return loadPat, nil
+}
+
+// KillChild terminates a child previously booted with BootRemote, using the
+// load pattern as the kill capability (§3.5.3).
+func KillChild(c *Client, target frame.MID, loadPat frame.Pattern) bool {
+	res := c.BSignal(frame.ServerSig{MID: target, Pattern: loadPat}, OK)
+	return res.Status == StatusSuccess
+}
+
+// BootError reports a failed remote boot.
+type BootError struct {
+	Stage  string
+	MID    frame.MID
+	Status Status
+}
+
+func (e *BootError) Error() string {
+	return "core: boot " + e.Stage + " failed with status " + e.Status.String()
+}

@@ -1,0 +1,463 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"soda/internal/frame"
+)
+
+// TestPartialTransfers checks §4.1.2: the server may ACCEPT with a smaller
+// buffer than REQUESTed, and the requester may receive a partially filled
+// final chunk; both sides learn the amounts moved.
+func TestPartialTransfers(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	var acc AcceptResult
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind != EventRequestArrival {
+				return
+			}
+			// Take only 3 of the requester's 8 put bytes; return only 4
+			// bytes into its 100-byte get buffer.
+			acc = c.AcceptCurrentExchange(OK, []byte("four"), 3)
+		},
+	}
+	var got *CallResult
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			res := c.BExchange(frame.ServerSig{MID: 2, Pattern: testPattern}, OK, []byte("12345678"), 100)
+			got = &res
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(time.Second)
+	if got == nil || got.Status != StatusSuccess {
+		t.Fatalf("result = %+v", got)
+	}
+	if got.PutN != 3 || got.GetN != 4 || string(got.Data) != "four" {
+		t.Fatalf("requester saw PutN=%d GetN=%d data=%q", got.PutN, got.GetN, got.Data)
+	}
+	if acc.PutN != 3 || string(acc.Data) != "123" {
+		t.Fatalf("server saw PutN=%d data=%q", acc.PutN, acc.Data)
+	}
+}
+
+// TestUnadvertiseDoesNotAffectDeliveredRequests checks §3.4.1.
+func TestUnadvertiseDoesNotAffectDeliveredRequests(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	var delivered frame.RequesterSig
+	have := false
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestArrival {
+				delivered = ev.Asker
+				have = true
+			}
+		},
+		Task: func(c *Client) {
+			c.WaitUntil(func() bool { return have })
+			_ = c.Unadvertise(testPattern)
+			c.Hold(50 * time.Millisecond)
+			// The already-delivered request is still acceptable.
+			if res := c.AcceptSignal(delivered, OK); res.Status != AcceptSuccess {
+				t.Errorf("accept after unadvertise: %v", res.Status)
+			}
+			c.WaitUntil(func() bool { return false })
+		},
+	}
+	var first, second *CallResult
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			r1 := c.BSignal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+			first = &r1
+			// New requests to the unadvertised pattern fail.
+			r2 := c.BSignal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+			second = &r2
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(2 * time.Second)
+	if first == nil || first.Status != StatusSuccess {
+		t.Fatalf("first = %+v", first)
+	}
+	if second == nil || second.Status != StatusUnadvertised {
+		t.Fatalf("second = %+v, want UNADVERTISED", second)
+	}
+}
+
+// TestPipelinedInputBuffer checks §5.2.3: a request finding the handler
+// BUSY is parked and delivered at ENDHANDLER without a BUSY NACK.
+func TestPipelinedInputBuffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Pipelined = true
+	cfg.PipelineHold = 100 * time.Millisecond // outlast the busy handler
+	n := newTestNet(t, 1, cfg, 1, 2, 3)
+	var arrivals []frame.MID
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind != EventRequestArrival {
+				return
+			}
+			arrivals = append(arrivals, ev.Asker.MID)
+			c.Hold(30 * time.Millisecond) // keep the handler busy
+			c.AcceptCurrentSignal(OK)
+		},
+	}
+	caller := Program{
+		Task: func(c *Client) {
+			c.BSignal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+		},
+	}
+	n.reg["c1"] = caller
+	n.reg["c3"] = caller
+	n.boot(2, "server")
+	n.boot(1, "c1")
+	n.boot(3, "c3")
+	n.run(5 * time.Second)
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	// With the input buffer, the second request is parked rather than
+	// NACKed; the bus must carry no BUSY frames.
+	if st := n.b.Stats(); st.ByKind[frame.TransportNack] != 0 {
+		t.Fatalf("saw %d NACKs; the pipelined kernel should park instead", st.ByKind[frame.TransportNack])
+	}
+}
+
+// TestPipelineHoldExpiry: a request parked past PipelineHold is BUSY-NACKed
+// so the requester's kernel resumes retrying.
+func TestPipelineHoldExpiry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Pipelined = true
+	cfg.PipelineHold = 5 * time.Millisecond
+	n := newTestNet(t, 1, cfg, 1, 2, 3)
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind != EventRequestArrival {
+				return
+			}
+			c.Hold(60 * time.Millisecond) // far past the pipeline hold
+			c.AcceptCurrentSignal(OK)
+		},
+	}
+	caller := Program{
+		Task: func(c *Client) {
+			res := c.BSignal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+			if res.Status != StatusSuccess {
+				t.Errorf("caller %d: %v", c.MID(), res.Status)
+			}
+		},
+	}
+	n.reg["caller"] = caller
+	n.boot(2, "server")
+	n.boot(1, "caller")
+	n.boot(3, "caller")
+	n.run(5 * time.Second)
+	if st := n.b.Stats(); st.ByKind[frame.TransportNack] == 0 {
+		t.Fatal("expected BUSY NACKs once the pipeline hold expired")
+	}
+}
+
+// TestAcceptBeforeRequestOrdering checks §3.7.5: if C1 issues an ACCEPT
+// followed by a REQUEST to C2, the ACCEPT invokes C2's handler first.
+func TestAcceptBeforeRequestOrdering(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	var order []string
+	var pending frame.RequesterSig
+	have := false
+	n.reg["c1"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestArrival {
+				pending = ev.Asker
+				have = true
+			}
+		},
+		Task: func(c *Client) {
+			c.WaitUntil(func() bool { return have })
+			c.Hold(20 * time.Millisecond)
+			// Accept C2's request, then immediately request from C2.
+			c.AcceptSignal(pending, OK)
+			if _, err := c.Signal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK); err != nil {
+				t.Errorf("signal: %v", err)
+			}
+			c.WaitUntil(func() bool { return false })
+		},
+	}
+	n.reg["c2"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			switch ev.Kind {
+			case EventRequestCompletion:
+				order = append(order, "completion")
+			case EventRequestArrival:
+				order = append(order, "arrival")
+				c.AcceptCurrentSignal(OK)
+			}
+		},
+		Task: func(c *Client) {
+			if _, err := c.Signal(frame.ServerSig{MID: 1, Pattern: testPattern}, OK); err != nil {
+				t.Errorf("signal: %v", err)
+			}
+			c.WaitUntil(func() bool { return false })
+		},
+	}
+	n.boot(1, "c1")
+	n.boot(2, "c2")
+	n.run(2 * time.Second)
+	if len(order) < 2 || order[0] != "completion" || order[1] != "arrival" {
+		t.Fatalf("handler order = %v, want completion before arrival (§3.7.5)", order)
+	}
+}
+
+// TestRequestToSelfRejected checks §3.3: no local messages.
+func TestRequestToSelfRejected(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1)
+	var err error
+	n.reg["solo"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Task: func(c *Client) {
+			_, err = c.Signal(frame.ServerSig{MID: 1, Pattern: testPattern}, OK)
+		},
+	}
+	n.boot(1, "solo")
+	n.run(time.Second)
+	if err != ErrLocalRequest {
+		t.Fatalf("err = %v, want ErrLocalRequest", err)
+	}
+}
+
+// TestBlockingCallRidesOutMaxRequests: B_* wait for an outstanding slot
+// instead of failing (§4.1.2's exception handling strategy).
+func TestBlockingCallRidesOutMaxRequests(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	accepted := 0
+	var queue []frame.RequesterSig
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestArrival {
+				queue = append(queue, ev.Asker)
+			}
+		},
+		Task: func(c *Client) {
+			for {
+				c.WaitUntil(func() bool { return len(queue) > 0 })
+				c.Hold(40 * time.Millisecond) // slow drain
+				sig := queue[0]
+				queue = queue[1:]
+				c.AcceptSignal(sig, OK)
+				accepted++
+			}
+		},
+	}
+	done := false
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			dst := frame.ServerSig{MID: 2, Pattern: testPattern}
+			// Fill the MAXREQUESTS window without blocking…
+			for i := 0; i < 3; i++ {
+				if _, err := c.Signal(dst, OK); err != nil {
+					t.Errorf("signal %d: %v", i, err)
+				}
+			}
+			// …then a blocking call must wait for room and still succeed.
+			if res := c.BSignal(dst, OK); res.Status != StatusSuccess {
+				t.Errorf("blocking call: %v", res.Status)
+			}
+			done = true
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(10 * time.Second)
+	if !done {
+		t.Fatal("blocking call never completed")
+	}
+	if accepted < 4 {
+		t.Fatalf("server accepted %d, want ≥4", accepted)
+	}
+}
+
+// TestKillDuringSuspendedAccept: terminating a client whose handler is
+// blocked inside ACCEPT must unwind cleanly.
+func TestKillDuringSuspendedAccept(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2, 3)
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestArrival {
+				// GET with data: the accept blocks on the handshake; we
+				// kill the client mid-flight by crashing the requester
+				// so the handshake stalls.
+				c.AcceptCurrentGet(OK, make([]byte, 400))
+			}
+		},
+	}
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			_, _ = c.Get(frame.ServerSig{MID: 2, Pattern: testPattern}, OK, 400)
+			c.WaitUntil(func() bool { return false })
+		},
+	}
+	n.reg["killer"] = Program{
+		Task: func(c *Client) {
+			c.Hold(8 * time.Millisecond) // while the accept is in flight
+			c.BSignal(frame.ServerSig{MID: 2, Pattern: DefaultKillPattern}, OK)
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.boot(3, "killer")
+	n.run(5 * time.Second)
+	if n.nodes[2].Client() != nil {
+		t.Fatal("server client survived the kill")
+	}
+}
+
+// TestRemoteBootMultiChunkImage ships a program name longer than one boot
+// chunk (a series of PUTs, §3.5.2).
+func TestRemoteBootMultiChunkImage(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	longName := "child-" + strings.Repeat("x", 3*BootChunkSize)
+	ran := false
+	n.reg[longName] = Program{
+		Init: func(c *Client, _ frame.MID) { ran = true },
+	}
+	var bootErr error
+	n.reg["parent"] = Program{
+		Task: func(c *Client) {
+			_, bootErr = BootRemote(c, 2, DefaultBootPattern, longName)
+		},
+	}
+	n.boot(1, "parent")
+	n.run(5 * time.Second)
+	if bootErr != nil {
+		t.Fatalf("boot: %v", bootErr)
+	}
+	if !ran {
+		t.Fatal("multi-chunk image never executed")
+	}
+}
+
+// TestCompletionEventCarriesTransferReport checks the §3.7.6 handler
+// arguments on completion.
+func TestCompletionEventCarriesTransferReport(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestArrival {
+				c.AcceptCurrentExchange(7, []byte("ab"), ev.PutSize)
+			}
+		},
+	}
+	var got Event
+	have := false
+	n.reg["client"] = Program{
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestCompletion {
+				got = ev
+				have = true
+			}
+		},
+		Task: func(c *Client) {
+			tid, err := c.Exchange(frame.ServerSig{MID: 2, Pattern: testPattern}, OK, []byte("12345"), 64)
+			if err != nil {
+				t.Errorf("exchange: %v", err)
+				return
+			}
+			c.WaitUntil(func() bool { return have })
+			if got.Asker.TID != tid {
+				t.Errorf("completion tid = %v, want %v", got.Asker.TID, tid)
+			}
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(2 * time.Second)
+	if !have {
+		t.Fatal("no completion event")
+	}
+	if got.Status != StatusSuccess || got.Arg != 7 || got.PutN != 5 || got.GetN != 2 || string(got.Data) != "ab" {
+		t.Fatalf("completion = %+v", got)
+	}
+}
+
+// TestAdvertiseUniqueAvoidsSlots: minted patterns never clobber existing
+// table entries; a full table errors.
+func TestAdvertiseUniqueAvoidsSlots(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1)
+	var firstErr error
+	fullErr := error(nil)
+	n.reg["x"] = Program{
+		Init: func(c *Client, _ frame.MID) {
+			_ = c.Advertise(testPattern)
+			for i := 0; i < 255; i++ {
+				if _, err := c.AdvertiseUnique(); err != nil {
+					firstErr = err
+					return
+				}
+			}
+			_, fullErr = c.AdvertiseUnique()
+		},
+	}
+	n.boot(1, "x")
+	n.run(time.Second)
+	if firstErr != nil {
+		t.Fatalf("AdvertiseUnique failed early: %v", firstErr)
+	}
+	if fullErr == nil {
+		t.Fatal("AdvertiseUnique on a full table must fail")
+	}
+	if !n.nodes[1].advertised(testPattern) {
+		t.Fatal("minted patterns clobbered the well-known entry")
+	}
+}
+
+// TestCrashDuringExchangeDataFlight: the requester crashes while the
+// server's accept handshake is outstanding; ACCEPT reports CRASHED within
+// a bounded time.
+func TestCrashDuringExchangeDataFlight(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	var acc *AcceptResult
+	var doneAt time.Duration
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestArrival {
+				res := c.AcceptCurrentGet(OK, make([]byte, 1000))
+				acc = &res
+				doneAt = c.Now()
+			}
+		},
+	}
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			_, _ = c.Get(frame.ServerSig{MID: 2, Pattern: testPattern}, OK, 1000)
+			c.WaitUntil(func() bool { return false })
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(7 * time.Millisecond) // request delivered; accept starting
+	n.nodes[1].Crash()
+	n.run(10 * time.Second)
+	if acc == nil {
+		t.Fatal("accept never returned")
+	}
+	if acc.Status != AcceptCrashed {
+		t.Fatalf("accept = %v, want CRASHED", acc.Status)
+	}
+	if doneAt > 2*time.Second {
+		t.Fatalf("accept unblocked only at %v; must be bounded", doneAt)
+	}
+}

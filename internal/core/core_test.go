@@ -1,0 +1,970 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"soda/internal/bus"
+	"soda/internal/frame"
+	"soda/internal/sim"
+)
+
+// testNet wires a simulated SODA network for tests.
+type testNet struct {
+	t     *testing.T
+	k     *sim.Kernel
+	b     *bus.Bus
+	reg   Registry
+	nodes map[frame.MID]*Node
+}
+
+func newTestNet(t *testing.T, seed int64, cfg Config, mids ...frame.MID) *testNet {
+	t.Helper()
+	k := sim.New(seed)
+	k.SetEventLimit(5_000_000)
+	b := bus.New(k, bus.DefaultConfig())
+	n := &testNet{t: t, k: k, b: b, reg: Registry{}, nodes: make(map[frame.MID]*Node)}
+	for _, mid := range mids {
+		node, err := NewNode(k, b, mid, cfg, n.reg)
+		if err != nil {
+			t.Fatalf("NewNode(%d): %v", mid, err)
+		}
+		n.nodes[mid] = node
+	}
+	return n
+}
+
+func (n *testNet) boot(mid frame.MID, prog string) {
+	n.t.Helper()
+	if err := n.nodes[mid].Boot(prog, 0); err != nil {
+		n.t.Fatalf("Boot(%d, %q): %v", mid, prog, err)
+	}
+}
+
+// run executes the simulation for the given virtual duration; parked server
+// tasks are expected, so bounded runs never fail on idle processes.
+func (n *testNet) run(d time.Duration) {
+	n.t.Helper()
+	if err := n.k.RunUntil(n.k.Now() + d); err != nil {
+		n.t.Fatalf("RunUntil: %v", err)
+	}
+}
+
+var testPattern = frame.WellKnownPattern(0o346)
+
+// echoServer accepts every arrival immediately in the handler, echoing the
+// received bytes back (an EXCHANGE server).
+func echoServer() Program {
+	return Program{
+		Init: func(c *Client, _ frame.MID) {
+			if err := c.Advertise(testPattern); err != nil {
+				panic(err)
+			}
+		},
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind != EventRequestArrival {
+				return
+			}
+			res := c.AcceptCurrentExchange(OK, []byte("echo!"), ev.PutSize)
+			_ = res
+		},
+	}
+}
+
+func TestSignalRoundTrip(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	var got *CallResult
+	n.reg["server"] = echoServer()
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			res := c.BSignal(frame.ServerSig{MID: 2, Pattern: testPattern}, 7)
+			got = &res
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(time.Second)
+	if got == nil {
+		t.Fatal("signal never completed")
+	}
+	if got.Status != StatusSuccess {
+		t.Fatalf("status = %v, want SUCCESS", got.Status)
+	}
+}
+
+func TestPutDeliversData(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	var served []byte
+	var arrival Event
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind != EventRequestArrival {
+				return
+			}
+			arrival = ev
+			res := c.AcceptCurrentPut(OK, ev.PutSize)
+			served = res.Data
+		},
+	}
+	var got *CallResult
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			res := c.BPut(frame.ServerSig{MID: 2, Pattern: testPattern}, 42, []byte("payload bytes"))
+			got = &res
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(time.Second)
+	if string(served) != "payload bytes" {
+		t.Fatalf("server received %q", served)
+	}
+	if arrival.Arg != 42 || arrival.PutSize != 13 || arrival.GetSize != 0 {
+		t.Fatalf("arrival tag = %+v", arrival)
+	}
+	if arrival.Pattern != testPattern {
+		t.Fatalf("arrival pattern = %v", arrival.Pattern)
+	}
+	if got == nil || got.Status != StatusSuccess || got.PutN != 13 {
+		t.Fatalf("put result = %+v", got)
+	}
+}
+
+func TestGetReturnsData(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestArrival {
+				c.AcceptCurrentGet(5, []byte("file contents"))
+			}
+		},
+	}
+	var got *CallResult
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			res := c.BGet(frame.ServerSig{MID: 2, Pattern: testPattern}, OK, 64)
+			got = &res
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(time.Second)
+	if got == nil || got.Status != StatusSuccess {
+		t.Fatalf("get result = %+v", got)
+	}
+	if string(got.Data) != "file contents" || got.GetN != 13 || got.Arg != 5 {
+		t.Fatalf("get result = %+v", got)
+	}
+}
+
+func TestExchangeBothWays(t *testing.T) {
+	for _, pipelined := range []bool{false, true} {
+		t.Run(fmt.Sprintf("pipelined=%v", pipelined), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Pipelined = pipelined
+			n := newTestNet(t, 1, cfg, 1, 2)
+			var served []byte
+			n.reg["server"] = Program{
+				Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+				Handler: func(c *Client, ev Event) {
+					if ev.Kind == EventRequestArrival {
+						res := c.AcceptCurrentExchange(OK, []byte("response"), ev.PutSize)
+						served = res.Data
+					}
+				},
+			}
+			var got *CallResult
+			n.reg["client"] = Program{
+				Task: func(c *Client) {
+					res := c.BExchange(frame.ServerSig{MID: 2, Pattern: testPattern}, OK, []byte("question"), 64)
+					got = &res
+				},
+			}
+			n.boot(2, "server")
+			n.boot(1, "client")
+			n.run(time.Second)
+			if string(served) != "question" {
+				t.Fatalf("server got %q", served)
+			}
+			if got == nil || got.Status != StatusSuccess || string(got.Data) != "response" {
+				t.Fatalf("exchange result = %+v", got)
+			}
+		})
+	}
+}
+
+func TestLargeTransfer(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	want := make([]byte, 2000) // 1000 words
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	var served []byte
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestArrival {
+				res := c.AcceptCurrentExchange(OK, want, ev.PutSize)
+				served = res.Data
+			}
+		},
+	}
+	var got *CallResult
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			res := c.BExchange(frame.ServerSig{MID: 2, Pattern: testPattern}, OK, want, len(want))
+			got = &res
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(2 * time.Second)
+	if !bytes.Equal(served, want) {
+		t.Fatalf("server data mismatch (%d bytes)", len(served))
+	}
+	if got == nil || !bytes.Equal(got.Data, want) {
+		t.Fatal("client data mismatch")
+	}
+}
+
+func TestRejectMapsToRejectedStatus(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestArrival {
+				c.RejectCurrent()
+			}
+		},
+	}
+	var got *CallResult
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			res := c.BSignal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+			got = &res
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(time.Second)
+	if got == nil || got.Status != StatusRejected {
+		t.Fatalf("result = %+v, want REJECTED", got)
+	}
+}
+
+func TestUnadvertisedPattern(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	n.reg["server"] = Program{} // advertises nothing
+	var got *CallResult
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			res := c.BSignal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+			got = &res
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(time.Second)
+	if got == nil || got.Status != StatusUnadvertised {
+		t.Fatalf("result = %+v, want UNADVERTISED", got)
+	}
+}
+
+func TestMaxRequestsEnforced(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		// Never accepts: requests pile up.
+	}
+	var errs []error
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			for i := 0; i < 4; i++ {
+				_, err := c.Signal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+				errs = append(errs, err)
+			}
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(time.Second)
+	if len(errs) != 4 {
+		t.Fatalf("issued %d requests", len(errs))
+	}
+	for i := 0; i < 3; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d failed: %v", i, errs[i])
+		}
+	}
+	if errs[3] != ErrTooManyRequests {
+		t.Fatalf("request 3 error = %v, want ErrTooManyRequests", errs[3])
+	}
+}
+
+func TestGuessedSignatureAcceptFails(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2, 3)
+	// Node 1 requests from node 2; node 3 tries to accept by guessing.
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+	}
+	var thiefResult *AcceptResult
+	n.reg["thief"] = Program{
+		Task: func(c *Client) {
+			c.Hold(100 * time.Millisecond)
+			res := c.AcceptSignal(frame.RequesterSig{MID: 1, TID: 1}, OK)
+			thiefResult = &res
+		},
+	}
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			_, _ = c.Signal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+			c.WaitUntil(func() bool { return false }) // park forever
+		},
+	}
+	n.boot(2, "server")
+	n.boot(3, "thief")
+	n.boot(1, "client")
+	n.run(time.Second)
+	if thiefResult == nil || thiefResult.Status != AcceptCancelled {
+		t.Fatalf("thief accept = %+v, want CANCELLED", thiefResult)
+	}
+}
+
+func TestDoubleAcceptFails(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	var second *AcceptResult
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind != EventRequestArrival {
+				return
+			}
+			c.AcceptCurrentSignal(OK)
+			res := c.AcceptCurrentSignal(OK)
+			second = &res
+		},
+	}
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			c.BSignal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+			// Stay alive: an accept reaching a *died* requester reports
+			// CRASHED instead (§3.6.1), which is not what this test is
+			// about.
+			c.WaitUntil(func() bool { return false })
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(time.Second)
+	if second == nil || second.Status != AcceptCancelled {
+		t.Fatalf("second accept = %+v, want CANCELLED", second)
+	}
+}
+
+func TestCancelBeforeAccept(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	accepted := false
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		// Arrival is noted but never accepted from the handler.
+		Handler: func(c *Client, ev Event) {},
+	}
+	var cancelOK *bool
+	completions := 0
+	n.reg["client"] = Program{
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestCompletion {
+				completions++
+			}
+		},
+		Task: func(c *Client) {
+			tid, err := c.Signal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+			if err != nil {
+				t.Errorf("signal: %v", err)
+				return
+			}
+			c.Hold(50 * time.Millisecond)
+			ok := c.Cancel(frame.RequesterSig{MID: c.MID(), TID: tid})
+			cancelOK = &ok
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(2 * time.Second)
+	if cancelOK == nil || !*cancelOK {
+		t.Fatalf("cancel = %v, want success", cancelOK)
+	}
+	if completions != 0 {
+		t.Fatalf("handler saw %d completions after successful cancel, want 0", completions)
+	}
+	_ = accepted
+}
+
+func TestCancelLosesToCompletion(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestArrival {
+				c.AcceptCurrentSignal(OK)
+			}
+		},
+	}
+	var cancelOK *bool
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			tid, _ := c.Signal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+			c.Hold(200 * time.Millisecond) // far past completion
+			ok := c.Cancel(frame.RequesterSig{MID: c.MID(), TID: tid})
+			cancelOK = &ok
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(2 * time.Second)
+	if cancelOK == nil || *cancelOK {
+		t.Fatalf("cancel = %v, want failure after completion", cancelOK)
+	}
+}
+
+func TestAcceptOfCancelledRequestReturnsCancelled(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	var acceptRes *AcceptResult
+	var asker frame.RequesterSig
+	var haveAsker bool
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestArrival {
+				asker = ev.Asker
+				haveAsker = true
+			}
+		},
+		Task: func(c *Client) {
+			c.WaitUntil(func() bool { return haveAsker })
+			c.Hold(150 * time.Millisecond) // let the cancel land first
+			res := c.AcceptSignal(asker, OK)
+			acceptRes = &res
+		},
+	}
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			tid, _ := c.Signal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+			c.Hold(50 * time.Millisecond)
+			c.Cancel(frame.RequesterSig{MID: c.MID(), TID: tid})
+			c.WaitUntil(func() bool { return false })
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(2 * time.Second)
+	if acceptRes == nil || acceptRes.Status != AcceptCancelled {
+		t.Fatalf("accept = %+v, want CANCELLED", acceptRes)
+	}
+}
+
+func TestTaskSideAcceptQueueing(t *testing.T) {
+	// The port idiom (§4.2.1): the handler queues requester signatures;
+	// the task accepts them in order.
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2, 3)
+	var servedArgs []int32
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestArrival {
+				q := c.Stash().([]Event)
+				c.SetStash(append(q, ev))
+			}
+		},
+		Task: func(c *Client) {
+			c.SetStash([]Event{})
+			for len(servedArgs) < 4 {
+				c.WaitUntil(func() bool { return len(c.Stash().([]Event)) > 0 })
+				q := c.Stash().([]Event)
+				ev := q[0]
+				c.SetStash(q[1:])
+				c.AcceptSignal(ev.Asker, OK)
+				servedArgs = append(servedArgs, ev.Arg)
+			}
+		},
+	}
+	mkClient := func(base int32) Program {
+		return Program{
+			Task: func(c *Client) {
+				for i := int32(0); i < 2; i++ {
+					c.BSignal(frame.ServerSig{MID: 2, Pattern: testPattern}, base+i)
+				}
+			},
+		}
+	}
+	n.reg["c1"] = mkClient(10)
+	n.reg["c3"] = mkClient(30)
+	n.boot(2, "server")
+	n.boot(1, "c1")
+	n.boot(3, "c3")
+	n.run(3 * time.Second)
+	if len(servedArgs) != 4 {
+		t.Fatalf("served %d requests, want 4 (%v)", len(servedArgs), servedArgs)
+	}
+	// Per-requester order must hold.
+	var c1Args, c3Args []int32
+	for _, a := range servedArgs {
+		if a >= 30 {
+			c3Args = append(c3Args, a)
+		} else {
+			c1Args = append(c1Args, a)
+		}
+	}
+	if len(c1Args) != 2 || c1Args[0] != 10 || c1Args[1] != 11 {
+		t.Fatalf("c1 order = %v", c1Args)
+	}
+	if len(c3Args) != 2 || c3Args[0] != 30 || c3Args[1] != 31 {
+		t.Fatalf("c3 order = %v", c3Args)
+	}
+}
+
+func TestServerCrashCompletesRequestCrashed(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		// Holds the request forever.
+	}
+	var got *CallResult
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			res := c.BSignal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+			got = &res
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(100 * time.Millisecond) // request delivered
+	n.nodes[2].Crash()
+	n.run(5 * time.Second) // probes detect the crash
+	if got == nil || got.Status != StatusCrashed {
+		t.Fatalf("result = %+v, want CRASHED", got)
+	}
+}
+
+func TestServerDieCompletesRequestCrashed(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Task: func(c *Client) {
+			c.Hold(100 * time.Millisecond)
+			c.Die()
+		},
+	}
+	var got *CallResult
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			res := c.BSignal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+			got = &res
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(5 * time.Second)
+	if got == nil || got.Status != StatusCrashed {
+		t.Fatalf("result = %+v, want CRASHED", got)
+	}
+}
+
+func TestStaleAcceptAfterRequesterCrash(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	var acceptRes *AcceptResult
+	var asker frame.RequesterSig
+	var haveAsker bool
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestArrival {
+				asker = ev.Asker
+				haveAsker = true
+			}
+		},
+		Task: func(c *Client) {
+			c.WaitUntil(func() bool { return haveAsker })
+			c.Hold(800 * time.Millisecond) // requester crashes + reboots meanwhile
+			res := c.AcceptSignal(asker, OK)
+			acceptRes = &res
+		},
+	}
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			_, _ = c.Signal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+			c.WaitUntil(func() bool { return false })
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(100 * time.Millisecond)
+	n.nodes[1].Crash()
+	n.nodes[1].Reboot(nil)
+	n.run(5 * time.Second)
+	if acceptRes == nil || acceptRes.Status != AcceptCrashed {
+		t.Fatalf("stale accept = %+v, want CRASHED", acceptRes)
+	}
+}
+
+func TestKillPattern(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	taskSpins := 0
+	n.reg["runaway"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Task: func(c *Client) {
+			for {
+				c.Hold(10 * time.Millisecond)
+				taskSpins++
+			}
+		},
+	}
+	var killRes *CallResult
+	n.reg["manager"] = Program{
+		Task: func(c *Client) {
+			c.Hold(100 * time.Millisecond)
+			res := c.BSignal(frame.ServerSig{MID: 2, Pattern: DefaultKillPattern}, OK)
+			killRes = &res
+		},
+	}
+	n.boot(2, "runaway")
+	n.boot(1, "manager")
+	n.run(time.Second)
+	if killRes == nil || killRes.Status != StatusSuccess {
+		t.Fatalf("kill signal = %+v", killRes)
+	}
+	if n.nodes[2].Client() != nil {
+		t.Fatal("client still running after KILL")
+	}
+	spinsAtKill := taskSpins
+	n.run(time.Second)
+	if taskSpins != spinsAtKill {
+		t.Fatalf("runaway task kept running after kill (%d -> %d)", spinsAtKill, taskSpins)
+	}
+}
+
+func TestRemoteBootAndKill(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	childRan := false
+	n.reg["child"] = Program{
+		Init: func(c *Client, parent frame.MID) {
+			if parent != 1 {
+				t.Errorf("child sees parent %d, want 1", parent)
+			}
+			childRan = true
+			_ = c.Advertise(testPattern)
+		},
+	}
+	var loadPat frame.Pattern
+	var bootErr error
+	killed := false
+	n.reg["parent"] = Program{
+		Task: func(c *Client) {
+			// Find a free machine by its boot pattern.
+			mids := c.DiscoverAll(DefaultBootPattern, 4)
+			if len(mids) != 1 || mids[0] != 2 {
+				t.Errorf("discovered %v, want [2]", mids)
+				return
+			}
+			loadPat, bootErr = BootRemote(c, 2, DefaultBootPattern, "child")
+			if bootErr != nil {
+				return
+			}
+			c.Hold(100 * time.Millisecond)
+			killed = KillChild(c, 2, loadPat)
+		},
+	}
+	n.boot(1, "parent")
+	n.run(3 * time.Second)
+	if bootErr != nil {
+		t.Fatalf("boot: %v", bootErr)
+	}
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+	if !killed {
+		t.Fatal("kill via load pattern failed")
+	}
+	if n.nodes[2].Client() != nil {
+		t.Fatal("child still running")
+	}
+	// The machine is bootable again.
+	if !n.nodes[2].advertised(DefaultBootPattern) {
+		t.Fatal("boot pattern not readvertised after child death")
+	}
+}
+
+func TestBootPatternUnavailableWhileClaimed(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2, 3)
+	var second *CallResult
+	n.reg["claimer"] = Program{
+		Task: func(c *Client) {
+			if _, err := BootRemote(c, 2, DefaultBootPattern, "nothing-registered-is-fine"); err == nil {
+				t.Error("boot of unregistered program should fail at start")
+			}
+		},
+	}
+	n.reg["late"] = Program{
+		Task: func(c *Client) {
+			c.Hold(50 * time.Millisecond) // after the claim
+			res := c.BGet(frame.ServerSig{MID: 2, Pattern: DefaultBootPattern}, OK, 8)
+			second = &res
+		},
+	}
+	n.boot(1, "claimer")
+	n.boot(3, "late")
+	n.run(3 * time.Second)
+	if second == nil || second.Status != StatusUnadvertised {
+		t.Fatalf("late boot attempt = %+v, want UNADVERTISED", second)
+	}
+}
+
+func TestDiscoverFindsAllServers(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2, 3, 4)
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+	}
+	var mids []frame.MID
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			mids = c.DiscoverAll(testPattern, 8)
+		},
+	}
+	n.boot(2, "server")
+	n.boot(3, "server")
+	n.boot(4, "server")
+	n.boot(1, "client")
+	n.run(time.Second)
+	if len(mids) != 3 {
+		t.Fatalf("discovered %v, want 3 servers", mids)
+	}
+	seen := map[frame.MID]bool{}
+	for _, m := range mids {
+		seen[m] = true
+	}
+	if !seen[2] || !seen[3] || !seen[4] {
+		t.Fatalf("discovered %v", mids)
+	}
+}
+
+func TestDiscoverEmpty(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	var ok bool
+	var ranDiscover bool
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			_, ok = c.Discover(frame.WellKnownPattern(0o777))
+			ranDiscover = true
+		},
+	}
+	n.boot(1, "client")
+	n.run(time.Second)
+	if !ranDiscover {
+		t.Fatal("discover never returned")
+	}
+	if ok {
+		t.Fatal("discover of unadvertised pattern succeeded")
+	}
+}
+
+func TestSystemPatternPrivilege(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 0, 1, 2)
+	newKill := frame.ReservedPattern(0xFEED)
+	patBytes := func(p frame.Pattern) []byte {
+		b := make([]byte, 8)
+		for i := 0; i < 8; i++ {
+			b[7-i] = byte(p >> (8 * i))
+		}
+		return b
+	}
+	var fromZero, fromOne *CallResult
+	n.reg["admin"] = Program{
+		Task: func(c *Client) {
+			res := c.BPut(frame.ServerSig{MID: 2, Pattern: SystemPattern}, SysReplaceKillPattern, patBytes(newKill))
+			fromZero = &res
+		},
+	}
+	n.reg["rogue"] = Program{
+		Task: func(c *Client) {
+			c.Hold(300 * time.Millisecond)
+			res := c.BPut(frame.ServerSig{MID: 2, Pattern: SystemPattern}, SysReplaceKillPattern, patBytes(DefaultKillPattern))
+			fromOne = &res
+		},
+	}
+	n.boot(0, "admin")
+	n.boot(1, "rogue")
+	n.run(2 * time.Second)
+	if fromZero == nil || fromZero.Status != StatusSuccess {
+		t.Fatalf("admin result = %+v", fromZero)
+	}
+	if fromOne == nil || fromOne.Status != StatusUnadvertised {
+		t.Fatalf("rogue result = %+v, want UNADVERTISED", fromOne)
+	}
+	if n.nodes[2].killPat != newKill {
+		t.Fatalf("kill pattern = %v, want %v", n.nodes[2].killPat, newKill)
+	}
+}
+
+func TestPatternSlotOverwrite(t *testing.T) {
+	// §5.4: two patterns identical in the low eight bits — the second
+	// advertisement overwrites the first.
+	n := newTestNet(t, 1, DefaultConfig(), 1)
+	node := n.nodes[1]
+	p1 := frame.WellKnownPattern(0x100AB)
+	p2 := frame.WellKnownPattern(0x200AB)
+	n.reg["x"] = Program{}
+	n.boot(1, "x")
+	if err := node.Advertise(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Advertise(p2); err != nil {
+		t.Fatal(err)
+	}
+	if node.advertised(p1) {
+		t.Fatal("p1 survived slot collision")
+	}
+	if !node.advertised(p2) {
+		t.Fatal("p2 not advertised")
+	}
+}
+
+func TestAdvertiseReservedRejected(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1)
+	if err := n.nodes[1].Advertise(DefaultKillPattern); err == nil {
+		t.Fatal("advertising a reserved pattern must fail")
+	}
+	if err := n.nodes[1].Unadvertise(DefaultKillPattern); err == nil {
+		t.Fatal("unadvertising a reserved pattern must fail")
+	}
+}
+
+func TestUniqueIDsDistinctAcrossNodes(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2, 3)
+	seen := make(map[frame.Pattern]bool)
+	for _, node := range n.nodes {
+		for i := 0; i < 100; i++ {
+			p := node.GetUniqueID()
+			if seen[p] {
+				t.Fatalf("duplicate unique id %v", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestCloseDefersArrivals(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	arrivals := 0
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) {
+			_ = c.Advertise(testPattern)
+			c.Close() // deferred to ENDHANDLER, then handler closed
+		},
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind == EventRequestArrival {
+				arrivals++
+				c.AcceptCurrentSignal(OK)
+			}
+		},
+		Task: func(c *Client) {
+			c.Hold(200 * time.Millisecond)
+			c.Open()
+			c.WaitUntil(func() bool { return false })
+		},
+	}
+	var got *CallResult
+	var doneAt sim.Time
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			res := c.BSignal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+			got = &res
+			doneAt = sim.Time(0)
+			_ = doneAt
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(2 * time.Second)
+	if got == nil || got.Status != StatusSuccess {
+		t.Fatalf("result = %+v", got)
+	}
+	if arrivals != 1 {
+		t.Fatalf("arrivals = %d, want 1", arrivals)
+	}
+}
+
+func TestBlockingCallFromHandlerPanics(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	panicked := false
+	n.reg["server"] = Program{
+		Init: func(c *Client, _ frame.MID) { _ = c.Advertise(testPattern) },
+		Handler: func(c *Client, ev Event) {
+			if ev.Kind != EventRequestArrival {
+				return
+			}
+			func() {
+				defer func() {
+					if recover() != nil {
+						panicked = true
+					}
+				}()
+				c.BSignal(frame.ServerSig{MID: 1, Pattern: testPattern}, OK)
+			}()
+			c.AcceptCurrentSignal(OK)
+		},
+	}
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			c.BSignal(frame.ServerSig{MID: 2, Pattern: testPattern}, OK)
+		},
+	}
+	n.boot(2, "server")
+	n.boot(1, "client")
+	n.run(time.Second)
+	if !panicked {
+		t.Fatal("blocking request from handler must panic (§4.1.1)")
+	}
+}
+
+func TestDeterministicTrace(t *testing.T) {
+	run := func() (sim.Time, uint64) {
+		k := sim.New(77)
+		k.SetEventLimit(5_000_000)
+		b := bus.New(k, bus.DefaultConfig())
+		reg := Registry{}
+		var nodes []*Node
+		for mid := frame.MID(1); mid <= 3; mid++ {
+			node, err := NewNode(k, b, mid, DefaultConfig(), reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, node)
+		}
+		reg["server"] = echoServer()
+		var doneAt sim.Time
+		reg["client"] = Program{
+			Task: func(c *Client) {
+				for i := 0; i < 5; i++ {
+					c.BExchange(frame.ServerSig{MID: 1, Pattern: testPattern}, OK, []byte("x"), 16)
+				}
+				doneAt = c.node.k.Now()
+			},
+		}
+		_ = nodes[0].Boot("server", 0)
+		_ = nodes[1].Boot("client", 0)
+		_ = nodes[2].Boot("client", 0)
+		if err := k.RunUntil(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return doneAt, b.Stats().FramesSent
+	}
+	t1, f1 := run()
+	t2, f2 := run()
+	if t1 != t2 || f1 != f2 {
+		t.Fatalf("nondeterministic: (%v,%d) vs (%v,%d)", t1, f1, t2, f2)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"soda/internal/frame"
+)
+
+func rmrConfig() Config {
+	cfg := DefaultConfig()
+	cfg.KernelRMRSize = 128
+	return cfg
+}
+
+func TestKernelRMRPeekPoke(t *testing.T) {
+	n := newTestNet(t, 1, rmrConfig(), 1, 2)
+	n.reg["target"] = Program{} // the region belongs to the kernel
+	done := false
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			if st := KernelPoke(c, 2, 10, []byte("kernel rmr")); st != StatusSuccess {
+				t.Errorf("poke: %v", st)
+				return
+			}
+			got, st := KernelPeek(c, 2, 10, 10)
+			if st != StatusSuccess || !bytes.Equal(got, []byte("kernel rmr")) {
+				t.Errorf("peek = %q (%v)", got, st)
+				return
+			}
+			// Out-of-range references are rejected.
+			if _, st := KernelPeek(c, 2, 120, 64); st != StatusRejected {
+				t.Errorf("oob peek = %v, want REJECTED", st)
+			}
+			if st := KernelPoke(c, 2, -1, []byte("x")); st != StatusRejected {
+				t.Errorf("negative poke = %v, want REJECTED", st)
+			}
+			done = true
+		},
+	}
+	n.boot(2, "target")
+	n.boot(1, "client")
+	n.run(5 * time.Second)
+	if !done {
+		t.Fatal("client never finished")
+	}
+}
+
+func TestKernelRMRWorksWithoutClient(t *testing.T) {
+	// §6.17.2's service lives in the kernel: a free machine (no client)
+	// still answers.
+	n := newTestNet(t, 1, rmrConfig(), 1, 2)
+	var st Status
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			st = KernelPoke(c, 2, 0, []byte{42})
+		},
+	}
+	n.boot(1, "client")
+	n.run(5 * time.Second)
+	if st != StatusSuccess {
+		t.Fatalf("poke to clientless node = %v", st)
+	}
+	if n.nodes[2].rmrMemory[0] != 42 {
+		t.Fatal("memory not written")
+	}
+}
+
+func TestKernelRMRGatedByClose(t *testing.T) {
+	// CLOSE provides the synchronization of §6.17.2: requests arriving
+	// while the region's owner has its handler closed are held off.
+	n := newTestNet(t, 1, rmrConfig(), 1, 2)
+	var openedAt, peekedAt time.Duration
+	n.reg["owner"] = Program{
+		Init: func(c *Client, _ frame.MID) { c.Close() },
+		Task: func(c *Client) {
+			c.Hold(80 * time.Millisecond) // critical section on the region
+			openedAt = c.Now()
+			c.Open()
+			c.WaitUntil(func() bool { return false })
+		},
+	}
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			if _, st := KernelPeek(c, 2, 0, 4); st != StatusSuccess {
+				t.Errorf("peek: %v", st)
+				return
+			}
+			peekedAt = c.Now()
+		},
+	}
+	n.boot(2, "owner")
+	n.boot(1, "client")
+	n.run(5 * time.Second)
+	if peekedAt == 0 {
+		t.Fatal("peek never completed")
+	}
+	if peekedAt < openedAt {
+		t.Fatalf("peek completed at %v, before the region opened at %v", peekedAt, openedAt)
+	}
+}
+
+func TestRMRDisabledByDefault(t *testing.T) {
+	n := newTestNet(t, 1, DefaultConfig(), 1, 2)
+	var st Status
+	n.reg["client"] = Program{
+		Task: func(c *Client) {
+			_, st = KernelPeek(c, 2, 0, 4)
+		},
+	}
+	n.boot(1, "client")
+	n.run(5 * time.Second)
+	if st != StatusUnadvertised {
+		t.Fatalf("peek on disabled service = %v, want UNADVERTISED", st)
+	}
+}

@@ -1,0 +1,909 @@
+// Package deltat implements SODA's reliable transport: an alternating-bit
+// stop-and-wait protocol whose connection state is managed by the Delta-t
+// rules (§5.2.2) — no explicit connection establishment, duplicate
+// suppression via per-peer records, and record reclamation driven purely by
+// timing bounds.
+//
+// Terminology follows the thesis: MPL is the maximum packet lifetime, R the
+// maximum total time spent retransmitting a message, and A the maximum
+// delay before acknowledging a packet. Δt = MPL + R + A. A connection
+// record is discarded (and any sequence number accepted again) after
+// silence of MPL + Δt; a crashed node stays off the network for 2·MPL + Δt
+// before rejoining.
+//
+// The endpoint supports the piggybacking the thesis's chapter 5 measures:
+//
+//   - an acknowledgement may carry an upper-layer reply in its payload
+//     (ACCEPT+ACK completing a PUT);
+//   - a DATA frame may carry a piggybacked ACK for the reverse direction
+//     (ACCEPT+DATA acknowledging the REQUEST; a new REQUEST acknowledging
+//     the previous reply's data);
+//   - acknowledgement of a delivered DATA frame can be withheld ("held")
+//     for a bounded window so the upper layer may resolve it with a
+//     piggyback, a BUSY, or an error.
+package deltat
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"soda/internal/bus"
+	"soda/internal/frame"
+	"soda/internal/sim"
+)
+
+// Verdict is the upper layer's disposition of a delivered DATA frame.
+type Verdict uint8
+
+const (
+	// VerdictAck acknowledges the frame, optionally with a reply payload.
+	VerdictAck Verdict = iota + 1
+	// VerdictBusy refuses the frame without consuming it; the sender
+	// retries later at a reduced rate (§5.2.3).
+	VerdictBusy
+	// VerdictError consumes the frame and reports an error NACK.
+	VerdictError
+	// VerdictHold withholds the acknowledgement: the upper layer will
+	// resolve it via ResolveHold or SendResolvingHold, or the endpoint
+	// auto-resolves after HoldTimeout with ExpiryVerdict.
+	VerdictHold
+	// VerdictAckDeferred consumes the frame but defers the plain
+	// acknowledgement for up to one ack-delay (A), hoping to piggyback
+	// it on the next DATA frame transmitted toward the sender — the
+	// "new REQUEST piggybacked on the ACK for the data" optimization of
+	// §5.2.3. Kernel-level: it owes no upper-layer reply.
+	VerdictAckDeferred
+)
+
+// Decision is returned by the OnData hook (and passed to ResolveHold).
+type Decision struct {
+	Verdict Verdict
+	// Err is the error NACK code for VerdictError.
+	Err frame.ErrCode
+	// Reply is piggybacked on the ACK for VerdictAck.
+	Reply []byte
+	// HoldTimeout bounds a VerdictHold; zero means one ack-delay (A).
+	// Negative means no automatic expiry: the upper layer owns the hold
+	// and must eventually resolve it.
+	HoldTimeout time.Duration
+	// ExpiryVerdict is applied if a hold times out: VerdictAck sends a
+	// plain ACK (the "made it to handler, not accepted yet" case);
+	// VerdictBusy sends a BUSY NACK (the pipelined input-buffer case).
+	ExpiryVerdict Verdict
+}
+
+// ResultKind classifies the outcome of a reliable Send.
+type ResultKind uint8
+
+const (
+	// ResultAcked: the peer consumed the message; Reply holds any
+	// payload piggybacked on the acknowledgement.
+	ResultAcked ResultKind = iota + 1
+	// ResultError: the peer consumed the message and reported Err.
+	ResultError
+	// ResultPeerDead: no response within MPL+Δt of retransmission; the
+	// destination is reported dead (§5.2.2).
+	ResultPeerDead
+)
+
+// Result reports the outcome of a reliable Send.
+type Result struct {
+	Kind  ResultKind
+	Err   frame.ErrCode
+	Reply []byte
+}
+
+// Costs models the per-frame CPU spent by the kernel processor, split into
+// the buckets of the thesis's "Breakdown of Communications Overhead" table.
+// Each component both delays processing in virtual time and accumulates
+// into Totals.
+type Costs struct {
+	// ProtocolPerFrame is protocol processing charged on every frame
+	// sent and received.
+	ProtocolPerFrame time.Duration
+	// ConnTimerPerFrame is connection-record upkeep charged on every
+	// frame sent and received.
+	ConnTimerPerFrame time.Duration
+	// RetransTimer is charged when arming (DATA send) and clearing
+	// (ACK/NACK receipt) the retransmission timer.
+	RetransTimer time.Duration
+	// CopyPerByte is the buffer copy cost, charged per payload byte on
+	// DATA send and DATA delivery.
+	CopyPerByte time.Duration
+}
+
+// CostTotals accumulates the cost buckets for the breakdown table.
+type CostTotals struct {
+	Protocol     time.Duration
+	ConnTimer    time.Duration
+	RetransTimer time.Duration
+	Copy         time.Duration
+	FramesSent   uint64
+	FramesRecv   uint64
+}
+
+// Config sets protocol timing.
+type Config struct {
+	// MPL, R, A are the Delta-t bounds (§5.2.2).
+	MPL time.Duration
+	R   time.Duration
+	A   time.Duration
+	// RetransInterval is the base retransmission period; each attempt
+	// multiplies it by RetransBackoff, and RetransJitter of random extra
+	// delay avoids lockstep (§5.2.2).
+	RetransInterval time.Duration
+	RetransBackoff  float64
+	RetransJitter   time.Duration
+	// BusyRetryInterval is the (slightly slower) retry period after a
+	// BUSY NACK (§5.2.3).
+	BusyRetryInterval time.Duration
+	// LineBytesPerSec estimates the medium's rate so retransmission
+	// waits scale with frame size (a 2000-byte frame takes 16 ms on the
+	// thesis's 1 Mbit Megalink — longer than the base interval).
+	LineBytesPerSec int64
+	Costs           Costs
+}
+
+// DefaultConfig returns timing roughly calibrated to the thesis's
+// PDP-11/Megalink implementation.
+func DefaultConfig() Config {
+	return Config{
+		MPL:               20 * time.Millisecond,
+		R:                 100 * time.Millisecond,
+		A:                 2 * time.Millisecond,
+		RetransInterval:   12 * time.Millisecond,
+		RetransBackoff:    1.5,
+		RetransJitter:     2 * time.Millisecond,
+		BusyRetryInterval: 4 * time.Millisecond,
+		LineBytesPerSec:   125_000,
+		Costs: Costs{
+			ProtocolPerFrame:  500 * time.Microsecond,
+			ConnTimerPerFrame: 250 * time.Microsecond,
+			RetransTimer:      350 * time.Microsecond,
+			CopyPerByte:       3 * time.Microsecond,
+		},
+	}
+}
+
+// Delta returns Δt = MPL + R + A.
+func (c Config) Delta() time.Duration { return c.MPL + c.R + c.A }
+
+// ConnLifetime is the silence interval after which a connection record is
+// discarded and any sequence number is accepted again: MPL + Δt.
+func (c Config) ConnLifetime() time.Duration { return c.MPL + c.Delta() }
+
+// DeadAfter is the no-response interval after which the destination is
+// reported dead: MPL + Δt (§5.2.2).
+func (c Config) DeadAfter() time.Duration { return c.MPL + c.Delta() }
+
+// QuietPeriod is how long a recovering node must stay silent before
+// rejoining the network: 2·MPL + Δt (§5.2.2).
+func (c Config) QuietPeriod() time.Duration { return 2*c.MPL + c.Delta() }
+
+// Hooks are the upper layer's callbacks. All run in simulation context.
+type Hooks struct {
+	// OnData is invoked for each newly delivered DATA payload and must
+	// return the disposition.
+	OnData func(src frame.MID, payload []byte) Decision
+	// OnDatagram is invoked for unreliable datagrams (may be nil).
+	OnDatagram func(src frame.MID, payload []byte)
+	// OnHoldExpired is invoked when a hold auto-resolves (may be nil).
+	OnHoldExpired func(src frame.MID, applied Verdict)
+}
+
+type cachedReplyKind uint8
+
+const (
+	replyNone cachedReplyKind = iota // resolved by piggyback; nothing to replay
+	replyAck
+	replyNack
+)
+
+type cachedReply struct {
+	kind    cachedReplyKind
+	err     frame.ErrCode
+	payload []byte
+}
+
+// conn is the per-peer Delta-t connection record (both directions).
+type conn struct {
+	sendSeq   uint8
+	recvValid bool
+	recvSeq   uint8 // last delivered sequence number
+	cached    cachedReply
+	lastHeard sim.Time
+}
+
+// held is a delivered-but-unacknowledged DATA frame.
+type held struct {
+	seq    uint8
+	expiry Verdict
+	gen    int
+}
+
+// deferredAck is a plain acknowledgement awaiting a piggyback opportunity.
+type deferredAck struct {
+	seq uint8
+	gen int
+}
+
+// sendReq is one reliable message queued toward a destination.
+type sendReq struct {
+	payload []byte
+	retrans []byte // used for retransmissions when non-nil (§5.2.3)
+	cb      func(Result)
+	// urgent messages (kernel replies: accepts, re-sent accept data)
+	// jump ahead of queued requests and preempt a busy-retrying one —
+	// an ACCEPT can never be prevented from executing (§5.2.2).
+	urgent bool
+	// piggyAck acknowledges the peer's DATA with this seq on every
+	// transmission of this message.
+	piggyAck    bool
+	piggyAckSeq uint8
+}
+
+// outbox is the per-destination stop-and-wait send state.
+type outbox struct {
+	queue    []*sendReq
+	cur      *sendReq
+	deadline sim.Time
+	interval time.Duration
+	timerGen int
+	sent     bool // cur transmitted at least once
+}
+
+// Endpoint is one node's transport instance.
+type Endpoint struct {
+	k       *sim.Kernel
+	cfg     Config
+	mid     frame.MID
+	iface   *bus.Iface
+	hooks   Hooks
+	conns   map[frame.MID]*conn
+	out     map[frame.MID]*outbox
+	holds   map[frame.MID]*held
+	defAcks map[frame.MID]*deferredAck
+	totals  CostTotals
+	crashed bool
+	epoch   int // bumped on crash; stale scheduled work checks it
+}
+
+// New attaches a transport endpoint for mid to the bus.
+func New(k *sim.Kernel, b *bus.Bus, mid frame.MID, cfg Config, hooks Hooks) (*Endpoint, error) {
+	if hooks.OnData == nil {
+		return nil, fmt.Errorf("deltat: OnData hook is required")
+	}
+	e := &Endpoint{
+		k:       k,
+		cfg:     cfg,
+		mid:     mid,
+		hooks:   hooks,
+		conns:   make(map[frame.MID]*conn),
+		out:     make(map[frame.MID]*outbox),
+		holds:   make(map[frame.MID]*held),
+		defAcks: make(map[frame.MID]*deferredAck),
+	}
+	iface, err := b.Attach(mid, e.receive)
+	if err != nil {
+		return nil, err
+	}
+	e.iface = iface
+	return e, nil
+}
+
+// MID reports the endpoint's machine id.
+func (e *Endpoint) MID() frame.MID { return e.mid }
+
+// Config returns the protocol configuration.
+func (e *Endpoint) Config() Config { return e.cfg }
+
+// Totals returns the accumulated cost buckets.
+func (e *Endpoint) Totals() CostTotals { return e.totals }
+
+// ResetTotals zeroes the cost buckets (measurement windows).
+func (e *Endpoint) ResetTotals() { e.totals = CostTotals{} }
+
+// Send queues payload for reliable delivery to dst. retrans, when non-nil,
+// replaces the payload on retransmissions (SODA strips bulk data from
+// REQUEST retries, §5.2.3). cb receives exactly one Result unless the local
+// node crashes first.
+func (e *Endpoint) Send(dst frame.MID, payload, retrans []byte, cb func(Result)) {
+	e.enqueue(dst, &sendReq{payload: payload, retrans: retrans, cb: cb})
+}
+
+// SendUrgent is Send with reply priority: the message is queued ahead of
+// ordinary traffic, and if the current outgoing message is parked in a
+// BUSY-retry backoff it is preempted (swapped back into the queue) so the
+// reply goes out first. SODA's ACCEPT path requires this — a busy-retrying
+// REQUEST toward a peer must never block the reply that peer is waiting
+// for (§5.2.2).
+func (e *Endpoint) SendUrgent(dst frame.MID, payload, retrans []byte, cb func(Result)) {
+	e.enqueue(dst, &sendReq{payload: payload, retrans: retrans, cb: cb, urgent: true})
+}
+
+// SendResolvingHold is Send plus piggybacked acknowledgement: if a hold for
+// a frame from dst is pending, this message carries its ACK (resolving the
+// hold), and the function reports true. With no hold pending it behaves
+// exactly like Send and reports false.
+// The piggyback only applies when this message transmits immediately: if
+// earlier traffic occupies the outbox, the acknowledgement is released as a
+// plain ACK right away — the peer may be blocked waiting for it, and the
+// queued traffic may be blocked on the peer (§5.2.2's no-deadlock rule).
+func (e *Endpoint) SendResolvingHold(dst frame.MID, payload, retrans []byte, cb func(Result)) bool {
+	if e.OutboxBusy(dst) {
+		had := e.ResolveHold(dst, Decision{Verdict: VerdictAck})
+		e.SendUrgent(dst, payload, retrans, cb)
+		return had
+	}
+	req := &sendReq{payload: payload, retrans: retrans, cb: cb}
+	h, ok := e.holds[dst]
+	if ok {
+		delete(e.holds, dst)
+		h.gen++ // cancel expiry
+		c := e.conn(dst)
+		c.recvValid = true
+		c.recvSeq = h.seq
+		// Duplicates of the held frame are answered by the
+		// retransmission of this DATA (it always carries the piggyback),
+		// so nothing is cached for replay.
+		c.cached = cachedReply{kind: replyNone}
+		req.piggyAck = true
+		req.piggyAckSeq = h.seq
+	}
+	e.enqueue(dst, req)
+	return ok
+}
+
+// HasHold reports whether a frame from src is currently held.
+func (e *Endpoint) HasHold(src frame.MID) bool {
+	_, ok := e.holds[src]
+	return ok
+}
+
+// OutboxBusy reports whether a reliable message toward dst is in flight or
+// queued. Stop-and-wait admits one outstanding DATA per direction, so a
+// reply that must not wait (SODA's ACCEPT, §5.2.2) has to ride an
+// acknowledgement instead when this is true.
+func (e *Endpoint) OutboxBusy(dst frame.MID) bool {
+	o, ok := e.out[dst]
+	return ok && (o.cur != nil || len(o.queue) > 0)
+}
+
+// ResolveHold disposes of a held frame from src with an explicit verdict
+// (VerdictHold is invalid here). It reports false if no hold is pending —
+// the hold already auto-resolved.
+func (e *Endpoint) ResolveHold(src frame.MID, dec Decision) bool {
+	h, ok := e.holds[src]
+	if !ok {
+		return false
+	}
+	delete(e.holds, src)
+	h.gen++
+	e.applyVerdict(src, h.seq, dec)
+	return true
+}
+
+// FailAllHolds resolves every pending hold with an error NACK. The SODA
+// kernel uses it when its client dies: senders whose frames were being held
+// learn promptly that the peer state is gone. No-op on a crashed endpoint
+// (its holds are already discarded).
+func (e *Endpoint) FailAllHolds(code frame.ErrCode) {
+	if e.crashed || len(e.holds) == 0 {
+		return
+	}
+	srcs := make([]frame.MID, 0, len(e.holds))
+	for src := range e.holds {
+		srcs = append(srcs, src)
+	}
+	slices.Sort(srcs) // deterministic resolution order
+	for _, src := range srcs {
+		e.ResolveHold(src, Decision{Verdict: VerdictError, Err: code})
+	}
+}
+
+// SendDatagram transmits an unreliable one-shot frame; dst may be
+// BroadcastMID. No acknowledgement, retransmission or sequencing applies.
+func (e *Endpoint) SendDatagram(dst frame.MID, payload []byte) {
+	if e.crashed {
+		return
+	}
+	d := e.chargeSend(false, 0)
+	epoch := e.epoch
+	e.k.After(d, func() {
+		if epoch != e.epoch {
+			return
+		}
+		e.transmit(&frame.TransportFrame{
+			Kind:    frame.TransportDatagram,
+			Src:     e.mid,
+			Dst:     dst,
+			Payload: payload,
+		})
+	})
+}
+
+// Crash drops all transport state and disconnects from the bus. Pending
+// Send callbacks are discarded (the kernel above resets with us).
+func (e *Endpoint) Crash() {
+	e.crashed = true
+	e.epoch++
+	e.iface.Down()
+	e.conns = make(map[frame.MID]*conn)
+	e.out = make(map[frame.MID]*outbox)
+	e.holds = make(map[frame.MID]*held)
+	e.defAcks = make(map[frame.MID]*deferredAck)
+}
+
+// Reboot rejoins the network after the Delta-t quiet period (2·MPL+Δt) and
+// then invokes ready. Sends issued before ready are dropped.
+func (e *Endpoint) Reboot(ready func()) {
+	epoch := e.epoch
+	e.k.After(e.cfg.QuietPeriod(), func() {
+		if epoch != e.epoch {
+			return // crashed again while quiet
+		}
+		e.crashed = false
+		e.iface.Up()
+		if ready != nil {
+			ready()
+		}
+	})
+}
+
+func (e *Endpoint) conn(peer frame.MID) *conn {
+	c, ok := e.conns[peer]
+	now := e.k.Now()
+	if !ok {
+		c = &conn{lastHeard: now}
+		e.conns[peer] = c
+		return c
+	}
+	// Lazy Delta-t expiry: after ConnLifetime of silence the RECEIVE side
+	// of the record is discarded — any sequence number is accepted again
+	// ("take any SN", §5.2.2). The send side (our alternating bit) never
+	// resets outside a crash: resetting it independently of the peer's
+	// record lifetime risks a fresh message aliasing a stale duplicate,
+	// exactly the confusion Delta-t exists to prevent. A record whose
+	// frame is still held (unacknowledged) is never reclaimed.
+	if _, holding := e.holds[peer]; !holding && now-c.lastHeard > e.cfg.ConnLifetime() {
+		c.recvValid = false
+		c.cached = cachedReply{}
+	}
+	return c
+}
+
+func (e *Endpoint) enqueue(dst frame.MID, req *sendReq) {
+	if e.crashed {
+		return
+	}
+	o, ok := e.out[dst]
+	if !ok {
+		o = &outbox{}
+		e.out[dst] = o
+	}
+	if req.urgent {
+		// Insert after any earlier urgent messages, before the rest.
+		pos := 0
+		for pos < len(o.queue) && o.queue[pos].urgent {
+			pos++
+		}
+		o.queue = append(o.queue, nil)
+		copy(o.queue[pos+1:], o.queue[pos:])
+		o.queue[pos] = req
+	} else {
+		o.queue = append(o.queue, req)
+	}
+	e.startNext(dst, o)
+}
+
+func (e *Endpoint) startNext(dst frame.MID, o *outbox) {
+	if o.cur != nil || len(o.queue) == 0 {
+		return
+	}
+	o.cur = o.queue[0]
+	o.queue = o.queue[1:]
+	o.sent = false
+	o.interval = e.cfg.RetransInterval
+	o.deadline = e.k.Now() + e.cfg.DeadAfter()
+	e.transmitCur(dst, o)
+}
+
+func (e *Endpoint) transmitCur(dst frame.MID, o *outbox) {
+	req := o.cur
+	payload := req.payload
+	if o.sent && req.retrans != nil {
+		payload = req.retrans
+	}
+	first := !o.sent
+	o.sent = true
+	d := e.chargeSend(true, len(payload))
+	epoch := e.epoch
+	e.k.After(d, func() {
+		if epoch != e.epoch || o.cur != req {
+			return
+		}
+		c := e.conn(dst)
+		// A deferred plain acknowledgement rides the first DATA frame
+		// toward its peer (§5.2.3); explicit piggybacks take precedence.
+		if !req.piggyAck {
+			if da, ok := e.defAcks[dst]; ok {
+				req.piggyAck = true
+				req.piggyAckSeq = da.seq
+				da.gen = -1 // cancel the plain-ack fallback
+				delete(e.defAcks, dst)
+			}
+		}
+		f := &frame.TransportFrame{
+			Kind:       frame.TransportData,
+			Src:        e.mid,
+			Dst:        dst,
+			Seq:        c.sendSeq,
+			ConnOpen:   true,
+			AckPresent: req.piggyAck,
+			AckSeq:     req.piggyAckSeq,
+			Payload:    payload,
+		}
+		e.transmit(f)
+		e.armRetransmit(dst, o, req, first)
+	})
+}
+
+func (e *Endpoint) armRetransmit(dst frame.MID, o *outbox, req *sendReq, first bool) {
+	o.timerGen++
+	gen := o.timerGen
+	wait := o.interval + e.wireTime(len(req.payload))*3
+	if e.cfg.RetransJitter > 0 {
+		wait += time.Duration(e.k.Rand().Int63n(int64(e.cfg.RetransJitter) + 1))
+	}
+	if !first && e.cfg.RetransBackoff > 1 {
+		// The retransmission rate decreases with the number of
+		// attempts to avoid flooding the bus (§5.2.2), capped so a
+		// live-but-lossy peer still sees several attempts per
+		// death-detection window.
+		o.interval = time.Duration(float64(o.interval) * e.cfg.RetransBackoff)
+		if max := e.cfg.DeadAfter() / 6; o.interval > max {
+			o.interval = max
+		}
+	}
+	epoch := e.epoch
+	e.k.After(wait, func() {
+		if epoch != e.epoch || o.timerGen != gen || o.cur != req {
+			return
+		}
+		if e.k.Now() >= o.deadline {
+			e.peerDead(dst, o)
+			return
+		}
+		e.totals.RetransTimer += e.cfg.Costs.RetransTimer
+		e.transmitCur(dst, o)
+	})
+}
+
+// peerDead reports the destination dead: the current message and everything
+// queued behind it fail, and the connection record is discarded.
+func (e *Endpoint) peerDead(dst frame.MID, o *outbox) {
+	failed := append([]*sendReq{o.cur}, o.queue...)
+	o.cur = nil
+	o.queue = nil
+	o.timerGen++
+	delete(e.conns, dst)
+	for _, req := range failed {
+		if req != nil && req.cb != nil {
+			req.cb(Result{Kind: ResultPeerDead})
+		}
+	}
+}
+
+// wireTime estimates the transmission time of a payload of n bytes, used
+// to scale retransmission waits so large frames are not retried while
+// still in flight.
+func (e *Endpoint) wireTime(n int) time.Duration {
+	bps := e.cfg.LineBytesPerSec
+	if bps <= 0 {
+		bps = 125_000
+	}
+	return time.Duration(int64(n) * int64(time.Second) / bps)
+}
+
+func (e *Endpoint) transmit(f *frame.TransportFrame) {
+	e.totals.FramesSent++
+	e.iface.Send(f.Dst, frame.EncodeTransport(f))
+}
+
+// receive handles a raw frame from the bus (simulation context).
+func (e *Endpoint) receive(raw []byte) {
+	f, err := frame.DecodeTransport(raw)
+	if err != nil {
+		return // CRC-damaged frames are silently discarded (§5.2.2)
+	}
+	if f.Dst != e.mid && f.Dst != frame.BroadcastMID {
+		return // MID screening rejects spurious traffic (§6.12)
+	}
+	dataBytes := 0
+	if f.Kind == frame.TransportData {
+		dataBytes = len(f.Payload)
+	}
+	d := e.chargeRecv(f.Kind, dataBytes)
+	epoch := e.epoch
+	e.k.After(d, func() {
+		if epoch != e.epoch {
+			return
+		}
+		e.process(f)
+	})
+}
+
+func (e *Endpoint) process(f *frame.TransportFrame) {
+	e.totals.FramesRecv++
+	if f.Kind == frame.TransportDatagram {
+		if e.hooks.OnDatagram != nil {
+			e.hooks.OnDatagram(f.Src, f.Payload)
+		}
+		return
+	}
+	c := e.conn(f.Src)
+	c.lastHeard = e.k.Now()
+	// Death means silence: any frame heard from the peer — including a
+	// duplicate or a stale acknowledgement — proves it alive and restarts
+	// the no-response clock for the outstanding message (§5.2.2 reports a
+	// destination dead only when nothing is heard during MPL+Δt).
+	if o, ok := e.out[f.Src]; ok && o.cur != nil {
+		o.deadline = e.k.Now() + e.cfg.DeadAfter()
+	}
+	switch f.Kind {
+	case frame.TransportAck:
+		e.handleAck(f.Src, f.Seq, f.Payload)
+	case frame.TransportNack:
+		e.handleNack(f.Src, f.Seq, f.Err)
+	case frame.TransportData:
+		if f.AckPresent {
+			e.handleAck(f.Src, f.AckSeq, nil)
+		}
+		e.handleData(f.Src, f.Seq, f.Payload)
+	}
+}
+
+func (e *Endpoint) handleAck(src frame.MID, seq uint8, reply []byte) {
+	o, ok := e.out[src]
+	if !ok || o.cur == nil {
+		return // stale
+	}
+	c := e.conn(src)
+	if seq != c.sendSeq {
+		return // acknowledges something else
+	}
+	req := o.cur
+	o.cur = nil
+	o.timerGen++
+	c.sendSeq ^= 1
+	if req.cb != nil {
+		req.cb(Result{Kind: ResultAcked, Reply: reply})
+	}
+	e.startNext(src, o)
+}
+
+func (e *Endpoint) handleNack(src frame.MID, seq uint8, code frame.ErrCode) {
+	o, ok := e.out[src]
+	if !ok || o.cur == nil {
+		return
+	}
+	c := e.conn(src)
+	if seq != c.sendSeq {
+		return
+	}
+	if code == frame.NackBusy {
+		// The destination is alive but its handler is unavailable:
+		// reset the death clock and retry at the slower busy rate
+		// (§5.2.3).
+		req := o.cur
+		o.deadline = e.k.Now() + e.cfg.DeadAfter()
+		if !req.urgent && len(o.queue) > 0 && o.queue[0].urgent {
+			// A kernel reply is waiting behind this busy-retrying
+			// request; the peer may be blocked on it. Preempt: the
+			// reply goes out now and the request re-queues at the head
+			// of the ordinary traffic. The busy NACK consumed nothing
+			// at the receiver, so reusing the sequence number for a
+			// different message is sound.
+			rest := o.queue[1:]
+			pos := 0
+			for pos < len(rest) && rest[pos].urgent {
+				pos++
+			}
+			rebuilt := make([]*sendReq, 0, len(o.queue)+1)
+			rebuilt = append(rebuilt, o.queue[0])
+			rebuilt = append(rebuilt, rest[:pos]...)
+			rebuilt = append(rebuilt, req)
+			rebuilt = append(rebuilt, rest[pos:]...)
+			o.queue = rebuilt
+			o.cur = nil
+			o.timerGen++
+			e.startNext(src, o)
+			return
+		}
+		o.timerGen++
+		gen := o.timerGen
+		epoch := e.epoch
+		e.k.After(e.cfg.BusyRetryInterval, func() {
+			if epoch != e.epoch || o.timerGen != gen || o.cur != req {
+				return
+			}
+			e.transmitCur(src, o)
+		})
+		return
+	}
+	req := o.cur
+	o.cur = nil
+	o.timerGen++
+	c.sendSeq ^= 1 // error NACKs consume the message
+	if req.cb != nil {
+		req.cb(Result{Kind: ResultError, Err: code})
+	}
+	e.startNext(src, o)
+}
+
+func (e *Endpoint) handleData(src frame.MID, seq uint8, payload []byte) {
+	c := e.conn(src)
+	if h, ok := e.holds[src]; ok {
+		if h.seq == seq {
+			return // duplicate of the held frame; resolution will answer
+		}
+		// A new message while one is held cannot happen under
+		// stop-and-wait; drop defensively.
+		return
+	}
+	if c.recvValid && seq == c.recvSeq {
+		e.replay(src, seq, c)
+		return
+	}
+	dec := e.hooks.OnData(src, payload)
+	e.applyVerdict(src, seq, dec)
+}
+
+// replay re-answers a duplicate of the last consumed DATA frame using the
+// cached reply, so a lost ACK is recovered without re-delivering (§5.2.3).
+func (e *Endpoint) replay(src frame.MID, seq uint8, c *conn) {
+	switch c.cached.kind {
+	case replyAck:
+		e.sendAck(src, seq, c.cached.payload)
+	case replyNack:
+		e.sendNack(src, seq, c.cached.err)
+	case replyNone:
+		// Consumed via a piggybacked ACK on a reverse DATA frame whose
+		// own retransmission timer covers the loss; stay silent.
+	}
+}
+
+func (e *Endpoint) applyVerdict(src frame.MID, seq uint8, dec Decision) {
+	c := e.conn(src)
+	switch dec.Verdict {
+	case VerdictAck:
+		c.recvValid = true
+		c.recvSeq = seq
+		c.cached = cachedReply{kind: replyAck, payload: dec.Reply}
+		e.sendAck(src, seq, dec.Reply)
+	case VerdictError:
+		c.recvValid = true
+		c.recvSeq = seq
+		c.cached = cachedReply{kind: replyNack, err: dec.Err}
+		e.sendNack(src, seq, dec.Err)
+	case VerdictAckDeferred:
+		c.recvValid = true
+		c.recvSeq = seq
+		c.cached = cachedReply{kind: replyAck}
+		da := &deferredAck{seq: seq}
+		e.defAcks[src] = da
+		gen := da.gen
+		epoch := e.epoch
+		e.k.After(e.cfg.A, func() {
+			if epoch != e.epoch || e.defAcks[src] != da || da.gen != gen {
+				return
+			}
+			delete(e.defAcks, src)
+			e.sendAck(src, seq, nil)
+		})
+	case VerdictBusy:
+		// Not consumed: no record update, so the retry is processed
+		// fresh.
+		e.sendNack(src, seq, frame.NackBusy)
+	case VerdictHold:
+		h := &held{seq: seq, expiry: dec.ExpiryVerdict}
+		e.holds[src] = h
+		timeout := dec.HoldTimeout
+		if timeout < 0 {
+			return // no auto expiry; the upper layer owns the hold
+		}
+		if timeout == 0 {
+			timeout = e.cfg.A
+		}
+		if h.expiry == 0 {
+			h.expiry = VerdictAck
+		}
+		gen := h.gen
+		epoch := e.epoch
+		e.k.After(timeout, func() {
+			if epoch != e.epoch || e.holds[src] != h || h.gen != gen {
+				return
+			}
+			delete(e.holds, src)
+			e.applyVerdict(src, seq, Decision{Verdict: h.expiry})
+			if e.hooks.OnHoldExpired != nil {
+				e.hooks.OnHoldExpired(src, h.expiry)
+			}
+		})
+	default:
+		panic(fmt.Sprintf("deltat: invalid verdict %d", dec.Verdict))
+	}
+}
+
+func (e *Endpoint) sendAck(dst frame.MID, seq uint8, payload []byte) {
+	d := e.chargeSend(false, 0)
+	epoch := e.epoch
+	e.k.After(d, func() {
+		if epoch != e.epoch {
+			return
+		}
+		e.transmit(&frame.TransportFrame{
+			Kind:     frame.TransportAck,
+			Src:      e.mid,
+			Dst:      dst,
+			Seq:      seq,
+			ConnOpen: true,
+			Payload:  payload,
+		})
+	})
+}
+
+func (e *Endpoint) sendNack(dst frame.MID, seq uint8, code frame.ErrCode) {
+	d := e.chargeSend(false, 0)
+	epoch := e.epoch
+	e.k.After(d, func() {
+		if epoch != e.epoch {
+			return
+		}
+		e.transmit(&frame.TransportFrame{
+			Kind:    frame.TransportNack,
+			Src:     e.mid,
+			Dst:     dst,
+			Seq:     seq,
+			Err:     code,
+			Payload: nil,
+		})
+	})
+}
+
+// chargeSend accounts the CPU cost of emitting a frame and returns the
+// processing delay before it reaches the bus.
+func (e *Endpoint) chargeSend(data bool, payloadLen int) time.Duration {
+	cs := e.cfg.Costs
+	d := cs.ProtocolPerFrame + cs.ConnTimerPerFrame
+	e.totals.Protocol += cs.ProtocolPerFrame
+	e.totals.ConnTimer += cs.ConnTimerPerFrame
+	if data {
+		d += cs.RetransTimer
+		e.totals.RetransTimer += cs.RetransTimer
+		cp := time.Duration(payloadLen) * cs.CopyPerByte
+		d += cp
+		e.totals.Copy += cp
+	}
+	return d
+}
+
+// chargeRecv accounts the CPU cost of accepting a frame from the bus and
+// returns the processing delay before it is interpreted.
+func (e *Endpoint) chargeRecv(kind frame.TransportKind, dataLen int) time.Duration {
+	cs := e.cfg.Costs
+	d := cs.ProtocolPerFrame + cs.ConnTimerPerFrame
+	e.totals.Protocol += cs.ProtocolPerFrame
+	e.totals.ConnTimer += cs.ConnTimerPerFrame
+	switch kind {
+	case frame.TransportAck, frame.TransportNack:
+		d += cs.RetransTimer
+		e.totals.RetransTimer += cs.RetransTimer
+	case frame.TransportData:
+		cp := time.Duration(dataLen) * cs.CopyPerByte
+		d += cp
+		e.totals.Copy += cp
+	}
+	return d
+}

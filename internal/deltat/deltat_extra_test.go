@@ -1,0 +1,210 @@
+package deltat
+
+import (
+	"testing"
+	"time"
+
+	"soda/internal/bus"
+	"soda/internal/frame"
+	"soda/internal/sim"
+)
+
+// TestUrgentJumpsQueue: an urgent message enqueued behind ordinary traffic
+// is delivered first.
+func TestUrgentJumpsQueue(t *testing.T) {
+	var got []string
+	hooks := map[frame.MID]Hooks{
+		2: {OnData: func(_ frame.MID, p []byte) Decision {
+			got = append(got, string(p))
+			return Decision{Verdict: VerdictAck}
+		}},
+	}
+	r := newRig(t, 1, 0, []frame.MID{1, 2}, hooks)
+	// m0 transmits immediately (cur); m1..m3 queue; the urgent message
+	// must precede them.
+	r.eps[1].Send(2, []byte("m0"), nil, nil)
+	r.eps[1].Send(2, []byte("m1"), nil, nil)
+	r.eps[1].Send(2, []byte("m2"), nil, nil)
+	r.eps[1].SendUrgent(2, []byte("urgent"), nil, nil)
+	if err := r.k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"m0", "urgent", "m1", "m2"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestUrgentPreemptsBusyRetry: a message stuck in BUSY retries yields to an
+// urgent reply, then still completes.
+func TestUrgentPreemptsBusyRetry(t *testing.T) {
+	k := sim.New(1)
+	k.SetEventLimit(2_000_000)
+	b := bus.New(k, bus.DefaultConfig())
+	var got []string
+	busyUntil := 60 * time.Millisecond
+	e1, err := New(k, b, 1, DefaultConfig(), Hooks{
+		OnData: func(frame.MID, []byte) Decision { return Decision{Verdict: VerdictAck} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(k, b, 2, DefaultConfig(), Hooks{
+		OnData: func(_ frame.MID, p []byte) Decision {
+			if string(p) == "blocked" && k.Now() < busyUntil {
+				return Decision{Verdict: VerdictBusy}
+			}
+			got = append(got, string(p))
+			return Decision{Verdict: VerdictAck}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e1.Send(2, []byte("blocked"), nil, nil)
+	k.At(10*time.Millisecond, func() {
+		e1.SendUrgent(2, []byte("reply"), nil, nil)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 2 || got[0] != "reply" || got[1] != "blocked" {
+		t.Fatalf("order = %v, want [reply blocked]", got)
+	}
+}
+
+// TestDeferredAckPiggybacksOnNextData: VerdictAckDeferred rides the next
+// DATA frame toward the sender instead of a dedicated ACK.
+func TestDeferredAckPiggybacksOnNextData(t *testing.T) {
+	var oneAcked bool
+	hooks := map[frame.MID]Hooks{
+		2: {OnData: func(frame.MID, []byte) Decision {
+			return Decision{Verdict: VerdictAckDeferred}
+		}},
+		1: {OnData: func(frame.MID, []byte) Decision {
+			return Decision{Verdict: VerdictAck}
+		}},
+	}
+	r := newRig(t, 1, 0, []frame.MID{1, 2}, hooks)
+	r.eps[1].Send(2, []byte("query"), nil, func(res Result) {
+		oneAcked = res.Kind == ResultAcked
+	})
+	// Node 2 sends its own DATA shortly after delivery (the query lands
+	// at ≈2 ms) — within the ack-delay window — so the deferred ack
+	// piggybacks.
+	r.k.At(2500*time.Microsecond, func() {
+		r.eps[2].Send(1, []byte("reply"), nil, nil)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !oneAcked {
+		t.Fatal("deferred ack never reached the sender")
+	}
+	st := r.b.Stats()
+	// query DATA, reply DATA (carrying the deferred ack), reply's ACK:
+	// exactly 3 frames, zero standalone ACKs for the query.
+	if st.FramesSent != 3 {
+		t.Fatalf("frames = %d (%v), want 3", st.FramesSent, st.ByKind)
+	}
+}
+
+// TestDeferredAckFallsBackToPlainAck: with no reverse traffic the deferred
+// ack degenerates to a plain ACK after the window.
+func TestDeferredAckFallsBackToPlainAck(t *testing.T) {
+	hooks := map[frame.MID]Hooks{
+		2: {OnData: func(frame.MID, []byte) Decision {
+			return Decision{Verdict: VerdictAckDeferred}
+		}},
+	}
+	r := newRig(t, 1, 0, []frame.MID{1, 2}, hooks)
+	acked := false
+	var ackedAt time.Duration
+	r.eps[1].Send(2, []byte("query"), nil, func(res Result) {
+		acked = res.Kind == ResultAcked
+		ackedAt = r.k.Now()
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !acked {
+		t.Fatal("no ack")
+	}
+	if a := DefaultConfig().A; ackedAt < a {
+		t.Fatalf("acked at %v, before the %v deferral window", ackedAt, a)
+	}
+	if st := r.b.Stats(); st.ByKind[frame.TransportAck] != 1 {
+		t.Fatalf("frame mix %v, want one plain ACK", st.ByKind)
+	}
+}
+
+// TestDeferredAckDupReplay: duplicates of a deferred-acked frame replay a
+// plain ack (exactly-once delivery preserved).
+func TestDeferredAckDupReplay(t *testing.T) {
+	calls := 0
+	hooks := map[frame.MID]Hooks{
+		2: {OnData: func(frame.MID, []byte) Decision {
+			calls++
+			return Decision{Verdict: VerdictAckDeferred}
+		}},
+	}
+	// Loss forces retransmissions; delivery must still be exactly once.
+	for _, seed := range []int64{3, 7, 13} {
+		calls = 0
+		r := newRig(t, seed, 0.35, []frame.MID{1, 2}, hooks)
+		acked := false
+		r.eps[1].Send(2, []byte("only-once"), nil, func(res Result) {
+			acked = res.Kind == ResultAcked
+		})
+		if err := r.k.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !acked || calls != 1 {
+			t.Fatalf("seed %d: acked=%v calls=%d", seed, acked, calls)
+		}
+	}
+}
+
+// TestOutboxBusy reflects in-flight state.
+func TestOutboxBusy(t *testing.T) {
+	r := newRig(t, 1, 0, []frame.MID{1, 2}, nil)
+	if r.eps[1].OutboxBusy(2) {
+		t.Fatal("fresh outbox busy")
+	}
+	r.eps[1].Send(2, []byte("x"), nil, nil)
+	if !r.eps[1].OutboxBusy(2) {
+		t.Fatal("outbox with in-flight message not busy")
+	}
+	if err := r.k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.eps[1].OutboxBusy(2) {
+		t.Fatal("outbox busy after completion")
+	}
+}
+
+// TestFailAllHolds: pending holds resolve to error NACKs.
+func TestFailAllHolds(t *testing.T) {
+	hooks := map[frame.MID]Hooks{
+		2: {OnData: func(frame.MID, []byte) Decision {
+			return Decision{Verdict: VerdictHold, HoldTimeout: -1}
+		}},
+	}
+	r := newRig(t, 1, 0, []frame.MID{1, 2}, hooks)
+	var res *Result
+	r.eps[1].Send(2, []byte("held"), nil, func(got Result) { res = &got })
+	r.k.At(10*time.Millisecond, func() { r.eps[2].FailAllHolds(frame.ErrStale) })
+	if err := r.k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res == nil || res.Kind != ResultError || res.Err != frame.ErrStale {
+		t.Fatalf("result = %+v, want stale error", res)
+	}
+	if r.eps[2].HasHold(1) {
+		t.Fatal("hold survived FailAllHolds")
+	}
+}

@@ -1,0 +1,135 @@
+package frame
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TransportKind discriminates frames at the Delta-t transport level
+// (§5.2.2–5.2.3).
+type TransportKind uint8
+
+const (
+	// TransportData carries an encoded kernel message reliably: it is
+	// retransmitted until acknowledged. A DATA frame may additionally
+	// piggyback an acknowledgement for the reverse direction (AckPresent)
+	// — this is how ACCEPT+DATA acknowledges the REQUEST it completes,
+	// and how a new REQUEST acknowledges the previous reply's data
+	// (§5.2.3).
+	TransportData TransportKind = iota + 1
+	// TransportAck acknowledges a DATA frame; it may piggyback an
+	// encoded kernel message in its payload (e.g. ACCEPT+ACK for a PUT).
+	TransportAck
+	// TransportNack is a negative acknowledgement: BUSY (the server
+	// handler is unavailable; retry later) or an error code.
+	TransportNack
+	// TransportDatagram is an unreliable one-shot frame: no sequence
+	// numbers, no acknowledgement, no retransmission. DISCOVER queries
+	// and their staggered replies use datagrams; SODA makes no
+	// reliability guarantees about DISCOVER (§3.4.4).
+	TransportDatagram
+)
+
+func (k TransportKind) String() string {
+	switch k {
+	case TransportData:
+		return "DATA"
+	case TransportAck:
+		return "ACK"
+	case TransportNack:
+		return "NACK"
+	case TransportDatagram:
+		return "DGRAM"
+	default:
+		return fmt.Sprintf("transport(%d)", uint8(k))
+	}
+}
+
+// NackBusy is the Err value of a BUSY NACK: the destination handler was
+// unavailable and the frame should be retransmitted later at a reduced rate
+// (§5.2.3). Error NACKs carry one of the ErrCode values instead.
+const NackBusy ErrCode = 0xFF
+
+// TransportFrame is the unit transmitted on the bus. Every frame carries
+// the sender's view of the connection state so the receiver can discard
+// duplicates; the ConnOpen bit prevents a frame from appearing to contain a
+// piggybacked ACK when no connection is active (§5.2.3).
+type TransportFrame struct {
+	Kind     TransportKind
+	Src      MID
+	Dst      MID // BroadcastMID addresses every kernel
+	Seq      uint8
+	ConnOpen bool
+	// AckPresent marks a DATA frame that also acknowledges the peer's
+	// outstanding DATA with sequence AckSeq (piggybacked ACK).
+	AckPresent bool
+	AckSeq     uint8
+	Err        ErrCode // NACK discriminator; NackBusy or an ErrCode
+	Payload    []byte
+}
+
+// transportHeaderSize is the fixed on-wire header length: kind(1) src(2)
+// dst(2) seq(1) flags(1) ackseq(1) err(1) paylen(4) + crc-equivalent pad(3).
+// The three pad bytes stand in for the Megalink's CRC and sync overhead so
+// frame timing is comparable to the thesis's hardware.
+const transportHeaderSize = 16
+
+// WireSize is the encoded frame length in bytes; it drives the bus
+// transmission-time model.
+func (f *TransportFrame) WireSize() int { return transportHeaderSize + len(f.Payload) }
+
+const (
+	flagConnOpen   = 1 << 0
+	flagAckPresent = 1 << 1
+)
+
+// EncodeTransport serializes a transport frame.
+func EncodeTransport(f *TransportFrame) []byte {
+	dst := make([]byte, 0, f.WireSize())
+	dst = append(dst, byte(f.Kind))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(f.Src))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(f.Dst))
+	var flags byte
+	if f.ConnOpen {
+		flags |= flagConnOpen
+	}
+	if f.AckPresent {
+		flags |= flagAckPresent
+	}
+	dst = append(dst, f.Seq, flags, f.AckSeq, byte(f.Err))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Payload)))
+	dst = append(dst, 0, 0, 0) // CRC/sync stand-in
+	return append(dst, f.Payload...)
+}
+
+// DecodeTransport parses a frame produced by EncodeTransport.
+func DecodeTransport(b []byte) (*TransportFrame, error) {
+	if len(b) < transportHeaderSize {
+		return nil, ErrShortFrame
+	}
+	flags := b[6]
+	f := &TransportFrame{
+		Kind:       TransportKind(b[0]),
+		Src:        MID(binary.BigEndian.Uint16(b[1:3])),
+		Dst:        MID(binary.BigEndian.Uint16(b[3:5])),
+		Seq:        b[5],
+		ConnOpen:   flags&flagConnOpen != 0,
+		AckPresent: flags&flagAckPresent != 0,
+		AckSeq:     b[7],
+		Err:        ErrCode(b[8]),
+	}
+	switch f.Kind {
+	case TransportData, TransportAck, TransportNack, TransportDatagram:
+	default:
+		return nil, fmt.Errorf("%w: transport kind %d", ErrUnknownKind, b[0])
+	}
+	n := binary.BigEndian.Uint32(b[9:13])
+	if uint32(len(b)-transportHeaderSize) != n {
+		return nil, ErrShortFrame
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		copy(f.Payload, b[transportHeaderSize:])
+	}
+	return f, nil
+}

@@ -1,0 +1,171 @@
+// Package modport is the comparison baseline for §5.5: a *MOD-style
+// port-call layer in the spirit of LeBlanc's implementation on identical
+// hardware ([9] in the thesis).
+//
+// *MOD processes communicate through ports managed by a language runtime
+// layered above the message system: every call traverses the runtime on
+// both machines (argument marshalling, port table lookup, process
+// scheduling), and replies travel the same layered path back. The thesis
+// measures a synchronous remote port call at 20.7 ms and an asynchronous
+// one at 11.1 ms, versus SODA's 8.5/10.0 ms blocking and 4.9/5.8 ms
+// non-blocking signals — the cost of the extra layer is roughly a factor
+// of two.
+//
+// This package reproduces that structure over the same simulated network:
+// a port server whose runtime queues every call for its process body, an
+// explicit reply message for synchronous calls (no piggybacking — the
+// layered runtime cannot reach into the transport), and a per-traversal
+// runtime charge calibrated to LeBlanc's published numbers.
+package modport
+
+import (
+	"time"
+
+	"soda"
+	"soda/sodal"
+)
+
+// RuntimeCost is the CPU charged for each traversal of the *MOD runtime
+// layer (marshalling, port table lookup, scheduler hand-off). Charged once
+// per call on the caller and once per delivery on the server, and again
+// for the reply leg of a synchronous call.
+const RuntimeCost = 1600 * time.Microsecond
+
+// ReplyPattern carries synchronous-call replies back to the caller's own
+// port runtime.
+var ReplyPattern = soda.WellKnownPattern(0o5001)
+
+// Handler processes one port call; for synchronous calls the return value
+// is shipped back to the caller.
+type Handler func(c *soda.Client, from soda.MID, data []byte) []byte
+
+// Call kinds carried in the request argument.
+const (
+	kindAsync int32 = iota + 1
+	kindSync
+)
+
+// queued is one call awaiting the process body.
+type queued struct {
+	from  soda.MID
+	kind  int32
+	data  []byte
+	reply soda.RequesterSig // unused for async calls
+}
+
+// serverState is the port runtime's queue.
+type serverState struct {
+	calls *sodal.Queue[queued]
+}
+
+// Server returns a *MOD-style process exporting one port. Calls queue in
+// the runtime and execute in the process body (the task), never in the
+// interrupt handler — *MOD has no analogue of SODA's flexible ACCEPT
+// scheduling, so every call pays the queueing path (§5.5 compares SODA's
+// queued case against this).
+func Server(port soda.Pattern, queueCap int, h Handler) soda.Program {
+	if queueCap <= 0 {
+		queueCap = 16
+	}
+	return soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			c.SetStash(&serverState{calls: sodal.NewQueue[queued](queueCap)})
+			if err := c.Advertise(port); err != nil {
+				panic(err)
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind != soda.EventRequestArrival || ev.Pattern != port {
+				return
+			}
+			st := c.Stash().(*serverState)
+			if st.calls.IsFull() {
+				c.RejectCurrent()
+				return
+			}
+			// Runtime layer: demultiplex to the port table and buffer
+			// the message.
+			c.Hold(RuntimeCost)
+			res := c.AcceptCurrentPut(soda.OK, ev.PutSize)
+			if res.Status != soda.AcceptSuccess {
+				return
+			}
+			st.calls.EnQueue(queued{from: ev.Asker.MID, kind: ev.Arg, data: res.Data})
+		},
+		Task: func(c *soda.Client) {
+			st := c.Stash().(*serverState)
+			for {
+				c.WaitUntil(func() bool { return !st.calls.IsEmpty() })
+				q := st.calls.MustDeQueue()
+				c.Hold(RuntimeCost) // runtime hand-off to the process body
+				out := h(c, q.from, q.data)
+				if q.kind == kindSync {
+					// The reply is a fresh layered message back to the
+					// caller's runtime.
+					c.Hold(RuntimeCost)
+					c.BPut(soda.ServerSig{MID: q.from, Pattern: ReplyPattern}, soda.OK, out)
+				}
+			}
+		},
+	}
+}
+
+// callerState tracks the outstanding synchronous call.
+type callerState struct {
+	waiting bool
+	reply   []byte
+	gotIt   bool
+}
+
+// InitCaller prepares a client to issue port calls (it advertises the
+// reply port). Call it from the program's Init; route handler events
+// through HandleEvent.
+func InitCaller(c *soda.Client) error {
+	c.SetStash(&callerState{})
+	return c.Advertise(ReplyPattern)
+}
+
+// HandleEvent consumes reply-port traffic; programs call it from their
+// handler, using the return to skip their own processing.
+func HandleEvent(c *soda.Client, ev soda.Event) bool {
+	if ev.Kind != soda.EventRequestArrival || ev.Pattern != ReplyPattern {
+		return false
+	}
+	st, ok := c.Stash().(*callerState)
+	if !ok || !st.waiting {
+		c.RejectCurrent()
+		return true
+	}
+	res := c.AcceptCurrentPut(soda.OK, ev.PutSize)
+	if res.Status == soda.AcceptSuccess {
+		st.reply = res.Data
+		st.gotIt = true
+	}
+	return true
+}
+
+// AsyncCall issues an asynchronous port call: the caller resumes once the
+// message is buffered at the destination's runtime (§5.5's "asynchronous
+// port call", 11.1 ms in *MOD).
+func AsyncCall(c *soda.Client, dst soda.ServerSig, data []byte) soda.Status {
+	c.Hold(RuntimeCost) // caller-side runtime traversal
+	return c.BPut(dst, kindAsync, data).Status
+}
+
+// SyncCall issues a synchronous remote port call: the caller blocks until
+// the destination's process body has executed the call and replied
+// (§5.5's "synchronous port call", 20.7 ms in *MOD).
+func SyncCall(c *soda.Client, dst soda.ServerSig, data []byte) ([]byte, soda.Status) {
+	st := c.Stash().(*callerState)
+	st.waiting = true
+	st.gotIt = false
+	c.Hold(RuntimeCost) // caller-side runtime traversal
+	if res := c.BPut(dst, kindSync, data); res.Status != soda.StatusSuccess {
+		st.waiting = false
+		return nil, res.Status
+	}
+	c.WaitUntil(func() bool { return st.gotIt })
+	st.waiting = false
+	c.Hold(RuntimeCost) // reply-side runtime traversal
+	return st.reply, soda.StatusSuccess
+}

@@ -1,0 +1,124 @@
+package modport
+
+import (
+	"testing"
+	"time"
+
+	"soda"
+)
+
+var testPort = soda.WellKnownPattern(0o5100)
+
+func TestSyncCallRoundTrip(t *testing.T) {
+	nw := soda.NewNetwork()
+	nw.Register("server", Server(testPort, 8, func(_ *soda.Client, _ soda.MID, data []byte) []byte {
+		out := append([]byte("re:"), data...)
+		return out
+	}))
+	var got []byte
+	var st soda.Status
+	nw.Register("caller", soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			if err := InitCaller(c); err != nil {
+				panic(err)
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) { HandleEvent(c, ev) },
+		Task: func(c *soda.Client) {
+			got, st = SyncCall(c, soda.ServerSig{MID: 1, Pattern: testPort}, []byte("ping"))
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "server")
+	nw.MustBoot(2, "caller")
+	if err := nw.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st != soda.StatusSuccess || string(got) != "re:ping" {
+		t.Fatalf("sync call = %v %q", st, got)
+	}
+}
+
+func TestAsyncCallsProcessedInOrder(t *testing.T) {
+	nw := soda.NewNetwork()
+	var got []byte
+	nw.Register("server", Server(testPort, 8, func(_ *soda.Client, _ soda.MID, data []byte) []byte {
+		got = append(got, data...)
+		return nil
+	}))
+	nw.Register("caller", soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			if err := InitCaller(c); err != nil {
+				panic(err)
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) { HandleEvent(c, ev) },
+		Task: func(c *soda.Client) {
+			for i := byte(0); i < 5; i++ {
+				if st := AsyncCall(c, soda.ServerSig{MID: 1, Pattern: testPort}, []byte{i}); st != soda.StatusSuccess {
+					t.Errorf("async call %d: %v", i, st)
+				}
+			}
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "server")
+	nw.MustBoot(2, "caller")
+	if err := nw.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("server processed %d calls", len(got))
+	}
+	for i, v := range got {
+		if v != byte(i) {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+// TestSyncSlowerThanAsync pins the baseline's structural property: the
+// synchronous call pays the full layered round trip and must cost well
+// over the asynchronous one (the §5.5 relationship).
+func TestSyncSlowerThanAsync(t *testing.T) {
+	measure := func(sync bool) time.Duration {
+		nw := soda.NewNetwork()
+		nw.Register("server", Server(testPort, 8, func(*soda.Client, soda.MID, []byte) []byte { return nil }))
+		var elapsed time.Duration
+		nw.Register("caller", soda.Program{
+			Init: func(c *soda.Client, _ soda.MID) {
+				if err := InitCaller(c); err != nil {
+					panic(err)
+				}
+			},
+			Handler: func(c *soda.Client, ev soda.Event) { HandleEvent(c, ev) },
+			Task: func(c *soda.Client) {
+				const n = 10
+				start := c.Now()
+				for i := 0; i < n; i++ {
+					if sync {
+						SyncCall(c, soda.ServerSig{MID: 1, Pattern: testPort}, []byte{1})
+					} else {
+						AsyncCall(c, soda.ServerSig{MID: 1, Pattern: testPort}, []byte{1})
+					}
+				}
+				elapsed = (c.Now() - start) / n
+			},
+		})
+		nw.MustAddNode(1)
+		nw.MustAddNode(2)
+		nw.MustBoot(1, "server")
+		nw.MustBoot(2, "caller")
+		if err := nw.Run(30 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	syncCost := measure(true)
+	asyncCost := measure(false)
+	if syncCost < asyncCost*3/2 {
+		t.Fatalf("sync %v vs async %v; expected sync ≳ 1.5× async", syncCost, asyncCost)
+	}
+}

@@ -1,0 +1,254 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All of the SODA reproduction runs under virtual time supplied by this
+// package: the broadcast bus charges transmission time, the Delta-t protocol
+// arms retransmission and connection timers, and client programs execute as
+// cooperative processes. Determinism is achieved by running exactly one
+// process at a time (control is handed between the scheduler goroutine and
+// process goroutines over unbuffered channels) and by breaking event-time
+// ties with a monotonically increasing sequence number.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant of virtual time, measured as an offset from the start
+// of the simulation. The zero Time is the simulation epoch.
+type Time = time.Duration
+
+// ErrStalled is returned by Run when runnable work remains impossible:
+// processes are suspended but no event can ever wake them.
+var ErrStalled = errors.New("sim: all processes suspended with no pending events")
+
+// event is a scheduled occurrence: at time t, fn runs (scheduler context) or
+// proc resumes (process context). Exactly one of fn/proc is set.
+type event struct {
+	t    Time
+	seq  uint64
+	fn   func()
+	proc *Proc
+}
+
+// eventHeap orders events by (time, sequence); sequence breaks ties so that
+// scheduling order is deterministic and FIFO at equal timestamps.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event scheduler with a virtual clock.
+//
+// A Kernel is not safe for concurrent use from multiple goroutines; all
+// interaction must happen either before Run, or from within event callbacks
+// and processes (which the Kernel serializes).
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{} // processes signal "I have yielded control"
+	rng     *rand.Rand
+	procs   int // live (started, not finished) processes
+	current *Proc
+	stopped bool
+	limit   uint64 // safety valve on total events processed; 0 = unlimited
+}
+
+// New returns a Kernel whose random source is seeded deterministically.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Current reports the process currently executing, or nil in scheduler
+// (event-callback) context. A blocking call made from inside a process must
+// suspend that exact process; Current is the authoritative identity.
+func (k *Kernel) Current() *Proc { return k.current }
+
+// Rand exposes the kernel's deterministic random source. All randomness in
+// the simulation (loss injection, backoff jitter, pattern generation) must
+// come from here so runs are reproducible from the seed.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// SetEventLimit caps the total number of events processed by Run; exceeding
+// it makes Run return an error. Zero means unlimited. It exists to turn
+// accidental livelock (e.g. two kernels retransmitting at each other
+// forever) into a test failure instead of a hang.
+func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
+
+// At schedules fn to run in scheduler context at absolute virtual time t.
+// Times in the past are clamped to now.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{t: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (k *Kernel) After(d time.Duration, fn func()) { k.At(k.now+d, fn) }
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run processes events until none remain, Stop is called, or the event limit
+// is exceeded. If processes remain suspended when the event queue drains,
+// Run returns ErrStalled so deadlocks in client programs surface as errors.
+func (k *Kernel) Run() error { return k.RunUntil(-1) }
+
+// RunUntil is Run bounded by an absolute virtual deadline; a negative
+// deadline means "no deadline". Events at exactly the deadline still run.
+func (k *Kernel) RunUntil(deadline Time) error {
+	var processed uint64
+	for len(k.events) > 0 && !k.stopped {
+		if deadline >= 0 && k.events[0].t > deadline {
+			k.now = deadline
+			return nil
+		}
+		ev := heap.Pop(&k.events).(*event)
+		k.now = ev.t
+		processed++
+		if k.limit > 0 && processed > k.limit {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", k.limit, k.now)
+		}
+		switch {
+		case ev.proc != nil:
+			if ev.proc.finished {
+				continue // process died before its wakeup fired
+			}
+			k.current = ev.proc
+			ev.proc.resume <- struct{}{}
+			<-k.yield
+			k.current = nil
+		default:
+			ev.fn()
+		}
+	}
+	if deadline >= 0 {
+		// Bounded runs treat idle (e.g. server processes parked waiting
+		// for requests that never come) as normal completion.
+		if !k.stopped && k.now < deadline {
+			k.now = deadline
+		}
+		return nil
+	}
+	if k.procs > 0 && !k.stopped {
+		return ErrStalled
+	}
+	return nil
+}
+
+// Proc is a cooperative simulation process backed by a goroutine. Exactly
+// one Proc (or the scheduler) runs at any instant; a Proc relinquishes
+// control only inside Hold, Suspend, or by returning.
+type Proc struct {
+	k        *Kernel
+	name     string
+	resume   chan struct{}
+	finished bool
+	waiting  bool // suspended, awaiting Resume
+}
+
+// Spawn creates a process executing fn and schedules it to start at the
+// current virtual time. fn runs entirely under the scheduler's control.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.finished = true
+		k.procs--
+		k.yield <- struct{}{}
+	}()
+	k.scheduleProc(p, k.now)
+	return p
+}
+
+func (k *Kernel) scheduleProc(p *Proc, t Time) {
+	k.seq++
+	heap.Push(&k.events, &event{t: t, seq: k.seq, proc: p})
+}
+
+// Name reports the name given at Spawn, for traces and error messages.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning simulation kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports current virtual time (convenience for p.Kernel().Now()).
+func (p *Proc) Now() Time { return p.k.now }
+
+// Hold blocks the process for virtual duration d. Negative d holds for 0,
+// which still yields to other same-time events (a cooperative "yield").
+func (p *Proc) Hold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.scheduleProc(p, p.k.now+d)
+	p.yieldAndWait()
+}
+
+// Suspend blocks the process until another party calls Resume. Calling
+// Resume before Suspend is an error in the caller's logic and will deadlock
+// the simulation (surfaced by Run as ErrStalled).
+func (p *Proc) Suspend() {
+	p.waiting = true
+	p.yieldAndWait()
+	p.waiting = false
+}
+
+// Resume schedules a Suspend-ed process to continue at the current virtual
+// time. It must be called from scheduler context or from another process.
+// Resuming a process that is not suspended panics: it indicates lost-wakeup
+// bookkeeping in the caller.
+func (p *Proc) Resume() {
+	if p.finished {
+		return
+	}
+	if !p.waiting {
+		panic(fmt.Sprintf("sim: Resume of %q which is not suspended", p.name))
+	}
+	p.waiting = false // consume the wakeup; a second Resume before it runs panics
+	p.k.scheduleProc(p, p.k.now)
+}
+
+// Suspended reports whether the process is currently blocked in Suspend.
+func (p *Proc) Suspended() bool { return p.waiting }
+
+// Finished reports whether the process function has returned.
+func (p *Proc) Finished() bool { return p.finished }
+
+func (p *Proc) yieldAndWait() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+}

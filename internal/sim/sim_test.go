@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCallbackOrdering(t *testing.T) {
+	k := New(1)
+	var got []int
+	k.At(30*time.Millisecond, func() { got = append(got, 3) })
+	k.At(10*time.Millisecond, func() { got = append(got, 1) })
+	k.At(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", k.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	k := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestPastEventClampedToNow(t *testing.T) {
+	k := New(1)
+	fired := false
+	k.At(10*time.Millisecond, func() {
+		k.At(1*time.Millisecond, func() { // in the past; must clamp
+			fired = true
+			if k.Now() != 10*time.Millisecond {
+				t.Errorf("past event ran at %v, want clamp to 10ms", k.Now())
+			}
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("clamped event never fired")
+	}
+}
+
+func TestProcHold(t *testing.T) {
+	k := New(1)
+	var trace []Time
+	k.Spawn("holder", func(p *Proc) {
+		trace = append(trace, p.Now())
+		p.Hold(7 * time.Millisecond)
+		trace = append(trace, p.Now())
+		p.Hold(3 * time.Millisecond)
+		trace = append(trace, p.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []Time{0, 7 * time.Millisecond, 10 * time.Millisecond}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	k := New(1)
+	var woke Time
+	p := k.Spawn("sleeper", func(p *Proc) {
+		p.Suspend()
+		woke = p.Now()
+	})
+	k.At(42*time.Millisecond, func() { p.Resume() })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if woke != 42*time.Millisecond {
+		t.Fatalf("woke at %v, want 42ms", woke)
+	}
+	if !p.Finished() {
+		t.Fatal("process did not finish")
+	}
+}
+
+func TestStalledDetection(t *testing.T) {
+	k := New(1)
+	k.Spawn("stuck", func(p *Proc) { p.Suspend() })
+	if err := k.Run(); err != ErrStalled {
+		t.Fatalf("Run = %v, want ErrStalled", err)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New(1)
+	fired := 0
+	k.At(10*time.Millisecond, func() { fired++ })
+	k.At(20*time.Millisecond, func() { fired++ })
+	if err := k.RunUntil(15 * time.Millisecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if k.Now() != 15*time.Millisecond {
+		t.Fatalf("Now = %v, want 15ms", k.Now())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	k := New(1)
+	fired := false
+	k.At(15*time.Millisecond, func() { fired = true })
+	if err := k.RunUntil(15 * time.Millisecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if !fired {
+		t.Fatal("event at exact deadline must fire")
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	k := New(1)
+	k.SetEventLimit(100)
+	var loop func()
+	loop = func() { k.After(time.Millisecond, loop) }
+	loop()
+	if err := k.Run(); err == nil {
+		t.Fatal("Run must fail when the event limit is exceeded")
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := New(1)
+	fired := 0
+	k.At(1*time.Millisecond, func() { fired++; k.Stop() })
+	k.At(2*time.Millisecond, func() { fired++ })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (Stop must halt the loop)", fired)
+	}
+}
+
+func TestTwoProcsInterleave(t *testing.T) {
+	k := New(1)
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		order = append(order, "a0")
+		p.Hold(10 * time.Millisecond)
+		order = append(order, "a10")
+	})
+	k.Spawn("b", func(p *Proc) {
+		order = append(order, "b0")
+		p.Hold(5 * time.Millisecond)
+		order = append(order, "b5")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"a0", "b0", "b5", "a10"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		k := New(99)
+		var out []int64
+		for i := 0; i < 5; i++ {
+			k.Spawn("p", func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Hold(time.Duration(k.Rand().Intn(1000)) * time.Microsecond)
+					out = append(out, int64(p.Now()))
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestResumeOfFinishedIsNoop(t *testing.T) {
+	k := New(1)
+	p := k.Spawn("short", func(p *Proc) {})
+	k.At(time.Millisecond, func() { p.Resume() }) // after it finished
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestHeapOrderingProperty checks the event heap invariant with random
+// insertion orders: pops must come out sorted by (time, seq).
+func TestHeapOrderingProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		var h eventHeap
+		for i, v := range times {
+			heap.Push(&h, &event{t: Time(v) * time.Microsecond, seq: uint64(i)})
+		}
+		var last *event
+		for h.Len() > 0 {
+			ev := heap.Pop(&h).(*event)
+			if last != nil {
+				if ev.t < last.t || (ev.t == last.t && ev.seq < last.seq) {
+					return false
+				}
+			}
+			last = ev
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	k := New(1)
+	var childRan bool
+	k.Spawn("parent", func(p *Proc) {
+		p.Hold(time.Millisecond)
+		k.Spawn("child", func(c *Proc) {
+			c.Hold(time.Millisecond)
+			childRan = true
+		})
+		p.Hold(5 * time.Millisecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !childRan {
+		t.Fatal("child spawned from a process never ran")
+	}
+}
+
+func TestCurrentIdentifiesRunningProc(t *testing.T) {
+	k := New(1)
+	if k.Current() != nil {
+		t.Fatal("Current non-nil before Run")
+	}
+	var fromCallback, insideA, insideB *Proc
+	var a, b *Proc
+	a = k.Spawn("a", func(p *Proc) {
+		insideA = k.Current()
+		p.Hold(time.Millisecond)
+		if k.Current() != p {
+			t.Error("Current wrong after Hold resume")
+		}
+	})
+	b = k.Spawn("b", func(p *Proc) {
+		insideB = k.Current()
+	})
+	k.At(2*time.Millisecond, func() { fromCallback = k.Current() })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if insideA != a || insideB != b {
+		t.Fatalf("Current inside procs: a=%v b=%v", insideA, insideB)
+	}
+	if fromCallback != nil {
+		t.Fatal("Current non-nil in scheduler callback context")
+	}
+}

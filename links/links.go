@@ -1,0 +1,406 @@
+// Package links implements virtual circuits over SODA (§4.2.4): logical
+// communication channels whose ends can be MOVED to another client
+// transparently to the process at the other end.
+//
+// A link end is a table entry holding the signature of the opposite end; a
+// client sends on a link by id instead of by server signature. The moving
+// protocol follows the thesis's listing: the end that wants to move must be
+// MASTER (a SLAVE first asks to become MASTER with a −1 request), the new
+// holder installs a fresh end via the LINK_SERVICE entry (an EXCHANGE), the
+// stationary end is told the new address with a −2 message, and a −3 signal
+// finally marks the moved end usable. Requests that race with a move are
+// REJECTED and reissued once the table is updated.
+package links
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"soda"
+)
+
+// ServicePattern is the well-known LINK_SERVICE entry every link-capable
+// client advertises.
+var ServicePattern = soda.WellKnownPattern(0o4114)
+
+// Control arguments used on link patterns (§4.2.4). User traffic must use
+// non-negative arguments.
+const (
+	argBecomeMaster int32 = -1
+	argLinkMoved    int32 = -2
+	argInstalled    int32 = -3
+
+	// RejectedMoving is the accept argument used to reject a request that
+	// raced with a link move; the requester retries after its table
+	// updates. Distinct from a user REJECT (−1).
+	RejectedMoving int32 = -100
+)
+
+// End distinguishes the two ends of a link.
+type End int
+
+const (
+	// Master may move its end of the link.
+	Master End = iota + 1
+	// Slave must first become Master to move (§4.2.4).
+	Slave
+)
+
+func (e End) String() string {
+	if e == Master {
+		return "MASTER"
+	}
+	return "SLAVE"
+}
+
+// entry is one link-table row.
+type entry struct {
+	id        int
+	peerMID   soda.MID
+	peerPatt  soda.Pattern
+	myPatt    soda.Pattern
+	state     End
+	installed bool
+	moving    bool
+	wantMove  []soda.RequesterSig // peers queued asking to become master
+	gen       int                 // bumped on peer address updates
+}
+
+// MessageHandler consumes user traffic arriving on a link. It runs in
+// handler context; it must complete the request (Accept/Reject) using the
+// usual client primitives with ev.Asker.
+type MessageHandler func(c *soda.Client, linkID int, ev soda.Event)
+
+// Manager is the per-client link runtime. Create it in the program's Init,
+// route every handler event through HandleEvent, and use Send/Move/Destroy
+// from the task.
+type Manager struct {
+	c           *soda.Client
+	onMsg       MessageHandler
+	onInstalled func(linkID int, peer soda.MID)
+	table       map[int]*entry
+	byPatt      map[soda.Pattern]*entry
+	nextID      int
+	retryIn     time.Duration
+}
+
+// New creates the link runtime and advertises LINK_SERVICE.
+func New(c *soda.Client, onMsg MessageHandler) (*Manager, error) {
+	m := &Manager{
+		c:       c,
+		onMsg:   onMsg,
+		table:   make(map[int]*entry),
+		byPatt:  make(map[soda.Pattern]*entry),
+		retryIn: 10 * time.Millisecond,
+	}
+	if err := c.Advertise(ServicePattern); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Client returns the owning client.
+func (m *Manager) Client() *soda.Client { return m.c }
+
+// Peer reports the current remote machine of a link (tests, tracing).
+func (m *Manager) Peer(linkID int) (soda.MID, bool) {
+	e, ok := m.table[linkID]
+	if !ok {
+		return 0, false
+	}
+	return e.peerMID, true
+}
+
+// State reports which end of the link this client holds.
+func (m *Manager) State(linkID int) (End, bool) {
+	e, ok := m.table[linkID]
+	if !ok {
+		return 0, false
+	}
+	return e.state, true
+}
+
+func (m *Manager) newEntry(peer soda.MID, peerPatt soda.Pattern, state End, installed bool) (*entry, error) {
+	patt, err := m.c.AdvertiseUnique()
+	if err != nil {
+		return nil, err
+	}
+	m.nextID++
+	e := &entry{
+		id:        m.nextID,
+		peerMID:   peer,
+		peerPatt:  peerPatt,
+		myPatt:    patt,
+		state:     state,
+		installed: installed,
+	}
+	m.table[e.id] = e
+	m.byPatt[patt] = e
+	return e, nil
+}
+
+func (m *Manager) drop(e *entry) {
+	delete(m.table, e.id)
+	delete(m.byPatt, e.myPatt)
+	_ = m.c.Unadvertise(e.myPatt)
+}
+
+// Install payload kinds: a fresh Connect vs a moved-in end (the latter
+// stays BEING_INSTALLED until the −3 signal, §4.2.4).
+const (
+	installConnect byte = iota + 1
+	installMove
+)
+
+// sigBytes encodes ⟨MID, pattern⟩ for the install and moved messages.
+func sigBytes(mid soda.MID, patt soda.Pattern) []byte {
+	b := make([]byte, 10)
+	binary.BigEndian.PutUint16(b, uint16(mid))
+	binary.BigEndian.PutUint64(b[2:], uint64(patt))
+	return b
+}
+
+func installBytes(kind byte, mid soda.MID, patt soda.Pattern) []byte {
+	return append([]byte{kind}, sigBytes(mid, patt)...)
+}
+
+func parseInstall(b []byte) (kind byte, mid soda.MID, patt soda.Pattern, ok bool) {
+	if len(b) != 11 {
+		return 0, 0, 0, false
+	}
+	mid, patt, ok = parseSig(b[1:])
+	return b[0], mid, patt, ok
+}
+
+func parseSig(b []byte) (soda.MID, soda.Pattern, bool) {
+	if len(b) != 10 {
+		return 0, 0, false
+	}
+	return soda.MID(binary.BigEndian.Uint16(b)), soda.Pattern(binary.BigEndian.Uint64(b[2:])), true
+}
+
+// Connect establishes a fresh link to the LINK_SERVICE of peer. The caller
+// holds the SLAVE end; the peer installs the MASTER end (§4.2.4). Task-only.
+func (m *Manager) Connect(peer soda.MID) (int, error) {
+	e, err := m.newEntry(peer, 0, Slave, true)
+	if err != nil {
+		return 0, err
+	}
+	res := m.c.BExchange(soda.ServerSig{MID: peer, Pattern: ServicePattern}, soda.OK,
+		installBytes(installConnect, m.c.MID(), e.myPatt), 10)
+	if res.Status != soda.StatusSuccess {
+		m.drop(e)
+		return 0, fmt.Errorf("links: connect to %d: %v", peer, res.Status)
+	}
+	pm, pp, ok := parseSig(res.Data)
+	if !ok {
+		m.drop(e)
+		return 0, fmt.Errorf("links: connect to %d: malformed install reply", peer)
+	}
+	e.peerMID, e.peerPatt = pm, pp
+	return e.id, nil
+}
+
+// Send issues user traffic (an EXCHANGE) over a link, transparently
+// reissuing requests REJECTED by a concurrent link move (§4.2.4). arg must
+// be non-negative. Task-only.
+func (m *Manager) Send(linkID int, arg int32, put []byte, getSize int) soda.CallResult {
+	if arg < 0 {
+		panic("links: user traffic must use non-negative arguments")
+	}
+	for {
+		e, ok := m.table[linkID]
+		if !ok {
+			return soda.CallResult{Status: soda.StatusCancelled}
+		}
+		m.c.WaitUntil(func() bool { return e.installed && !e.moving })
+		gen := e.gen
+		res := m.c.BExchange(soda.ServerSig{MID: e.peerMID, Pattern: e.peerPatt}, arg, put, getSize)
+		switch {
+		case res.Status == soda.StatusRejected && res.Arg == RejectedMoving:
+			// The remote end is mid-move; wait for the −2 update (or
+			// just a beat) and reissue.
+			m.awaitUpdate(e, gen)
+		case res.Status == soda.StatusUnadvertised:
+			// The end moved away and its pattern is gone before our −2
+			// arrived; wait for the table update, then reissue.
+			m.awaitUpdate(e, gen)
+		default:
+			return res
+		}
+	}
+}
+
+// awaitUpdate gives the −2 table update a chance to arrive before a
+// rejected request is reissued; the handler runs during the hold. The
+// generation is advisory — if no update lands we retry against the old
+// address and go around again.
+func (m *Manager) awaitUpdate(e *entry, gen int) {
+	_ = gen
+	m.c.Hold(m.retryIn)
+}
+
+// Move transfers this client's end of link linkID to the client at the far
+// side of via (a link to the new holder), following the thesis's LINKMOVE.
+// The moved link keeps its id at the stationary end; this client's entry is
+// destroyed. Task-only.
+func (m *Manager) Move(linkID, via int) error {
+	e, ok := m.table[linkID]
+	if !ok {
+		return fmt.Errorf("links: move: unknown link %d", linkID)
+	}
+	carrier, ok := m.table[via]
+	if !ok {
+		return fmt.Errorf("links: move: unknown carrier link %d", via)
+	}
+	e.moving = true
+	defer func() { e.moving = false }()
+	if err := m.becomeMaster(e); err != nil {
+		return err
+	}
+	// Install the new MASTER end at the new holder (LINK_SERVICE
+	// EXCHANGE carrying the stationary end's signature).
+	res := m.c.BExchange(soda.ServerSig{MID: carrier.peerMID, Pattern: ServicePattern}, soda.OK,
+		installBytes(installMove, e.peerMID, e.peerPatt), 10)
+	if res.Status != soda.StatusSuccess {
+		return fmt.Errorf("links: move install: %v", res.Status)
+	}
+	newMID, newPatt, ok := parseSig(res.Data)
+	if !ok {
+		return fmt.Errorf("links: move install: malformed reply")
+	}
+	// Tell the stationary end its partner moved (−2) so it updates its
+	// table and reissues rejected requests.
+	if res := m.c.BPut(soda.ServerSig{MID: e.peerMID, Pattern: e.peerPatt}, argLinkMoved,
+		sigBytes(newMID, newPatt)); res.Status != soda.StatusSuccess {
+		return fmt.Errorf("links: move notify: %v", res.Status)
+	}
+	// Tell the new holder the slave side is updated (−3).
+	if res := m.c.BSignal(soda.ServerSig{MID: newMID, Pattern: newPatt}, argInstalled); res.Status != soda.StatusSuccess {
+		return fmt.Errorf("links: move finalize: %v", res.Status)
+	}
+	// Anyone queued asking to become master retries against the new end.
+	for _, w := range e.wantMove {
+		m.c.Accept(w, RejectedMoving, nil, 0)
+	}
+	m.drop(e)
+	return nil
+}
+
+// becomeMaster upgrades a SLAVE end (−1 request; §4.2.4).
+func (m *Manager) becomeMaster(e *entry) error {
+	for e.state == Slave {
+		res := m.c.BGet(soda.ServerSig{MID: e.peerMID, Pattern: e.peerPatt}, argBecomeMaster, 1)
+		switch {
+		case res.Status == soda.StatusSuccess:
+			e.state = Master
+		case res.Status == soda.StatusRejected:
+			// The master end is itself moving; wait for the update and
+			// ask again.
+			m.awaitUpdate(e, e.gen)
+		default:
+			return fmt.Errorf("links: become master: %v", res.Status)
+		}
+	}
+	return nil
+}
+
+// Destroy tears down this end of a link; the peer learns on its next send
+// (UNADVERTISED → the manager reports the link cancelled).
+func (m *Manager) Destroy(linkID int) {
+	if e, ok := m.table[linkID]; ok {
+		m.drop(e)
+	}
+}
+
+// HandleEvent routes a handler invocation through the link runtime. It
+// reports true when the event was consumed (link control traffic or user
+// traffic on a link pattern); programs pass every event here first.
+func (m *Manager) HandleEvent(ev soda.Event) bool {
+	if ev.Kind != soda.EventRequestArrival {
+		return false
+	}
+	if ev.Pattern == ServicePattern {
+		m.handleInstall(ev)
+		return true
+	}
+	e, ok := m.byPatt[ev.Pattern]
+	if !ok {
+		return false
+	}
+	switch {
+	case ev.Arg >= 0:
+		if e.moving {
+			// Requests to a moving link are rejected and reissued once
+			// the move completes (§4.2.4).
+			m.c.Accept(ev.Asker, RejectedMoving, nil, 0)
+			return true
+		}
+		if m.onMsg != nil {
+			m.onMsg(m.c, e.id, ev)
+		} else {
+			m.c.RejectCurrent()
+		}
+	case ev.Arg == argBecomeMaster:
+		if e.moving {
+			m.c.Accept(ev.Asker, RejectedMoving, nil, 0)
+			return true
+		}
+		// Grant mastership: we become the SLAVE end.
+		e.state = Slave
+		m.c.AcceptGet(ev.Asker, soda.OK, []byte{1})
+	case ev.Arg == argLinkMoved:
+		res := m.c.AcceptPut(ev.Asker, soda.OK, ev.PutSize)
+		if res.Status != soda.AcceptSuccess {
+			return true
+		}
+		if nm, np, ok := parseSig(res.Data); ok {
+			e.peerMID, e.peerPatt = nm, np
+			e.gen++
+		}
+	case ev.Arg == argInstalled:
+		m.c.AcceptSignal(ev.Asker, soda.OK)
+		e.installed = true
+		e.gen++
+	default:
+		m.c.RejectCurrent()
+	}
+	return true
+}
+
+// handleInstall services a LINK_SERVICE EXCHANGE: create a new MASTER end
+// whose partner is the signature carried in the request, reply with our new
+// end's signature (§4.2.4). A moved-in end starts BEING_INSTALLED: usable
+// for receiving, but sends wait for the −3 signal.
+func (m *Manager) handleInstall(ev soda.Event) {
+	e, err := m.newEntry(0, 0, Master, false)
+	if err != nil {
+		m.c.RejectCurrent()
+		return
+	}
+	res := m.c.AcceptExchange(ev.Asker, soda.OK, sigBytes(m.c.MID(), e.myPatt), ev.PutSize)
+	if res.Status != soda.AcceptSuccess {
+		m.drop(e)
+		return
+	}
+	kind, pm, pp, ok := parseInstall(res.Data)
+	if !ok {
+		m.drop(e)
+		return
+	}
+	e.peerMID, e.peerPatt = pm, pp
+	if kind == installConnect {
+		// A direct Connect: the far end is immediately usable. A moved
+		// end waits for the −3 signal (BEING_INSTALLED, §4.2.4).
+		e.installed = true
+	}
+	if m.onInstalled != nil {
+		m.onInstalled(e.id, pm)
+	}
+}
+
+// OnInstalled registers a callback invoked in handler context whenever a
+// remote party installs a link end here (the result of a peer's Connect or
+// Move). It receives the new local link id and the partner's MID.
+func (m *Manager) OnInstalled(fn func(linkID int, peer soda.MID)) { m.onInstalled = fn }

@@ -1,0 +1,295 @@
+package links
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"soda"
+)
+
+// linkNode builds a link-capable program whose user traffic handler echoes
+// "<mid>:<payload>" and whose task runs fn once the manager is ready.
+func linkNode(mgrs map[soda.MID]*Manager, fn func(c *soda.Client, m *Manager)) soda.Program {
+	return soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			m, err := New(c, func(c *soda.Client, linkID int, ev soda.Event) {
+				reply := []byte(fmt.Sprintf("%d:%d", c.MID(), ev.Arg))
+				c.AcceptCurrentExchange(soda.OK, reply, ev.PutSize)
+			})
+			if err != nil {
+				panic(err)
+			}
+			mgrs[c.MID()] = m
+			c.SetStash(m)
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			m := c.Stash().(*Manager)
+			m.HandleEvent(ev)
+		},
+		Task: func(c *soda.Client) {
+			m := c.Stash().(*Manager)
+			if fn != nil {
+				fn(c, m)
+			}
+			c.WaitUntil(func() bool { return false })
+		},
+	}
+}
+
+func TestConnectAndSend(t *testing.T) {
+	nw := soda.NewNetwork()
+	mgrs := map[soda.MID]*Manager{}
+	var got string
+	nw.Register("peer", linkNode(mgrs, nil))
+	nw.Register("origin", linkNode(mgrs, func(c *soda.Client, m *Manager) {
+		id, err := m.Connect(2)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		res := m.Send(id, 7, []byte("ping"), 32)
+		if res.Status != soda.StatusSuccess {
+			t.Errorf("send: %v", res.Status)
+			return
+		}
+		got = string(res.Data)
+	}))
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(2, "peer")
+	nw.MustBoot(1, "origin")
+	if err := nw.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != "2:7" {
+		t.Fatalf("reply = %q, want 2:7", got)
+	}
+	// Roles per §4.2.4: the installer holds MASTER, the initiator SLAVE.
+	if st, _ := mgrs[1].State(1); st != Slave {
+		t.Fatalf("initiator state = %v, want SLAVE", st)
+	}
+}
+
+func TestMoveTransparentToFarEnd(t *testing.T) {
+	// Node 1 (origin) has a link to node 2 (mover). Node 2 moves its end
+	// to node 3 over a second link. Node 1 keeps sending on the same link
+	// id throughout; after the move its messages are answered by node 3.
+	nw := soda.NewNetwork()
+	mgrs := map[soda.MID]*Manager{}
+	var answers []string
+	moved := false
+
+	nw.Register("origin", linkNode(mgrs, func(c *soda.Client, m *Manager) {
+		id, err := m.Connect(2)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		for i := 0; i < 12; i++ {
+			res := m.Send(id, int32(i), []byte("m"), 32)
+			if res.Status != soda.StatusSuccess {
+				t.Errorf("send %d: %v", i, res.Status)
+				return
+			}
+			answers = append(answers, string(res.Data))
+			c.Hold(40 * time.Millisecond)
+		}
+	}))
+	nw.Register("mover", linkNode(mgrs, func(c *soda.Client, m *Manager) {
+		// Wait until the origin's link end is installed here (id from
+		// OnInstalled), plus a carrier link to node 3.
+		var originLink int
+		m.OnInstalled(func(linkID int, peer soda.MID) {
+			if peer == 1 {
+				originLink = linkID
+			}
+		})
+		c.WaitUntil(func() bool { return originLink != 0 })
+		carrier, err := m.Connect(3)
+		if err != nil {
+			t.Errorf("carrier connect: %v", err)
+			return
+		}
+		c.Hold(200 * time.Millisecond) // let some traffic flow first
+		if err := m.Move(originLink, carrier); err != nil {
+			t.Errorf("move: %v", err)
+			return
+		}
+		moved = true
+	}))
+	nw.Register("target", linkNode(mgrs, nil))
+
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustAddNode(3)
+	nw.MustBoot(2, "mover")
+	nw.MustBoot(3, "target")
+	nw.MustBoot(1, "origin")
+	if err := nw.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !moved {
+		t.Fatal("move never completed")
+	}
+	if len(answers) != 12 {
+		t.Fatalf("origin got %d answers: %v", len(answers), answers)
+	}
+	// Early answers from node 2, later ones from node 3, no gaps.
+	saw3 := false
+	for i, a := range answers {
+		want2 := fmt.Sprintf("2:%d", i)
+		want3 := fmt.Sprintf("3:%d", i)
+		switch a {
+		case want2:
+			if saw3 {
+				t.Fatalf("answer %d from old end after move: %v", i, answers)
+			}
+		case want3:
+			saw3 = true
+		default:
+			t.Fatalf("answer %d = %q, want %q or %q", i, a, want2, want3)
+		}
+	}
+	if !saw3 {
+		t.Fatalf("no answers from the new end: %v", answers)
+	}
+	// The origin's table now points at node 3.
+	if peer, _ := mgrs[1].Peer(1); peer != 3 {
+		t.Fatalf("origin's link peer = %d, want 3", peer)
+	}
+}
+
+func TestSlaveMustBecomeMasterToMove(t *testing.T) {
+	// The Connect initiator holds the SLAVE end; moving it requires the
+	// −1 become-master exchange, after which the far end is SLAVE.
+	nw := soda.NewNetwork()
+	mgrs := map[soda.MID]*Manager{}
+	done := false
+	nw.Register("peer", linkNode(mgrs, nil))
+	nw.Register("target", linkNode(mgrs, nil))
+	nw.Register("origin", linkNode(mgrs, func(c *soda.Client, m *Manager) {
+		id, err := m.Connect(2)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		carrier, err := m.Connect(3)
+		if err != nil {
+			t.Errorf("carrier: %v", err)
+			return
+		}
+		if st, _ := m.State(id); st != Slave {
+			t.Errorf("pre-move state = %v, want SLAVE", st)
+		}
+		if err := m.Move(id, carrier); err != nil {
+			t.Errorf("move: %v", err)
+			return
+		}
+		done = true
+	}))
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustAddNode(3)
+	nw.MustBoot(2, "peer")
+	nw.MustBoot(3, "target")
+	nw.MustBoot(1, "origin")
+	if err := nw.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("move never completed")
+	}
+	// Node 2's end of the moved link must now be SLAVE, pointing at 3.
+	m2 := mgrs[2]
+	if st, ok := m2.State(1); !ok || st != Slave {
+		t.Fatalf("far end state = %v, want SLAVE", st)
+	}
+	if peer, _ := m2.Peer(1); peer != 3 {
+		t.Fatalf("far end peer = %d, want 3", peer)
+	}
+}
+
+func TestDestroyedLinkReportsCancelled(t *testing.T) {
+	nw := soda.NewNetwork()
+	mgrs := map[soda.MID]*Manager{}
+	var st soda.Status
+	nw.Register("peer", linkNode(mgrs, nil))
+	nw.Register("origin", linkNode(mgrs, func(c *soda.Client, m *Manager) {
+		id, err := m.Connect(2)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		m.Destroy(id)
+		st = m.Send(id, 1, []byte("x"), 8).Status
+	}))
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(2, "peer")
+	nw.MustBoot(1, "origin")
+	if err := nw.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st != soda.StatusCancelled {
+		t.Fatalf("send on destroyed link = %v, want CANCELLED", st)
+	}
+}
+
+func TestLinkMoveUnderFrameLoss(t *testing.T) {
+	// The full move protocol (become-master, install, −2 update, −3
+	// finalize) survives 5% frame loss end to end.
+	nw := soda.NewNetwork(soda.WithLoss(0.05), soda.WithSeed(7))
+	mgrs := map[soda.MID]*Manager{}
+	var answers []string
+	nw.Register("origin", linkNode(mgrs, func(c *soda.Client, m *Manager) {
+		id, err := m.Connect(2)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		for i := 0; i < 8; i++ {
+			res := m.Send(id, int32(i), []byte("m"), 32)
+			if res.Status != soda.StatusSuccess {
+				t.Errorf("send %d: %v", i, res.Status)
+				return
+			}
+			answers = append(answers, string(res.Data))
+			c.Hold(60 * time.Millisecond)
+		}
+	}))
+	nw.Register("mover", linkNode(mgrs, func(c *soda.Client, m *Manager) {
+		var originLink int
+		m.OnInstalled(func(linkID int, peer soda.MID) {
+			if peer == 1 {
+				originLink = linkID
+			}
+		})
+		c.WaitUntil(func() bool { return originLink != 0 })
+		carrier, err := m.Connect(3)
+		if err != nil {
+			t.Errorf("carrier: %v", err)
+			return
+		}
+		c.Hold(150 * time.Millisecond)
+		if err := m.Move(originLink, carrier); err != nil {
+			t.Errorf("move: %v", err)
+		}
+	}))
+	nw.Register("target", linkNode(mgrs, nil))
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustAddNode(3)
+	nw.MustBoot(2, "mover")
+	nw.MustBoot(3, "target")
+	nw.MustBoot(1, "origin")
+	if err := nw.Run(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 8 {
+		t.Fatalf("answers = %v", answers)
+	}
+	if peer, _ := mgrs[1].Peer(1); peer != 3 {
+		t.Fatalf("origin's peer = %d, want 3 after the move", peer)
+	}
+}

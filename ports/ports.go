@@ -1,0 +1,159 @@
+// Package ports implements input ports and priority queues over SODA
+// (§4.2.1).
+//
+// An input port is a queueing point for incoming messages: many writers,
+// one reader. SODA's kernel is bufferless, so the port is built exactly as
+// the thesis prescribes: the handler enqueues requester signatures (CLOSING
+// the handler when the queue fills, which makes the requesters' kernels
+// retry), and the task loop ACCEPTs queued requests in order — FIFO for a
+// plain port, highest-priority-first for a priority port, with the REQUEST
+// argument as the priority.
+package ports
+
+import (
+	"container/heap"
+
+	"soda"
+	"soda/sodal"
+)
+
+// Message is one item read from a port.
+type Message struct {
+	// From identifies the writer.
+	From soda.MID
+	// Priority is the REQUEST argument (0 for plain ports).
+	Priority int32
+	// Data is the written payload.
+	Data []byte
+}
+
+// Handler consumes one port message (the "Port_Op" of §4.2.1).
+type Handler func(c *soda.Client, msg Message)
+
+// InputPort returns a server program implementing a FIFO input port bound
+// to pattern. queueCap bounds the number of waiting writers; when it fills
+// the handler CLOSEs, pushing back on the requesters' kernels (§4.2.1).
+func InputPort(pattern soda.Pattern, queueCap int, op Handler) soda.Program {
+	return portProgram(pattern, queueCap, false, op)
+}
+
+// PriorityPort is InputPort with priority scheduling: the entry with the
+// highest REQUEST argument is accepted first.
+func PriorityPort(pattern soda.Pattern, queueCap int, op Handler) soda.Program {
+	return portProgram(pattern, queueCap, true, op)
+}
+
+// entry is one queued write request.
+type entry struct {
+	ev  soda.Event
+	seq uint64 // arrival order; stabilizes the priority heap
+}
+
+// entryHeap orders by descending priority, then arrival order.
+type entryHeap []entry
+
+func (h entryHeap) Len() int { return len(h) }
+
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].ev.Arg != h[j].ev.Arg {
+		return h[i].ev.Arg > h[j].ev.Arg
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *entryHeap) Push(x any) { *h = append(*h, x.(entry)) }
+
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// portState is the per-instance server state.
+type portState struct {
+	fifo   *sodal.Queue[entry]
+	prio   entryHeap
+	byPrio bool
+	seq    uint64
+	cap    int
+}
+
+func (s *portState) size() int {
+	if s.byPrio {
+		return len(s.prio)
+	}
+	return s.fifo.Len()
+}
+
+func (s *portState) push(ev soda.Event) {
+	s.seq++
+	e := entry{ev: ev, seq: s.seq}
+	if s.byPrio {
+		heap.Push(&s.prio, e)
+		return
+	}
+	s.fifo.EnQueue(e)
+}
+
+func (s *portState) pop() entry {
+	if s.byPrio {
+		return heap.Pop(&s.prio).(entry)
+	}
+	return s.fifo.MustDeQueue()
+}
+
+func portProgram(pattern soda.Pattern, queueCap int, byPrio bool, op Handler) soda.Program {
+	if queueCap <= 0 {
+		queueCap = 16
+	}
+	return soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			c.SetStash(&portState{
+				fifo:   sodal.NewQueue[entry](queueCap),
+				byPrio: byPrio,
+				cap:    queueCap,
+			})
+			if err := c.Advertise(pattern); err != nil {
+				panic(err)
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind != soda.EventRequestArrival || ev.Pattern != pattern {
+				return
+			}
+			st := c.Stash().(*portState)
+			st.push(ev)
+			if st.size() >= st.cap {
+				c.Close() // no room: push back on writers (§4.2.1)
+			}
+		},
+		Task: func(c *soda.Client) {
+			st := c.Stash().(*portState)
+			for {
+				c.WaitUntil(func() bool { return st.size() > 0 })
+				e := st.pop()
+				c.Open() // room again (deferred no-op if already open)
+				res := c.AcceptPut(e.ev.Asker, soda.OK, e.ev.PutSize)
+				if res.Status != soda.AcceptSuccess {
+					continue // writer crashed or cancelled; drop
+				}
+				op(c, Message{From: e.ev.Asker.MID, Priority: e.ev.Arg, Data: res.Data})
+			}
+		},
+	}
+}
+
+// Write sends data to a port, blocking until the reader has taken it
+// (writers on a bufferless port cannot run ahead of the reader, §4.2.1).
+func Write(c *soda.Client, port soda.ServerSig, data []byte) soda.Status {
+	return c.BPut(port, soda.OK, data).Status
+}
+
+// WritePriority is Write with an explicit priority.
+func WritePriority(c *soda.Client, port soda.ServerSig, priority int32, data []byte) soda.Status {
+	return c.BPut(port, priority, data).Status
+}

@@ -1,0 +1,161 @@
+// Package rmr implements remote memory reference over SODA (§4.2.3): PEEK
+// and POKE against a well-known entry point, with the REQUEST argument
+// naming the address and the buffer size giving the extent.
+//
+// Because the server ACCEPTs one request at a time, each PEEK/POKE is
+// atomic; a compare-and-swap built from a single EXCHANGE is provided as
+// the synchronization primitive the section calls for.
+package rmr
+
+import (
+	"fmt"
+
+	"soda"
+)
+
+// EntryPattern is the well-known RMR entry point.
+var EntryPattern = soda.WellKnownPattern(0o7070)
+
+// Op codes carried in the high bits of the argument; the low 24 bits are
+// the address.
+const (
+	opPeek int32 = iota + 1
+	opPoke
+	opCAS
+
+	addrBits = 24
+	addrMask = 1<<addrBits - 1
+)
+
+func packArg(op int32, addr int) int32 { return op<<addrBits | int32(addr)&addrMask }
+
+// Server returns a program exposing size bytes of memory for remote
+// reference. inspect, when non-nil, observes each operation (tests,
+// tracing).
+func Server(size int, inspect func(op string, addr, n int)) soda.Program {
+	return soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			c.SetStash(make([]byte, size))
+			if err := c.Advertise(EntryPattern); err != nil {
+				panic(err)
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind != soda.EventRequestArrival || ev.Pattern != EntryPattern {
+				return
+			}
+			mem := c.Stash().([]byte)
+			op := ev.Arg >> addrBits
+			addr := int(ev.Arg & addrMask)
+			switch op {
+			case opPeek:
+				n := ev.GetSize
+				if addr < 0 || addr+n > len(mem) {
+					c.RejectCurrent()
+					return
+				}
+				c.AcceptCurrentGet(soda.OK, mem[addr:addr+n])
+				if inspect != nil {
+					inspect("peek", addr, n)
+				}
+			case opPoke:
+				n := ev.PutSize
+				if addr < 0 || addr+n > len(mem) {
+					c.RejectCurrent()
+					return
+				}
+				res := c.AcceptCurrentPut(soda.OK, n)
+				if res.Status == soda.AcceptSuccess {
+					copy(mem[addr:], res.Data)
+					if inspect != nil {
+						inspect("poke", addr, len(res.Data))
+					}
+				}
+			case opCAS:
+				// EXCHANGE: put = [old|new] halves; get returns the
+				// previous contents. The swap applies only when the old
+				// half matches.
+				n := ev.PutSize / 2
+				if addr < 0 || addr+n > len(mem) || ev.PutSize%2 != 0 {
+					c.RejectCurrent()
+					return
+				}
+				prev := make([]byte, n)
+				copy(prev, mem[addr:addr+n])
+				res := c.AcceptCurrentExchange(soda.OK, prev, ev.PutSize)
+				if res.Status != soda.AcceptSuccess || len(res.Data) != 2*n {
+					return
+				}
+				oldv, newv := res.Data[:n], res.Data[n:]
+				if bytesEqual(prev, oldv) {
+					copy(mem[addr:], newv)
+					if inspect != nil {
+						inspect("cas", addr, n)
+					}
+				}
+			default:
+				c.RejectCurrent()
+			}
+		},
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Error reports a failed remote memory reference.
+type Error struct {
+	Op     string
+	Addr   int
+	Status soda.Status
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("rmr: %s at %#x failed with status %v", e.Op, e.Addr, e.Status)
+}
+
+// Peek reads size bytes at addr on the remote machine (a GET, §4.2.3).
+func Peek(c *soda.Client, dst soda.MID, addr, size int) ([]byte, error) {
+	sig := soda.ServerSig{MID: dst, Pattern: EntryPattern}
+	res := c.BGet(sig, packArg(opPeek, addr), size)
+	if res.Status != soda.StatusSuccess {
+		return nil, &Error{Op: "peek", Addr: addr, Status: res.Status}
+	}
+	return res.Data, nil
+}
+
+// Poke installs value at addr on the remote machine (a PUT, §4.2.3).
+func Poke(c *soda.Client, dst soda.MID, addr int, value []byte) error {
+	sig := soda.ServerSig{MID: dst, Pattern: EntryPattern}
+	res := c.BPut(sig, packArg(opPoke, addr), value)
+	if res.Status != soda.StatusSuccess {
+		return &Error{Op: "poke", Addr: addr, Status: res.Status}
+	}
+	return nil
+}
+
+// CompareAndSwap atomically replaces mem[addr:addr+len(old)] with new if it
+// equals old, returning the previous contents and whether the swap applied.
+func CompareAndSwap(c *soda.Client, dst soda.MID, addr int, oldv, newv []byte) (prev []byte, swapped bool, err error) {
+	if len(oldv) != len(newv) {
+		return nil, false, fmt.Errorf("rmr: cas operand sizes differ (%d vs %d)", len(oldv), len(newv))
+	}
+	sig := soda.ServerSig{MID: dst, Pattern: EntryPattern}
+	put := make([]byte, 0, 2*len(oldv))
+	put = append(put, oldv...)
+	put = append(put, newv...)
+	res := c.BExchange(sig, packArg(opCAS, addr), put, len(oldv))
+	if res.Status != soda.StatusSuccess {
+		return nil, false, &Error{Op: "cas", Addr: addr, Status: res.Status}
+	}
+	return res.Data, bytesEqual(res.Data, oldv), nil
+}

@@ -1,0 +1,154 @@
+package rmr
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"soda"
+)
+
+func runClient(t *testing.T, task func(c *soda.Client)) {
+	t.Helper()
+	nw := soda.NewNetwork()
+	nw.Register("mem", Server(256, nil))
+	done := false
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			task(c)
+			done = true
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "mem")
+	nw.MustBoot(2, "client")
+	if err := nw.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("client task did not finish")
+	}
+}
+
+func TestPokeThenPeek(t *testing.T) {
+	runClient(t, func(c *soda.Client) {
+		if err := Poke(c, 1, 16, []byte("stored")); err != nil {
+			t.Errorf("poke: %v", err)
+			return
+		}
+		got, err := Peek(c, 1, 16, 6)
+		if err != nil {
+			t.Errorf("peek: %v", err)
+			return
+		}
+		if string(got) != "stored" {
+			t.Errorf("peek = %q", got)
+		}
+		// Unwritten memory reads as zero.
+		z, err := Peek(c, 1, 100, 4)
+		if err != nil {
+			t.Errorf("peek zero: %v", err)
+			return
+		}
+		if !bytes.Equal(z, []byte{0, 0, 0, 0}) {
+			t.Errorf("zero peek = %v", z)
+		}
+	})
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	runClient(t, func(c *soda.Client) {
+		if err := Poke(c, 1, 250, []byte("too much data")); err == nil {
+			t.Error("out-of-range poke succeeded")
+		}
+		if _, err := Peek(c, 1, 255, 10); err == nil {
+			t.Error("out-of-range peek succeeded")
+		}
+	})
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	runClient(t, func(c *soda.Client) {
+		if err := Poke(c, 1, 0, []byte{1, 2}); err != nil {
+			t.Errorf("poke: %v", err)
+			return
+		}
+		prev, swapped, err := CompareAndSwap(c, 1, 0, []byte{1, 2}, []byte{9, 9})
+		if err != nil || !swapped || !bytes.Equal(prev, []byte{1, 2}) {
+			t.Errorf("cas1 = prev %v swapped %v err %v", prev, swapped, err)
+			return
+		}
+		prev, swapped, err = CompareAndSwap(c, 1, 0, []byte{1, 2}, []byte{7, 7})
+		if err != nil || swapped || !bytes.Equal(prev, []byte{9, 9}) {
+			t.Errorf("cas2 = prev %v swapped %v err %v", prev, swapped, err)
+			return
+		}
+		got, _ := Peek(c, 1, 0, 2)
+		if !bytes.Equal(got, []byte{9, 9}) {
+			t.Errorf("final memory = %v", got)
+		}
+	})
+}
+
+func TestCASAsMutexBetweenClients(t *testing.T) {
+	// Two clients loop on CAS(0: 0→1) as a spinlock, increment a shared
+	// counter at address 8 under the lock, then release. The counter must
+	// equal the total number of increments.
+	nw := soda.NewNetwork()
+	nw.Register("mem", Server(64, nil))
+	const perClient = 5
+	worker := soda.Program{
+		Task: func(c *soda.Client) {
+			for i := 0; i < perClient; i++ {
+				for {
+					_, swapped, err := CompareAndSwap(c, 1, 0, []byte{0}, []byte{1})
+					if err != nil {
+						t.Errorf("cas: %v", err)
+						return
+					}
+					if swapped {
+						break
+					}
+					c.Hold(5 * time.Millisecond)
+				}
+				v, err := Peek(c, 1, 8, 1)
+				if err != nil {
+					t.Errorf("peek: %v", err)
+					return
+				}
+				if err := Poke(c, 1, 8, []byte{v[0] + 1}); err != nil {
+					t.Errorf("poke: %v", err)
+					return
+				}
+				if _, _, err := CompareAndSwap(c, 1, 0, []byte{1}, []byte{0}); err != nil {
+					t.Errorf("unlock: %v", err)
+					return
+				}
+			}
+		},
+	}
+	nw.Register("worker", worker)
+	nw.MustAddNode(1)
+	nw.MustBoot(1, "mem")
+	nw.MustAddNode(2)
+	nw.MustAddNode(3)
+	nw.MustBoot(2, "worker")
+	nw.MustBoot(3, "worker")
+	if err := nw.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Read the final counter through a fresh client.
+	var final []byte
+	nw.Register("reader", soda.Program{
+		Task: func(c *soda.Client) { final, _ = Peek(c, 1, 8, 1) },
+	})
+	nw.MustAddNode(4)
+	nw.MustBoot(4, "reader")
+	if err := nw.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 1 || final[0] != 2*perClient {
+		t.Fatalf("counter = %v, want %d", final, 2*perClient)
+	}
+}

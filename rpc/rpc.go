@@ -1,0 +1,129 @@
+// Package rpc implements remote procedure call over SODA (§4.2.2).
+//
+// The caller issues a PUT carrying the in-parameters followed by a blocking
+// GET for the results; the server invokes the bound procedure when both
+// have arrived, ACCEPTing the PUT to obtain the parameters and ACCEPTing
+// the GET to return the results and unblock the caller. The pattern used in
+// the PUT and GET selects the procedure.
+package rpc
+
+import (
+	"fmt"
+
+	"soda"
+)
+
+// Proc is a remotely callable procedure: in-parameters to out-parameters.
+type Proc func(c *soda.Client, in []byte) []byte
+
+// call tracks one caller's in-flight invocation at the server.
+type call struct {
+	pattern soda.Pattern
+	params  []byte
+	gotPut  bool
+	getSig  soda.RequesterSig
+	gotGet  bool
+}
+
+// serverState is the per-instance server bookkeeping. Calls are keyed by
+// requester MID: a uniprogrammed caller has at most one invocation open.
+type serverState struct {
+	calls map[soda.MID]*call
+	ready []soda.MID
+}
+
+// Server returns a program exporting the given procedures, each bound to
+// its pattern. Calls from distinct clients may interleave their PUT/GET
+// pairs arbitrarily; invocations execute one at a time in arrival order
+// (the server is uniprogrammed).
+func Server(procs map[soda.Pattern]Proc) soda.Program {
+	return soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			c.SetStash(&serverState{calls: make(map[soda.MID]*call)})
+			for p := range procs {
+				if err := c.Advertise(p); err != nil {
+					panic(err)
+				}
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind != soda.EventRequestArrival {
+				return
+			}
+			if _, ok := procs[ev.Pattern]; !ok {
+				return
+			}
+			st := c.Stash().(*serverState)
+			cl := st.calls[ev.Asker.MID]
+			if cl == nil || cl.pattern != ev.Pattern {
+				cl = &call{pattern: ev.Pattern}
+				st.calls[ev.Asker.MID] = cl
+			}
+			if ev.PutSize > 0 || ev.GetSize == 0 {
+				// The parameter PUT. Fetch the in-parameters right away
+				// (ACCEPT_CURRENT_PUT in the thesis's listing).
+				if cl.gotPut {
+					c.RejectCurrent() // protocol error: double PUT
+					return
+				}
+				res := c.AcceptCurrentPut(soda.OK, ev.PutSize)
+				if res.Status != soda.AcceptSuccess {
+					delete(st.calls, ev.Asker.MID)
+					return
+				}
+				cl.params = res.Data
+				cl.gotPut = true
+			} else {
+				// The result GET: remember the caller; reply when the
+				// procedure completes.
+				if cl.gotGet {
+					c.RejectCurrent()
+					return
+				}
+				cl.getSig = ev.Asker
+				cl.gotGet = true
+			}
+			if cl.gotPut && cl.gotGet {
+				st.ready = append(st.ready, ev.Asker.MID)
+			}
+		},
+		Task: func(c *soda.Client) {
+			st := c.Stash().(*serverState)
+			for {
+				c.WaitUntil(func() bool { return len(st.ready) > 0 })
+				mid := st.ready[0]
+				st.ready = st.ready[1:]
+				cl := st.calls[mid]
+				if cl == nil {
+					continue
+				}
+				delete(st.calls, mid)
+				out := procs[cl.pattern](c, cl.params)
+				c.AcceptGet(cl.getSig, soda.OK, out)
+			}
+		},
+	}
+}
+
+// CallError reports a failed remote call.
+type CallError struct {
+	Stage  string // "put" or "get"
+	Status soda.Status
+}
+
+func (e *CallError) Error() string {
+	return fmt.Sprintf("rpc: %s failed with status %v", e.Stage, e.Status)
+}
+
+// Call invokes the remote procedure bound to srv: PUT the in-parameters,
+// then a blocking GET for at most maxOut bytes of results (§4.2.2).
+func Call(c *soda.Client, srv soda.ServerSig, in []byte, maxOut int) ([]byte, error) {
+	if res := c.BPut(srv, soda.OK, in); res.Status != soda.StatusSuccess {
+		return nil, &CallError{Stage: "put", Status: res.Status}
+	}
+	res := c.BGet(srv, soda.OK, maxOut)
+	if res.Status != soda.StatusSuccess {
+		return nil, &CallError{Stage: "get", Status: res.Status}
+	}
+	return res.Data, nil
+}

@@ -1,0 +1,152 @@
+package rpc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"soda"
+)
+
+var (
+	upperPat = soda.WellKnownPattern(0o123)
+	sumPat   = soda.WellKnownPattern(0o124)
+)
+
+func mathServer() soda.Program {
+	return Server(map[soda.Pattern]Proc{
+		upperPat: func(_ *soda.Client, in []byte) []byte {
+			return []byte(strings.ToUpper(string(in)))
+		},
+		sumPat: func(_ *soda.Client, in []byte) []byte {
+			var s byte
+			for _, b := range in {
+				s += b
+			}
+			return []byte{s}
+		},
+	})
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	nw := soda.NewNetwork()
+	nw.Register("server", mathServer())
+	var out []byte
+	var callErr error
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			out, callErr = Call(c, soda.ServerSig{MID: 1, Pattern: upperPat}, []byte("hello rpc"), 64)
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "server")
+	nw.MustBoot(2, "client")
+	if err := nw.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if callErr != nil {
+		t.Fatalf("Call: %v", callErr)
+	}
+	if string(out) != "HELLO RPC" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestTwoProceduresOneServer(t *testing.T) {
+	nw := soda.NewNetwork()
+	nw.Register("server", mathServer())
+	var upper, sum []byte
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			upper, _ = Call(c, soda.ServerSig{MID: 1, Pattern: upperPat}, []byte("ab"), 16)
+			sum, _ = Call(c, soda.ServerSig{MID: 1, Pattern: sumPat}, []byte{1, 2, 3}, 16)
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "server")
+	nw.MustBoot(2, "client")
+	if err := nw.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if string(upper) != "AB" || !bytes.Equal(sum, []byte{6}) {
+		t.Fatalf("upper=%q sum=%v", upper, sum)
+	}
+}
+
+func TestConcurrentCallersInterleave(t *testing.T) {
+	nw := soda.NewNetwork()
+	nw.Register("server", mathServer())
+	results := map[soda.MID]string{}
+	mkCaller := func(payload string) soda.Program {
+		return soda.Program{
+			Task: func(c *soda.Client) {
+				for i := 0; i < 3; i++ {
+					out, err := Call(c, soda.ServerSig{MID: 1, Pattern: upperPat}, []byte(payload), 64)
+					if err != nil {
+						t.Errorf("caller %d: %v", c.MID(), err)
+						return
+					}
+					results[c.MID()] = string(out)
+				}
+			},
+		}
+	}
+	nw.Register("a", mkCaller("aaa"))
+	nw.Register("b", mkCaller("bbb"))
+	nw.Register("c", mkCaller("ccc"))
+	nw.MustAddNode(1)
+	nw.MustBoot(1, "server")
+	nw.MustAddNode(2)
+	nw.MustAddNode(3)
+	nw.MustAddNode(4)
+	nw.MustBoot(2, "a")
+	nw.MustBoot(3, "b")
+	nw.MustBoot(4, "c")
+	if err := nw.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := map[soda.MID]string{2: "AAA", 3: "BBB", 4: "CCC"}
+	for mid, w := range want {
+		if results[mid] != w {
+			t.Fatalf("caller %d got %q, want %q", mid, results[mid], w)
+		}
+	}
+}
+
+func TestCallToDeadServerFails(t *testing.T) {
+	nw := soda.NewNetwork()
+	var callErr error
+	ran := false
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			_, callErr = Call(c, soda.ServerSig{MID: 9, Pattern: upperPat}, []byte("x"), 8)
+			ran = true
+		},
+	})
+	nw.MustAddNode(2)
+	nw.MustBoot(2, "client")
+	if err := nw.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("call never returned")
+	}
+	if callErr == nil {
+		t.Fatal("call to nonexistent server succeeded")
+	}
+	var ce *CallError
+	if ok := asCallError(callErr, &ce); !ok || ce.Status != soda.StatusCrashed {
+		t.Fatalf("err = %v, want crashed CallError", callErr)
+	}
+}
+
+func asCallError(err error, out **CallError) bool {
+	ce, ok := err.(*CallError)
+	if ok {
+		*out = ce
+	}
+	return ok
+}

@@ -1,0 +1,315 @@
+// Package soda is a faithful reproduction of SODA — the Simplified
+// Operating System for Distributed Applications of Kepecs & Solomon
+// (University of Wisconsin–Madison, 1984) — as a deterministic,
+// virtual-time simulation.
+//
+// A SODA network is a set of nodes on a broadcast bus. Each node pairs a
+// kernel processor (the SODA communications adaptor) with one uniprogrammed
+// client processor. The kernel provides exactly ten primitives — REQUEST,
+// ACCEPT, CANCEL, ADVERTISE, UNADVERTISE, GETUNIQUEID, OPEN, CLOSE,
+// ENDHANDLER, DIE — plus broadcast DISCOVER and kernel-interpreted boot,
+// load and kill patterns.
+//
+// Quick start:
+//
+//	nw := soda.NewNetwork()
+//	nw.Register("server", soda.Program{
+//		Init: func(c *soda.Client, _ soda.MID) { c.Advertise(pattern) },
+//		Handler: func(c *soda.Client, ev soda.Event) {
+//			if ev.Kind == soda.EventRequestArrival {
+//				c.AcceptCurrentExchange(soda.OK, []byte("hi"), ev.PutSize)
+//			}
+//		},
+//	})
+//	nw.Register("client", soda.Program{
+//		Task: func(c *soda.Client) {
+//			srv, _ := c.Discover(pattern)
+//			res := c.BExchange(srv, soda.OK, []byte("hello"), 64)
+//			fmt.Println(res.Status, string(res.Data))
+//		},
+//	})
+//	nw.MustAddNode(1)
+//	nw.MustAddNode(2)
+//	nw.MustBoot(1, "server")
+//	nw.MustBoot(2, "client")
+//	nw.Run(5 * time.Second) // five seconds of virtual time
+//
+// Everything — bus contention, the Delta-t reliability protocol,
+// retransmission, probing, crashes and reboots — runs under a seeded
+// discrete-event scheduler, so every run is exactly reproducible.
+package soda
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"soda/internal/bus"
+	"soda/internal/core"
+	"soda/internal/deltat"
+	"soda/internal/frame"
+	"soda/internal/sim"
+)
+
+// Re-exported fundamental types. See the internal packages for full
+// documentation; the aliases keep one public import path.
+type (
+	// MID is a network-wide unique machine id.
+	MID = frame.MID
+	// Pattern is a 48-bit service name.
+	Pattern = frame.Pattern
+	// TID is a per-machine unique transaction id.
+	TID = frame.TID
+	// ServerSig addresses a service: ⟨MID, PATTERN⟩.
+	ServerSig = frame.ServerSig
+	// RequesterSig identifies a request: ⟨MID, TID⟩.
+	RequesterSig = frame.RequesterSig
+	// Client is the uniprogrammed client process API.
+	Client = core.Client
+	// Program is the Init/Handler/Task triple loaded onto a node.
+	Program = core.Program
+	// Event is a handler invocation's tag.
+	Event = core.Event
+	// Status is a request completion status.
+	Status = core.Status
+	// AcceptStatus is an ACCEPT outcome.
+	AcceptStatus = core.AcceptStatus
+	// CallResult is a blocking request's outcome.
+	CallResult = core.CallResult
+	// AcceptResult is an ACCEPT's outcome.
+	AcceptResult = core.AcceptResult
+	// Node is one SODA machine (kernel + optional client).
+	Node = core.Node
+	// Config parameterizes a node's kernel.
+	Config = core.Config
+	// BusStats counts frames on the broadcast medium.
+	BusStats = bus.Stats
+)
+
+// Re-exported constants and values.
+const (
+	// BroadcastMID addresses every kernel (DISCOVER).
+	BroadcastMID = frame.BroadcastMID
+	// OK is the default request/accept argument.
+	OK = core.OK
+
+	EventRequestArrival    = core.EventRequestArrival
+	EventRequestCompletion = core.EventRequestCompletion
+
+	StatusSuccess      = core.StatusSuccess
+	StatusCancelled    = core.StatusCancelled
+	StatusCrashed      = core.StatusCrashed
+	StatusUnadvertised = core.StatusUnadvertised
+	StatusRejected     = core.StatusRejected
+
+	AcceptSuccess   = core.AcceptSuccess
+	AcceptCancelled = core.AcceptCancelled
+	AcceptCrashed   = core.AcceptCrashed
+)
+
+// Reserved patterns bound at SODA creation time.
+var (
+	// BootPattern marks a free, bootable machine.
+	BootPattern = core.DefaultBootPattern
+	// KillPattern terminates a client regardless of handler state.
+	KillPattern = core.DefaultKillPattern
+)
+
+// WellKnownPattern builds a published pattern from a 46-bit value.
+func WellKnownPattern(v uint64) Pattern { return frame.WellKnownPattern(v) }
+
+// DefaultNodeConfig returns the per-node kernel configuration calibrated to
+// the thesis's implementation (§5.5); tweak and pass via WithNodeConfig.
+func DefaultNodeConfig() Config { return core.DefaultConfig() }
+
+// BootRemote boots a registered program on a free machine (§3.5.2); the
+// returned load pattern is the kill capability over the child.
+func BootRemote(c *Client, target MID, bootPat Pattern, progName string) (Pattern, error) {
+	return core.BootRemote(c, target, bootPat, progName)
+}
+
+// BootRemoteWithParams is BootRemote with a connector-style parameter
+// block appended to the core image (§4.3.1); the booted client reads it
+// back with Client.BootParams.
+func BootRemoteWithParams(c *Client, target MID, bootPat Pattern, progName string, params []byte) (Pattern, error) {
+	return core.BootRemoteWithParams(c, target, bootPat, progName, params)
+}
+
+// KillChild terminates a child booted with BootRemote.
+func KillChild(c *Client, target MID, loadPat Pattern) bool {
+	return core.KillChild(c, target, loadPat)
+}
+
+// KernelPeek reads from a node's kernel-level RMR region (§6.17.2; enable
+// with Config.KernelRMRSize). The status is StatusRejected on bad addresses
+// and StatusUnadvertised when the service is disabled at the destination.
+func KernelPeek(c *Client, dst MID, addr, size int) ([]byte, Status) {
+	return core.KernelPeek(c, dst, addr, size)
+}
+
+// KernelPoke writes into a node's kernel-level RMR region (§6.17.2).
+func KernelPoke(c *Client, dst MID, addr int, value []byte) Status {
+	return core.KernelPoke(c, dst, addr, value)
+}
+
+// Option configures a Network.
+type Option interface{ apply(*options) }
+
+type options struct {
+	seed     int64
+	busCfg   bus.Config
+	nodeCfg  core.Config
+	eventCap uint64
+}
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
+
+// WithSeed sets the deterministic random seed (default 1).
+func WithSeed(seed int64) Option {
+	return optionFunc(func(o *options) { o.seed = seed })
+}
+
+// WithLoss sets the per-receiver frame loss probability, exercising the
+// Delta-t retransmission machinery.
+func WithLoss(p float64) Option {
+	return optionFunc(func(o *options) { o.busCfg.LossProb = p })
+}
+
+// WithPipelined selects the pipelined (input-buffer) kernel variant for all
+// nodes (§5.2.3).
+func WithPipelined(on bool) Option {
+	return optionFunc(func(o *options) { o.nodeCfg.Pipelined = on })
+}
+
+// WithNodeConfig replaces the whole per-node configuration.
+func WithNodeConfig(cfg Config) Option {
+	return optionFunc(func(o *options) { o.nodeCfg = cfg })
+}
+
+// WithBusConfig replaces the medium configuration.
+func WithBusConfig(cfg bus.Config) Option {
+	return optionFunc(func(o *options) { o.busCfg = cfg })
+}
+
+// WithEventLimit caps total simulation events (a livelock backstop).
+func WithEventLimit(n uint64) Option {
+	return optionFunc(func(o *options) { o.eventCap = n })
+}
+
+// Network is a simulated SODA network: the virtual clock, the broadcast
+// bus, the program registry, and the set of nodes.
+type Network struct {
+	k     *sim.Kernel
+	b     *bus.Bus
+	reg   core.Registry
+	cfg   core.Config
+	nodes map[MID]*core.Node
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(opts ...Option) *Network {
+	o := options{
+		seed:     1,
+		busCfg:   bus.DefaultConfig(),
+		nodeCfg:  core.DefaultConfig(),
+		eventCap: 50_000_000,
+	}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	k := sim.New(o.seed)
+	k.SetEventLimit(o.eventCap)
+	return &Network{
+		k:     k,
+		b:     bus.New(k, o.busCfg),
+		reg:   core.Registry{},
+		cfg:   o.nodeCfg,
+		nodes: make(map[MID]*core.Node),
+	}
+}
+
+// Register adds a bootable program under name.
+func (nw *Network) Register(name string, prog Program) { nw.reg[name] = prog }
+
+// AddNode attaches a free SODA machine at mid.
+func (nw *Network) AddNode(mid MID) (*Node, error) {
+	n, err := core.NewNode(nw.k, nw.b, mid, nw.cfg, nw.reg)
+	if err != nil {
+		return nil, err
+	}
+	nw.nodes[mid] = n
+	return n, nil
+}
+
+// MustAddNode is AddNode, panicking on error (setup-time convenience).
+func (nw *Network) MustAddNode(mid MID) *Node {
+	n, err := nw.AddNode(mid)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Node returns the node at mid, or nil.
+func (nw *Network) Node(mid MID) *Node { return nw.nodes[mid] }
+
+// Boot starts a registered program on the node at mid (local boot).
+func (nw *Network) Boot(mid MID, prog string) error {
+	n, ok := nw.nodes[mid]
+	if !ok {
+		return fmt.Errorf("soda: no node %d", mid)
+	}
+	return n.Boot(prog, 0)
+}
+
+// MustBoot is Boot, panicking on error.
+func (nw *Network) MustBoot(mid MID, prog string) {
+	if err := nw.Boot(mid, prog); err != nil {
+		panic(err)
+	}
+}
+
+// Run advances the simulation by d of virtual time.
+func (nw *Network) Run(d time.Duration) error {
+	return nw.k.RunUntil(nw.k.Now() + d)
+}
+
+// RunToCompletion processes events until none remain. It returns an error
+// if client processes are deadlocked (suspended with no pending events).
+func (nw *Network) RunToCompletion() error { return nw.k.Run() }
+
+// Now reports the current virtual time.
+func (nw *Network) Now() time.Duration { return nw.k.Now() }
+
+// At schedules fn at an absolute virtual time (testing and fault
+// injection: crash a node mid-run, etc.).
+func (nw *Network) At(t time.Duration, fn func()) { nw.k.At(t, fn) }
+
+// Trace writes one line per frame transmission to w (nil disables): the
+// virtual timestamp, source, destination and transport kind. Intended for
+// debugging protocol flows; the output is deterministic.
+func (nw *Network) Trace(w io.Writer) {
+	if w == nil {
+		nw.b.SetTap(nil)
+		return
+	}
+	nw.b.SetTap(func(e bus.TapEvent) {
+		dst := fmt.Sprintf("%d", e.Dst)
+		if e.Dst == BroadcastMID {
+			dst = "broadcast"
+		}
+		fmt.Fprintf(w, "%12v  %3d -> %-9s %-6v %4dB\n", e.At, e.Src, dst, e.Kind, e.Size)
+	})
+}
+
+// Stats returns the bus traffic counters.
+func (nw *Network) Stats() BusStats { return nw.b.Stats() }
+
+// ResetStats zeroes the bus counters (measurement windows).
+func (nw *Network) ResetStats() { nw.b.ResetStats() }
+
+// TransportConfig exposes the Delta-t parameters in effect (for tests that
+// reason about timing bounds).
+func (nw *Network) TransportConfig() deltat.Config { return nw.cfg.Transport }

@@ -1,0 +1,69 @@
+package sodal
+
+import (
+	"soda"
+)
+
+// EntryFunc services a request arrival on one entry pattern.
+type EntryFunc func(c *soda.Client, ev soda.Event)
+
+// Dispatcher is the SODAL "case ENTRY of … / case COMPLETION of …"
+// construct (§4.1.4.1): arrivals dispatch on the invoked pattern (the
+// entry), completions on the transaction id. Register the cases, then call
+// Handle from the program handler.
+type Dispatcher struct {
+	entries   map[soda.Pattern]EntryFunc
+	otherwise EntryFunc
+}
+
+// NewDispatcher creates an empty dispatcher.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{entries: make(map[soda.Pattern]EntryFunc)}
+}
+
+// Entry binds fn to arrivals on pattern (a `pattern_k: begin … end` case).
+// It returns the dispatcher for chaining.
+func (d *Dispatcher) Entry(pattern soda.Pattern, fn EntryFunc) *Dispatcher {
+	d.entries[pattern] = fn
+	return d
+}
+
+// Otherwise binds the OTHERWISE arrival case.
+func (d *Dispatcher) Otherwise(fn EntryFunc) *Dispatcher {
+	d.otherwise = fn
+	return d
+}
+
+// Handle routes one handler invocation. Completions are routed through the
+// runtime's OnCompletion registrations (SODAL's COMPLETION cases are per
+// transaction id, which is exactly what Client.OnCompletion provides), so
+// Handle only dispatches arrivals; it reports whether the event was
+// consumed. Unmatched arrivals with no OTHERWISE case are REJECTed — a
+// pattern that reaches the handler was advertised, so silence would strand
+// the requester.
+func (d *Dispatcher) Handle(c *soda.Client, ev soda.Event) bool {
+	if ev.Kind != soda.EventRequestArrival {
+		return false
+	}
+	if fn, ok := d.entries[ev.Pattern]; ok {
+		fn(c, ev)
+		return true
+	}
+	if d.otherwise != nil {
+		d.otherwise(c, ev)
+		return true
+	}
+	c.RejectCurrent()
+	return true
+}
+
+// Advertise advertises every registered entry pattern (convenience for the
+// Init section).
+func (d *Dispatcher) Advertise(c *soda.Client) error {
+	for p := range d.entries {
+		if err := c.Advertise(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

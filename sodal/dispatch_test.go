@@ -1,0 +1,104 @@
+package sodal
+
+import (
+	"testing"
+	"time"
+
+	"soda"
+)
+
+var (
+	patA = soda.WellKnownPattern(0o11)
+	patB = soda.WellKnownPattern(0o12)
+	patC = soda.WellKnownPattern(0o13)
+)
+
+func TestDispatcherRoutesByEntry(t *testing.T) {
+	nw := soda.NewNetwork()
+	var hits []string
+	nw.Register("server", soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			d := NewDispatcher().
+				Entry(patA, func(c *soda.Client, ev soda.Event) {
+					hits = append(hits, "A")
+					c.AcceptCurrentSignal(soda.OK)
+				}).
+				Entry(patB, func(c *soda.Client, ev soda.Event) {
+					hits = append(hits, "B")
+					c.AcceptCurrentSignal(soda.OK)
+				})
+			if err := d.Advertise(c); err != nil {
+				panic(err)
+			}
+			// patC is advertised but has no case: OTHERWISE-less reject.
+			if err := c.Advertise(patC); err != nil {
+				panic(err)
+			}
+			c.SetStash(d)
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			c.Stash().(*Dispatcher).Handle(c, ev)
+		},
+	})
+	var stB, stC soda.Status
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			c.BSignal(soda.ServerSig{MID: 1, Pattern: patA}, soda.OK)
+			stB = c.BSignal(soda.ServerSig{MID: 1, Pattern: patB}, soda.OK).Status
+			stC = c.BSignal(soda.ServerSig{MID: 1, Pattern: patC}, soda.OK).Status
+			c.BSignal(soda.ServerSig{MID: 1, Pattern: patA}, soda.OK)
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "server")
+	nw.MustBoot(2, "client")
+	if err := nw.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 3 || hits[0] != "A" || hits[1] != "B" || hits[2] != "A" {
+		t.Fatalf("hits = %v", hits)
+	}
+	if stB != soda.StatusSuccess {
+		t.Fatalf("patB status = %v", stB)
+	}
+	if stC != soda.StatusRejected {
+		t.Fatalf("patC status = %v, want REJECTED (no case, no OTHERWISE)", stC)
+	}
+}
+
+func TestDispatcherOtherwise(t *testing.T) {
+	nw := soda.NewNetwork()
+	var otherPattern soda.Pattern
+	nw.Register("server", soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			d := NewDispatcher().Otherwise(func(c *soda.Client, ev soda.Event) {
+				otherPattern = ev.Pattern
+				c.AcceptCurrentSignal(soda.OK)
+			})
+			if err := c.Advertise(patC); err != nil {
+				panic(err)
+			}
+			c.SetStash(d)
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			c.Stash().(*Dispatcher).Handle(c, ev)
+		},
+	})
+	var st soda.Status
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			st = c.BSignal(soda.ServerSig{MID: 1, Pattern: patC}, soda.OK).Status
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "server")
+	nw.MustBoot(2, "client")
+	if err := nw.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st != soda.StatusSuccess || otherPattern != patC {
+		t.Fatalf("st=%v pattern=%v", st, otherPattern)
+	}
+}

@@ -1,0 +1,84 @@
+// Package sodal provides the runtime library of SODAL, the thesis's
+// programming language for SODA (§4.1): the bounded QUEUE type with its six
+// operations (§4.1.4), and helpers that mirror SODAL's conveniences.
+// Because SODA's kernel is bufferless (§6.13), virtually every server
+// program queues requester signatures itself; this package is that idiom,
+// packaged.
+package sodal
+
+// Queue is the SODAL bounded queue: `var q : QUEUE [n] of T` (§4.1.4).
+// A Queue must be created with NewQueue.
+type Queue[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// NewQueue creates a queue holding at most capacity elements.
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Queue[T]{buf: make([]T, capacity)}
+}
+
+// Cap reports the queue's fixed capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Len reports the number of queued elements.
+func (q *Queue[T]) Len() int { return q.n }
+
+// EnQueue inserts v at the end of the queue; it reports false when full.
+func (q *Queue[T]) EnQueue(v T) bool {
+	if q.n == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	return true
+}
+
+// DeQueue removes and returns the element at the head; ok is false when
+// the queue is empty.
+func (q *Queue[T]) DeQueue() (v T, ok bool) {
+	if q.n == 0 {
+		return v, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // release references
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v, true
+}
+
+// MustDeQueue is DeQueue, panicking on an empty queue — the SODAL
+// operation "raises an exception if queue empty" (§4.1.4).
+func (q *Queue[T]) MustDeQueue() T {
+	v, ok := q.DeQueue()
+	if !ok {
+		panic("sodal: DeQueue of empty queue")
+	}
+	return v
+}
+
+// Peek returns the head element without removing it.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if q.n == 0 {
+		return v, false
+	}
+	return q.buf[q.head], true
+}
+
+// IsEmpty reports whether the queue holds no elements.
+func (q *Queue[T]) IsEmpty() bool { return q.n == 0 }
+
+// IsFull reports whether the queue can hold no more elements.
+func (q *Queue[T]) IsFull() bool { return q.n == len(q.buf) }
+
+// AlmostEmpty reports whether the queue has a single element left (§4.1.4).
+func (q *Queue[T]) AlmostEmpty() bool { return q.n == 1 }
+
+// AlmostFull reports whether the queue can hold exactly one more item
+// (§4.1.4).
+func (q *Queue[T]) AlmostFull() bool { return q.n == len(q.buf)-1 }

@@ -1,0 +1,129 @@
+package sodal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](3)
+	for i := 1; i <= 3; i++ {
+		if !q.EnQueue(i) {
+			t.Fatalf("EnQueue(%d) failed", i)
+		}
+	}
+	if q.EnQueue(4) {
+		t.Fatal("EnQueue succeeded on a full queue")
+	}
+	for i := 1; i <= 3; i++ {
+		v, ok := q.DeQueue()
+		if !ok || v != i {
+			t.Fatalf("DeQueue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.DeQueue(); ok {
+		t.Fatal("DeQueue succeeded on an empty queue")
+	}
+}
+
+func TestQueuePredicates(t *testing.T) {
+	q := NewQueue[string](2)
+	if !q.IsEmpty() || q.IsFull() || q.AlmostEmpty() {
+		t.Fatalf("empty queue predicates wrong: %+v", q)
+	}
+	q.EnQueue("a")
+	if !q.AlmostEmpty() || !q.AlmostFull() {
+		t.Fatal("one-element predicates wrong for capacity 2")
+	}
+	q.EnQueue("b")
+	if !q.IsFull() || q.AlmostFull() {
+		t.Fatal("full queue predicates wrong")
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	q := NewQueue[int](4)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.EnQueue(round*10 + i) {
+				t.Fatal("EnQueue failed below capacity")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.DeQueue()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: DeQueue = (%d,%v)", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	q := NewQueue[int](2)
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek of empty queue succeeded")
+	}
+	q.EnQueue(7)
+	if v, ok := q.Peek(); !ok || v != 7 {
+		t.Fatalf("Peek = (%d,%v)", v, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatal("Peek consumed the element")
+	}
+}
+
+func TestMustDeQueuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDeQueue of empty queue did not panic")
+		}
+	}()
+	NewQueue[int](1).MustDeQueue()
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	q := NewQueue[int](0)
+	if q.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", q.Cap())
+	}
+}
+
+// TestQueueModelProperty compares the ring buffer against a slice model
+// under arbitrary operation sequences.
+func TestQueueModelProperty(t *testing.T) {
+	f := func(capacity uint8, ops []int16) bool {
+		capn := int(capacity%16) + 1
+		q := NewQueue[int16](capn)
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 { // enqueue op
+				got := q.EnQueue(op)
+				want := len(model) < capn
+				if got != want {
+					return false
+				}
+				if want {
+					model = append(model, op)
+				}
+			} else { // dequeue
+				v, ok := q.DeQueue()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

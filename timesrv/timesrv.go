@@ -1,0 +1,151 @@
+// Package timesrv implements the time-server utility of §4.4.3 and the
+// timeout idiom of §4.3.2.
+//
+// SODA deliberately provides no timeouts in its primitives (§6.5): a client
+// that needs one registers a wakeup REQUEST with a timeserver (a client
+// that owns a hardware clock). The timeserver ACCEPTs the request when the
+// delay expires; the completion interrupt is the alarm. An impatient client
+// can then CANCEL whatever it was waiting on.
+package timesrv
+
+import (
+	"time"
+
+	"soda"
+)
+
+// AlarmPattern is the well-known pattern the timeserver advertises.
+var AlarmPattern = soda.WellKnownPattern(0o6014)
+
+// tick is the hardware clock granularity ("wait for clock tick", §4.4.3).
+const tick = time.Millisecond
+
+// alarm is one registered wakeup.
+type alarm struct {
+	asker    soda.RequesterSig
+	deadline time.Duration
+}
+
+// state is the timeserver's per-instance data.
+type state struct {
+	pending []alarm
+	max     int
+}
+
+// Program returns the timeserver: SIGNAL ⟨server, AlarmPattern⟩ with the
+// delay in milliseconds as the argument; the request is ACCEPTed when the
+// delay expires. maxPending bounds simultaneous registrations; extras are
+// rejected.
+func Program(maxPending int) soda.Program {
+	if maxPending <= 0 {
+		maxPending = 32
+	}
+	return soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			c.SetStash(&state{max: maxPending})
+			if err := c.Advertise(AlarmPattern); err != nil {
+				panic(err)
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind != soda.EventRequestArrival || ev.Pattern != AlarmPattern {
+				return
+			}
+			st := c.Stash().(*state)
+			if len(st.pending) >= st.max {
+				c.RejectCurrent()
+				return
+			}
+			st.pending = append(st.pending, alarm{
+				asker:    ev.Asker,
+				deadline: c.Now() + time.Duration(ev.Arg)*time.Millisecond,
+			})
+		},
+		Task: func(c *soda.Client) {
+			st := c.Stash().(*state)
+			for {
+				c.WaitUntil(func() bool { return len(st.pending) > 0 })
+				c.Hold(tick)
+				// Fire everything due. The pending slice may grow while
+				// an ACCEPT blocks; the remainder is rebuilt each tick.
+				now := c.Now()
+				var due []alarm
+				keep := st.pending[:0]
+				for _, a := range st.pending {
+					if a.deadline <= now {
+						due = append(due, a)
+					} else {
+						keep = append(keep, a)
+					}
+				}
+				st.pending = keep
+				for _, a := range due {
+					c.AcceptSignal(a.asker, soda.OK)
+				}
+			}
+		},
+	}
+}
+
+// SetAlarm registers a non-blocking wakeup: the returned TID's completion
+// interrupt fires after delay. Use Client.OnCompletion (or the program
+// handler) to observe it.
+func SetAlarm(c *soda.Client, server soda.ServerSig, delay time.Duration) (soda.TID, error) {
+	return c.Signal(server, int32(delay/time.Millisecond))
+}
+
+// Sleep blocks the task for delay using the timeserver's clock.
+func Sleep(c *soda.Client, server soda.ServerSig, delay time.Duration) soda.Status {
+	return c.BSignal(server, int32(delay/time.Millisecond)).Status
+}
+
+// CallResult augments a request outcome with timeout information.
+type CallResult struct {
+	soda.CallResult
+	// TimedOut reports that the alarm fired first and the request was
+	// successfully cancelled.
+	TimedOut bool
+}
+
+// CallWithTimeout implements the §4.3.2 scenario: register a wakeup, issue
+// the request, and whichever completes first wins. On timeout the request
+// is CANCELLED; if the cancel loses the race the late completion is
+// returned instead.
+func CallWithTimeout(c *soda.Client, alarmServer soda.ServerSig, timeout time.Duration,
+	dst soda.ServerSig, arg int32, put []byte, getSize int) (CallResult, error) {
+
+	alarmTID, err := SetAlarm(c, alarmServer, timeout)
+	if err != nil {
+		return CallResult{}, err
+	}
+	reqTID, err := c.Request(dst, arg, put, getSize)
+	if err != nil {
+		return CallResult{}, err
+	}
+	var (
+		reqDone, alarmDone bool
+		reqEv              soda.Event
+	)
+	c.OnCompletion(alarmTID, func(soda.Event) { alarmDone = true })
+	c.OnCompletion(reqTID, func(ev soda.Event) {
+		reqEv = ev
+		reqDone = true
+	})
+	c.WaitUntil(func() bool { return reqDone || alarmDone })
+	if !reqDone {
+		// The alarm fired first; try to withdraw the request.
+		if c.Cancel(soda.RequesterSig{MID: c.MID(), TID: reqTID}) {
+			return CallResult{TimedOut: true}, nil
+		}
+		// The cancel lost: completion is imminent (§3.3.3).
+		c.WaitUntil(func() bool { return reqDone })
+	}
+	st := reqEv.Status
+	if st == soda.StatusSuccess && reqEv.Arg < 0 {
+		st = soda.StatusRejected
+	}
+	return CallResult{CallResult: soda.CallResult{
+		Status: st, Arg: reqEv.Arg, Data: reqEv.Data,
+		PutN: reqEv.PutN, GetN: reqEv.GetN, TID: reqTID,
+	}}, nil
+}

@@ -1,0 +1,178 @@
+package timesrv
+
+import (
+	"testing"
+	"time"
+
+	"soda"
+)
+
+func TestSleepWakesAfterDelay(t *testing.T) {
+	nw := soda.NewNetwork()
+	nw.Register("timesrv", Program(8))
+	var woke time.Duration
+	var started time.Duration
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			srv, ok := c.Discover(AlarmPattern)
+			if !ok {
+				t.Error("timeserver not discovered")
+				return
+			}
+			started = c.Now()
+			if st := Sleep(c, srv, 100*time.Millisecond); st != soda.StatusSuccess {
+				t.Errorf("sleep status = %v", st)
+			}
+			woke = c.Now()
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "timesrv")
+	nw.MustBoot(2, "client")
+	if err := nw.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if woke == 0 {
+		t.Fatal("client never woke")
+	}
+	slept := woke - started
+	if slept < 100*time.Millisecond || slept > 200*time.Millisecond {
+		t.Fatalf("slept %v, want ~100ms", slept)
+	}
+}
+
+func TestMultipleAlarmsFireInDeadlineOrder(t *testing.T) {
+	nw := soda.NewNetwork()
+	nw.Register("timesrv", Program(8))
+	var order []int32
+	mkSleeper := func(id int32, d time.Duration) soda.Program {
+		return soda.Program{
+			Task: func(c *soda.Client) {
+				srv, _ := c.Discover(AlarmPattern)
+				Sleep(c, srv, d)
+				order = append(order, id)
+			},
+		}
+	}
+	nw.Register("s1", mkSleeper(1, 150*time.Millisecond))
+	nw.Register("s2", mkSleeper(2, 50*time.Millisecond))
+	nw.Register("s3", mkSleeper(3, 100*time.Millisecond))
+	nw.MustAddNode(1)
+	for mid := soda.MID(2); mid <= 4; mid++ {
+		nw.MustAddNode(mid)
+	}
+	nw.MustBoot(1, "timesrv")
+	nw.MustBoot(2, "s1")
+	nw.MustBoot(3, "s2")
+	nw.MustBoot(4, "s3")
+	if err := nw.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 2 || order[1] != 3 || order[2] != 1 {
+		t.Fatalf("wake order = %v, want [2 3 1]", order)
+	}
+}
+
+func TestCallWithTimeoutTimesOut(t *testing.T) {
+	nw := soda.NewNetwork()
+	nw.Register("timesrv", Program(8))
+	slowPat := soda.WellKnownPattern(0o500)
+	nw.Register("slow", soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) { _ = c.Advertise(slowPat) },
+		// Never accepts.
+	})
+	var res *CallResult
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			alarmSrv, _ := c.Discover(AlarmPattern)
+			r, err := CallWithTimeout(c, alarmSrv, 100*time.Millisecond,
+				soda.ServerSig{MID: 3, Pattern: slowPat}, soda.OK, nil, 0)
+			if err != nil {
+				t.Errorf("CallWithTimeout: %v", err)
+				return
+			}
+			res = &r
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustAddNode(3)
+	nw.MustBoot(1, "timesrv")
+	nw.MustBoot(3, "slow")
+	nw.MustBoot(2, "client")
+	if err := nw.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("call never returned")
+	}
+	if !res.TimedOut {
+		t.Fatalf("result = %+v, want timeout", res)
+	}
+}
+
+func TestCallWithTimeoutFastServerWins(t *testing.T) {
+	nw := soda.NewNetwork()
+	nw.Register("timesrv", Program(8))
+	fastPat := soda.WellKnownPattern(0o501)
+	nw.Register("fast", soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) { _ = c.Advertise(fastPat) },
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind == soda.EventRequestArrival {
+				c.AcceptCurrentGet(soda.OK, []byte("quick"))
+			}
+		},
+	})
+	var res *CallResult
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			alarmSrv, _ := c.Discover(AlarmPattern)
+			r, err := CallWithTimeout(c, alarmSrv, 500*time.Millisecond,
+				soda.ServerSig{MID: 3, Pattern: fastPat}, soda.OK, nil, 32)
+			if err != nil {
+				t.Errorf("CallWithTimeout: %v", err)
+				return
+			}
+			res = &r
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustAddNode(3)
+	nw.MustBoot(1, "timesrv")
+	nw.MustBoot(3, "fast")
+	nw.MustBoot(2, "client")
+	if err := nw.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.TimedOut || res.Status != soda.StatusSuccess || string(res.Data) != "quick" {
+		t.Fatalf("result = %+v, want fast success", res)
+	}
+}
+
+func TestAlarmOverflowRejected(t *testing.T) {
+	nw := soda.NewNetwork()
+	nw.Register("timesrv", Program(1))
+	var second soda.Status
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			srv, _ := c.Discover(AlarmPattern)
+			if _, err := SetAlarm(c, srv, 5*time.Second); err != nil {
+				t.Errorf("first alarm: %v", err)
+			}
+			c.Hold(50 * time.Millisecond) // let it register
+			second = c.BSignal(srv, 5000).Status
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "timesrv")
+	nw.MustBoot(2, "client")
+	if err := nw.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if second != soda.StatusRejected {
+		t.Fatalf("second alarm = %v, want REJECTED", second)
+	}
+}
