@@ -48,6 +48,7 @@ type philState struct {
 	myTID      soda.TID           // outstanding left-fork request (CHECK reports it)
 	hisRequest *soda.RequesterSig // right neighbor's deferred GETFORK
 	gaveBack   bool               // detector forced us to release the left fork
+	returnOwed bool               // a RETURN_FORK to the left neighbor is pending
 	Meals      int
 	GiveBacks  int
 }
@@ -75,24 +76,35 @@ func Philosopher(left soda.MID, meals int, thinkTime, eatTime time.Duration, onE
 			switch ev.Pattern {
 			case GetFork:
 				// The right neighbor wants my fork.
-				if st.ownFork == forkIdle {
+				switch st.ownFork {
+				case forkIdle:
 					st.ownFork = forkLent
 					c.AcceptCurrentSignal(soda.OK)
-				} else {
-					// In use (or already lent — a stale retry): defer
-					// until I put my forks down (§4.4.3).
+				case forkLent:
+					// Already lent yet asked again: the neighbor never
+					// re-requests while it holds the fork, so the earlier
+					// grant died in the network. Grant again.
+					c.AcceptCurrentSignal(soda.OK)
+				default:
+					// In use: defer until I put my forks down (§4.4.3).
 					asker := ev.Asker
 					st.hisRequest = &asker
 				}
 			case PutFork:
-				// The right neighbor returns my fork after eating.
+				// The right neighbor returns my fork after eating. Only a
+				// lent fork comes back: a late retry of a return whose
+				// completion was lost must not idle a fork I am using.
 				c.AcceptCurrentSignal(soda.OK)
-				st.ownFork = forkIdle
+				if st.ownFork == forkLent {
+					st.ownFork = forkIdle
+				}
 			case ReturnFork:
 				// The right neighbor gives my fork back on the
 				// detector's orders; it will ask for it again.
 				c.AcceptCurrentSignal(soda.OK)
-				st.ownFork = forkIdle
+				if st.ownFork == forkLent {
+					st.ownFork = forkIdle
+				}
 			case Check:
 				// The detector asks: needful? Report the TID identifying
 				// this acquisition attempt, or REJECT (§4.4.3).
@@ -104,35 +116,40 @@ func Philosopher(left soda.MID, meals int, thinkTime, eatTime time.Duration, onE
 			case GiveBack:
 				c.AcceptCurrentSignal(soda.OK)
 				if st.needful && st.leftHeld {
-					// Release the held left fork; the task re-requests.
+					// Release the held left fork; the task returns it
+					// (reliably, retrying loss) and then re-requests.
 					st.leftHeld = false
 					st.gaveBack = true
+					st.returnOwed = true
 					st.GiveBacks++
-					if _, err := c.Signal(soda.ServerSig{MID: left, Pattern: ReturnFork}, soda.OK); err == nil {
-						// Non-blocking; completion needs no action.
-					}
 				}
 			}
 		},
 		Task: func(c *soda.Client) {
 			st := c.Stash().(*philState)
 			leftSig := func(p soda.Pattern) soda.ServerSig { return soda.ServerSig{MID: left, Pattern: p} }
-			for meal := 0; meals <= 0 || meal < meals; meal++ {
-				c.Hold(thinkTime) // think()
-
-				// Obtain the left fork, re-requesting whenever the
-				// detector makes us give it back.
+			// acquireLeft obtains the left fork, first settling any fork
+			// the detector made us promise back, and re-requesting on
+			// give-backs or network loss. Returns false if the client is
+			// shutting down.
+			acquireLeft := func() bool {
 				for !st.leftHeld {
+					if st.returnOwed {
+						// The give-back must reach the neighbor; retry
+						// until the signal completes.
+						for c.BSignal(leftSig(ReturnFork), soda.OK).Status != soda.StatusSuccess {
+							c.Hold(50 * time.Millisecond)
+						}
+						st.returnOwed = false
+					}
 					st.gaveBack = false
-					got := false
 					tid, err := c.Signal(leftSig(GetFork), soda.OK)
 					if err != nil {
-						return
+						return false
 					}
 					st.myTID = tid
 					c.OnCompletion(tid, func(ev soda.Event) {
-						got = ev.Status == soda.StatusSuccess
-						if got {
+						if ev.Status == soda.StatusSuccess {
 							st.leftHeld = true
 						} else {
 							st.gaveBack = true // failed: retry the acquisition
@@ -141,27 +158,24 @@ func Philosopher(left soda.MID, meals int, thinkTime, eatTime time.Duration, onE
 					st.needful = true
 					c.WaitUntil(func() bool { return st.leftHeld || st.gaveBack })
 				}
+				return true
+			}
+			for meal := 0; meals <= 0 || meal < meals; meal++ {
+				c.Hold(thinkTime) // think()
+
+				// Obtain the left fork, re-requesting whenever the
+				// detector makes us give it back.
+				if !acquireLeft() {
+					return
+				}
 
 				// Obtain my own fork; a GIVE_BACK can interrupt the wait.
 				for {
 					c.WaitUntil(func() bool { return !st.leftHeld || st.ownFork == forkIdle })
 					if !st.leftHeld {
 						// Victimized: reacquire the left fork first.
-						for !st.leftHeld {
-							st.gaveBack = false
-							tid, err := c.Signal(leftSig(GetFork), soda.OK)
-							if err != nil {
-								return
-							}
-							st.myTID = tid
-							c.OnCompletion(tid, func(ev soda.Event) {
-								if ev.Status == soda.StatusSuccess {
-									st.leftHeld = true
-								} else {
-									st.gaveBack = true
-								}
-							})
-							c.WaitUntil(func() bool { return st.leftHeld || st.gaveBack })
+						if !acquireLeft() {
+							return
 						}
 						continue
 					}
@@ -176,8 +190,11 @@ func Philosopher(left soda.MID, meals int, thinkTime, eatTime time.Duration, onE
 					onEat(c, st.Meals)
 				}
 
-				// Put both forks down: return the left fork, free mine.
-				c.BSignal(leftSig(PutFork), soda.OK)
+				// Put both forks down: return the left fork (retrying loss
+				// — the neighbor's fork must not evaporate), free mine.
+				for c.BSignal(leftSig(PutFork), soda.OK).Status != soda.StatusSuccess {
+					c.Hold(50 * time.Millisecond)
+				}
 				st.leftHeld = false
 				st.ownFork = forkIdle
 				if st.hisRequest != nil {
@@ -199,8 +216,11 @@ func Detector(ring []soda.MID, interval time.Duration, onBreak func(victim soda.
 	return soda.Program{
 		Task: func(c *soda.Client) {
 			alarmSrv, ok := c.Discover(timesrv.AlarmPattern)
-			if !ok {
-				panic("philo: no timeserver on the network")
+			for !ok {
+				// DISCOVER is an unreliable datagram; under loss (or when
+				// rebooting mid-chaos) keep asking until it lands.
+				c.Hold(500 * time.Millisecond)
+				alarmSrv, ok = c.Discover(timesrv.AlarmPattern)
 			}
 			leftOf := func(i int) int { return (i - 1 + len(ring)) % len(ring) }
 			fair := newNiceList(len(ring))

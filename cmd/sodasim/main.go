@@ -8,17 +8,31 @@
 //	sodasim -scenario boot           # remote boot / kill via reserved patterns
 //	sodasim -scenario crash          # crash detection via probes
 //	sodasim -seed 7 -duration 30s    # any scenario is deterministic per seed
+//
+// Fault injection (any combination; all deterministic per seed):
+//
+//	sodasim -loss 0.1                # drop 10% of frames
+//	sodasim -corrupt 0.05            # damage 5% of frames (CRC-detected)
+//	sodasim -duplicate 0.05          # re-deliver 5% of frames
+//	sodasim -faultplan plan.json     # replay a declarative fault plan
+//	sodasim -chaos                   # generate a random plan from the seed
+//	sodasim -check                   # invariant checkers without faults
+//
+// Whenever any fault source is active the invariant checkers run and the
+// command exits non-zero if a reliability guarantee was violated.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
 	"soda"
 	"soda/apps/fileserver"
 	"soda/apps/philo"
+	"soda/faults"
 	"soda/timesrv"
 )
 
@@ -27,6 +41,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic random seed")
 	duration := flag.Duration("duration", 20*time.Second, "virtual run time")
 	trace := flag.Bool("trace", false, "print every frame on the bus")
+	flag.Float64Var(&fcfg.loss, "loss", 0, "per-frame loss probability (0..1)")
+	flag.Float64Var(&fcfg.corrupt, "corrupt", 0, "per-frame corruption probability (0..1)")
+	flag.Float64Var(&fcfg.duplicate, "duplicate", 0, "per-frame duplication probability (0..1)")
+	flag.StringVar(&fcfg.planFile, "faultplan", "", "JSON fault plan to replay")
+	flag.BoolVar(&fcfg.chaos, "chaos", false, "generate a random fault plan from the seed")
+	flag.BoolVar(&fcfg.check, "check", false, "run the invariant checkers even without faults")
 	flag.Parse()
 	traceAll = *trace
 
@@ -52,17 +72,96 @@ func main() {
 // traceAll enables frame tracing on every scenario network.
 var traceAll bool
 
-func newNetwork(seed int64) *soda.Network {
-	nw := soda.NewNetwork(soda.WithSeed(seed))
+// fcfg carries the fault-injection flags into the scenario runners.
+var fcfg struct {
+	loss, corrupt, duplicate float64
+	planFile                 string
+	chaos                    bool
+	check                    bool
+}
+
+// newNetwork assembles the scenario network plus whatever fault sources the
+// flags ask for. The scenario passes its machine set and the nodes a chaos
+// plan may crash (stateless services only) so -chaos can target them.
+func newNetwork(seed int64, d time.Duration, mids []soda.MID, crashable []faults.CrashTarget) (*soda.Network, error) {
+	var plan faults.Plan
+	if fcfg.planFile != "" {
+		data, err := os.ReadFile(fcfg.planFile)
+		if err != nil {
+			return nil, err
+		}
+		p, err := faults.Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		plan.Events = append(plan.Events, p.Events...)
+	}
+	if fcfg.corrupt > 0 {
+		plan.Events = append(plan.Events, faults.Event{Kind: faults.Corrupt, Prob: fcfg.corrupt})
+	}
+	if fcfg.duplicate > 0 {
+		plan.Events = append(plan.Events, faults.Event{Kind: faults.Duplicate, Prob: fcfg.duplicate})
+	}
+	if fcfg.chaos {
+		gen := faults.Generate(rand.New(rand.NewSource(seed)), faults.GenConfig{
+			Horizon:   d,
+			MIDs:      mids,
+			Crashable: crashable,
+		})
+		if data, err := gen.Encode(); err == nil {
+			fmt.Printf("chaos plan (replay with -faultplan):\n%s\n\n", data)
+		}
+		plan.Events = append(plan.Events, gen.Events...)
+	}
+	opts := []soda.Option{soda.WithSeed(seed)}
+	if fcfg.loss > 0 {
+		opts = append(opts, soda.WithLoss(fcfg.loss))
+	}
+	if len(plan.Events) > 0 {
+		opts = append(opts, soda.WithFaultPlan(plan))
+	}
+	if fcfg.check || fcfg.loss > 0 || len(plan.Events) > 0 {
+		opts = append(opts, soda.WithInvariantChecks())
+	}
+	nw := soda.NewNetwork(opts...)
 	if traceAll {
 		nw.Trace(os.Stdout)
 	}
-	return nw
+	return nw, nil
+}
+
+// report prints the invariant checker's verdict and turns violations into a
+// non-zero exit. Requests still in flight at the cutoff are listed but not
+// fatal: the run stops mid-conversation by design.
+func report(nw *soda.Network) error {
+	ch := nw.Invariants()
+	if ch == nil {
+		return nil
+	}
+	frames, corrupted := ch.Frames()
+	fmt.Printf("\ninvariants: %d requests tracked, %d frames delivered (%d corrupted)\n",
+		ch.Requests(), frames, corrupted)
+	if u := ch.Unresolved(); len(u) > 0 {
+		fmt.Printf("invariants: %d requests still in flight at cutoff\n", len(u))
+	}
+	if v := ch.Finish(); len(v) > 0 {
+		for _, s := range v {
+			fmt.Println("  VIOLATION:", s)
+		}
+		return fmt.Errorf("%d invariant violations", len(v))
+	}
+	fmt.Println("invariants: all green")
+	return nil
 }
 
 func runPhilosophers(seed int64, d time.Duration) error {
-	nw := newNetwork(seed)
 	ring := []soda.MID{2, 3, 4, 5, 6}
+	nw, err := newNetwork(seed, d,
+		[]soda.MID{1, 2, 3, 4, 5, 6, 7},
+		[]faults.CrashTarget{{Node: 7, Program: "detector"}})
+	if err != nil {
+		return err
+	}
 	nw.Register("timesrv", timesrv.Program(16))
 	nw.MustAddNode(1)
 	nw.MustBoot(1, "timesrv")
@@ -88,11 +187,16 @@ func runPhilosophers(seed int64, d time.Duration) error {
 		return err
 	}
 	fmt.Printf("\nafter %v of virtual time, meals eaten: %v\n", d, meals)
-	return nil
+	return report(nw)
 }
 
 func runFileServer(seed int64, d time.Duration) error {
-	nw := newNetwork(seed)
+	nw, err := newNetwork(seed, d,
+		[]soda.MID{1, 2},
+		[]faults.CrashTarget{{Node: 1, Program: "fs"}})
+	if err != nil {
+		return err
+	}
 	nw.Register("fs", fileserver.Server(map[string][]byte{
 		"motd": []byte("welcome to the SODA file service"),
 	}, 32))
@@ -125,11 +229,17 @@ func runFileServer(seed int64, d time.Duration) error {
 	nw.MustAddNode(2)
 	nw.MustBoot(1, "fs")
 	nw.MustBoot(2, "client")
-	return nw.Run(d)
+	if err := nw.Run(d); err != nil {
+		return err
+	}
+	return report(nw)
 }
 
 func runBoot(seed int64, d time.Duration) error {
-	nw := newNetwork(seed)
+	nw, err := newNetwork(seed, d, []soda.MID{1, 2}, nil)
+	if err != nil {
+		return err
+	}
 	nw.Register("child", soda.Program{
 		Init: func(c *soda.Client, parent soda.MID) {
 			fmt.Printf("t=%8v  child booted on machine %d (parent %d)\n", c.Now(), c.MID(), parent)
@@ -164,11 +274,17 @@ func runBoot(seed int64, d time.Duration) error {
 	nw.MustAddNode(1)
 	nw.MustAddNode(2)
 	nw.MustBoot(1, "parent")
-	return nw.Run(d)
+	if err := nw.Run(d); err != nil {
+		return err
+	}
+	return report(nw)
 }
 
 func runCrash(seed int64, d time.Duration) error {
-	nw := newNetwork(seed)
+	nw, err := newNetwork(seed, d, []soda.MID{1, 2}, nil)
+	if err != nil {
+		return err
+	}
 	pat := soda.WellKnownPattern(0o42)
 	nw.Register("server", soda.Program{
 		Init: func(c *soda.Client, _ soda.MID) { _ = c.Advertise(pat) },
@@ -189,5 +305,8 @@ func runCrash(seed int64, d time.Duration) error {
 		fmt.Printf("t=%8v  *** server machine crashes ***\n", 300*time.Millisecond)
 		nw.Node(2).Crash()
 	})
-	return nw.Run(d)
+	if err := nw.Run(d); err != nil {
+		return err
+	}
+	return report(nw)
 }

@@ -1,0 +1,314 @@
+// Package faults is the chaos layer of the SODA reproduction: declarative,
+// virtual-time fault plans injected into the broadcast bus and node
+// lifecycle, plus always-on invariant checkers that watch every run for
+// violations of the paper's reliability guarantees (§3.6, §5.2.2).
+//
+// A Plan is an ordered list of timed Events. Window events (loss, burst,
+// partition, corrupt, duplicate, delay) shape the medium between Start and
+// Stop; point events (crash, reboot) fire once at Start. Plans round-trip
+// through JSON so they can be stored next to the scenario that provoked a
+// bug and replayed deterministically: the same seed and the same plan
+// reproduce the same run, frame for frame.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"soda/internal/frame"
+)
+
+// MID is a machine id (alias of the network-wide type).
+type MID = frame.MID
+
+// Kind names a fault event type.
+type Kind string
+
+const (
+	// Loss drops each matching frame independently with probability Prob.
+	// Src/Dst restrict the affected link (0 = any side), so a one-sided
+	// setting produces asymmetric loss.
+	Loss Kind = "loss"
+	// Burst drops every matching frame during periodic windows: for
+	// BurstLen out of every Period, the link is mud.
+	Burst Kind = "burst"
+	// Partition drops every frame between machines listed in different
+	// Groups. Machines in no group are unaffected.
+	Partition Kind = "partition"
+	// Corrupt damages each matching frame with probability Prob. Damage
+	// is always CRC-detectable: the receiving transport discards the
+	// frame (§5.2.2), it is never delivered as a forged message.
+	Corrupt Kind = "corrupt"
+	// Duplicate re-delivers each matching frame with probability Prob.
+	Duplicate Kind = "duplicate"
+	// Delay adds Delay (plus up to Jitter, drawn uniformly) of latency to
+	// each matching frame, preserving per-link FIFO order.
+	Delay Kind = "delay"
+	// Crash crashes Node at Start (a detectable processor failure).
+	Crash Kind = "crash"
+	// Reboot rejoins Node at Start (after the Delta-t quiet period) and,
+	// if Program is set, boots it there.
+	Reboot Kind = "reboot"
+)
+
+// Duration is a time.Duration that marshals to JSON as a string ("150ms",
+// "10s") and unmarshals from either a string or integer nanoseconds.
+type Duration time.Duration
+
+// D converts to the standard type.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON encodes the duration as its string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "10s"-style strings or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch t := v.(type) {
+	case string:
+		parsed, err := time.ParseDuration(t)
+		if err != nil {
+			return fmt.Errorf("faults: bad duration %q: %w", t, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	case float64:
+		*d = Duration(time.Duration(t))
+		return nil
+	default:
+		return fmt.Errorf("faults: duration must be a string or nanoseconds, got %T", v)
+	}
+}
+
+// Event is one timed fault. Which fields matter depends on Kind; Validate
+// enforces the per-kind requirements.
+type Event struct {
+	Kind Kind `json:"kind"`
+	// Start/Stop bound the event in virtual time. Stop zero means "until
+	// the end of the run" for window events; point events ignore it.
+	Start Duration `json:"start,omitempty"`
+	Stop  Duration `json:"stop,omitempty"`
+	// Src/Dst restrict link events to one direction (0 = any). A frame
+	// matches when (Src == 0 || Src == frame.src) && (Dst == 0 || ...).
+	Src MID `json:"src,omitempty"`
+	Dst MID `json:"dst,omitempty"`
+	// Prob is the per-frame probability for loss/corrupt/duplicate.
+	Prob float64 `json:"prob,omitempty"`
+	// Delay/Jitter parameterize delay events.
+	Delay  Duration `json:"delay,omitempty"`
+	Jitter Duration `json:"jitter,omitempty"`
+	// Period/BurstLen parameterize burst events.
+	Period   Duration `json:"period,omitempty"`
+	BurstLen Duration `json:"burst_len,omitempty"`
+	// Groups are the partition's sides.
+	Groups [][]MID `json:"groups,omitempty"`
+	// Node/Program parameterize crash and reboot events.
+	Node    MID    `json:"node,omitempty"`
+	Program string `json:"program,omitempty"`
+}
+
+// matchLink reports whether the event applies to the src->dst link.
+func (e *Event) matchLink(src, dst MID) bool {
+	return (e.Src == 0 || e.Src == src) && (e.Dst == 0 || e.Dst == dst)
+}
+
+// separates reports whether a partition event cuts the src->dst link:
+// both endpoints are listed, in different groups.
+func (e *Event) separates(src, dst MID) bool {
+	gs, gd := -1, -1
+	for gi, group := range e.Groups {
+		for _, m := range group {
+			if m == src {
+				gs = gi
+			}
+			if m == dst {
+				gd = gi
+			}
+		}
+	}
+	return gs >= 0 && gd >= 0 && gs != gd
+}
+
+// active reports whether a window event covers instant now.
+func (e *Event) active(now time.Duration) bool {
+	if now < e.Start.D() {
+		return false
+	}
+	return e.Stop == 0 || now < e.Stop.D()
+}
+
+// Plan is a fault schedule: the unit of replay.
+type Plan struct {
+	Events []Event `json:"events"`
+}
+
+// Validate checks every event's per-kind requirements.
+func (p *Plan) Validate() error {
+	for i, e := range p.Events {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("faults: event %d (%s): %s", i, e.Kind, fmt.Sprintf(format, args...))
+		}
+		if e.Stop != 0 && e.Stop <= e.Start {
+			return fail("stop %v not after start %v", e.Stop.D(), e.Start.D())
+		}
+		switch e.Kind {
+		case Loss, Corrupt, Duplicate:
+			if e.Prob <= 0 || e.Prob > 1 {
+				return fail("prob %v outside (0, 1]", e.Prob)
+			}
+		case Burst:
+			if e.Period <= 0 || e.BurstLen <= 0 || e.BurstLen > e.Period {
+				return fail("need 0 < burst_len <= period, got %v / %v", e.BurstLen.D(), e.Period.D())
+			}
+		case Partition:
+			if len(e.Groups) < 2 {
+				return fail("need at least two groups")
+			}
+		case Delay:
+			if e.Delay <= 0 && e.Jitter <= 0 {
+				return fail("need a positive delay or jitter")
+			}
+		case Crash, Reboot:
+			if e.Node == 0 {
+				return fail("need a target node")
+			}
+		default:
+			return fail("unknown kind")
+		}
+	}
+	return nil
+}
+
+// Parse decodes a JSON plan and validates it.
+func Parse(data []byte) (Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Plan{}, fmt.Errorf("faults: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// Encode renders the plan as indented JSON, suitable for a -faultplan file.
+func (p *Plan) Encode() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// CrashTarget names a node the generator may crash, and the program to
+// boot on it when it comes back.
+type CrashTarget struct {
+	Node    MID
+	Program string
+}
+
+// GenConfig bounds Generate's output.
+type GenConfig struct {
+	// Horizon is the virtual-time extent of the run; all windows fall
+	// inside [0, Horizon), with a tail of Horizon/4 left quiet so the
+	// network can drain before the run ends.
+	Horizon time.Duration
+	// MIDs are the machines on the network (used for link targeting and
+	// partition group assembly).
+	MIDs []MID
+	// Crashable lists nodes eligible for a crash/reboot cycle; stateless
+	// services only, unless the workload tolerates lost state.
+	Crashable []CrashTarget
+	// MaxLoss caps generated loss/corrupt/duplicate probabilities
+	// (default 0.2).
+	MaxLoss float64
+}
+
+// Generate builds a randomized plan from rng — the seed-sweep driver. The
+// same rng state yields the same plan, keeping chaos runs replayable.
+func Generate(rng *rand.Rand, cfg GenConfig) Plan {
+	maxP := cfg.MaxLoss
+	if maxP <= 0 {
+		maxP = 0.2
+	}
+	// Faults stop at 3/4 of the horizon so in-flight work can settle.
+	quiet := cfg.Horizon * 3 / 4
+	window := func(minLen time.Duration) (Duration, Duration) {
+		start := time.Duration(rng.Int63n(int64(quiet)))
+		maxLen := quiet - start
+		if maxLen < minLen {
+			start = quiet - minLen
+			maxLen = minLen
+		}
+		length := minLen + time.Duration(rng.Int63n(int64(maxLen-minLen)+1))
+		return Duration(start), Duration(start + length)
+	}
+	pick := func() MID {
+		if len(cfg.MIDs) == 0 || rng.Intn(2) == 0 {
+			return 0 // any
+		}
+		return cfg.MIDs[rng.Intn(len(cfg.MIDs))]
+	}
+	var p Plan
+	for n := 1 + rng.Intn(2); n > 0; n-- {
+		start, stop := window(quiet / 8)
+		p.Events = append(p.Events, Event{
+			Kind: Loss, Start: start, Stop: stop,
+			Src: pick(), Dst: pick(),
+			Prob: 0.02 + rng.Float64()*(maxP-0.02),
+		})
+	}
+	if rng.Intn(2) == 0 {
+		start, stop := window(quiet / 8)
+		period := 50*time.Millisecond + time.Duration(rng.Int63n(int64(200*time.Millisecond)))
+		p.Events = append(p.Events, Event{
+			Kind: Burst, Start: start, Stop: stop,
+			Period:   Duration(period),
+			BurstLen: Duration(period / time.Duration(2+rng.Intn(4))),
+		})
+	}
+	if len(cfg.MIDs) >= 2 && rng.Intn(2) == 0 {
+		// Random bisection; both sides end up non-empty.
+		var a, b []MID
+		for i, m := range cfg.MIDs {
+			if i%2 == 0 != (rng.Intn(2) == 0) {
+				a = append(a, m)
+			} else {
+				b = append(b, m)
+			}
+		}
+		if len(a) > 0 && len(b) > 0 {
+			start, stop := window(quiet / 8)
+			p.Events = append(p.Events, Event{Kind: Partition, Start: start, Stop: stop, Groups: [][]MID{a, b}})
+		}
+	}
+	if rng.Intn(2) == 0 {
+		start, stop := window(quiet / 8)
+		p.Events = append(p.Events, Event{Kind: Corrupt, Start: start, Stop: stop, Prob: 0.01 + rng.Float64()*maxP/2})
+	}
+	if rng.Intn(2) == 0 {
+		start, stop := window(quiet / 8)
+		p.Events = append(p.Events, Event{Kind: Duplicate, Start: start, Stop: stop, Prob: 0.01 + rng.Float64()*maxP})
+	}
+	if rng.Intn(2) == 0 {
+		start, stop := window(quiet / 8)
+		p.Events = append(p.Events, Event{
+			Kind: Delay, Start: start, Stop: stop,
+			Delay:  Duration(100*time.Microsecond + time.Duration(rng.Int63n(int64(2*time.Millisecond)))),
+			Jitter: Duration(time.Duration(rng.Int63n(int64(3 * time.Millisecond)))),
+		})
+	}
+	for _, tgt := range cfg.Crashable {
+		if rng.Intn(2) != 0 {
+			continue
+		}
+		at := time.Duration(rng.Int63n(int64(quiet)))
+		back := at + 500*time.Millisecond + time.Duration(rng.Int63n(int64(time.Second)))
+		p.Events = append(p.Events, Event{Kind: Crash, Start: Duration(at), Node: tgt.Node})
+		p.Events = append(p.Events, Event{Kind: Reboot, Start: Duration(back), Node: tgt.Node, Program: tgt.Program})
+	}
+	return p
+}

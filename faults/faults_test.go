@@ -1,0 +1,268 @@
+package faults
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"soda/internal/bus"
+	"soda/internal/core"
+	"soda/internal/frame"
+	"soda/internal/sim"
+)
+
+func d(v time.Duration) Duration { return Duration(v) }
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := Plan{Events: []Event{
+		{Kind: Loss, Start: d(time.Second), Stop: d(5 * time.Second), Dst: 3, Prob: 0.1},
+		{Kind: Partition, Start: d(2 * time.Second), Stop: d(12 * time.Second), Groups: [][]MID{{1, 2}, {3, 4}}},
+		{Kind: Crash, Start: d(6 * time.Second), Node: 2},
+		{Kind: Reboot, Start: d(7 * time.Second), Node: 2, Program: "fs"},
+	}}
+	data, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, data)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatalf("round trip mismatch:\nhave %+v\nwant %+v", back, p)
+	}
+}
+
+func TestPlanParseDurationStrings(t *testing.T) {
+	p, err := Parse([]byte(`{"events": [
+		{"kind": "loss", "start": "500ms", "stop": "10s", "prob": 0.25},
+		{"kind": "burst", "period": "100ms", "burst_len": "20ms"}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Events[0].Start.D() != 500*time.Millisecond || p.Events[0].Stop.D() != 10*time.Second {
+		t.Fatalf("durations parsed wrong: %+v", p.Events[0])
+	}
+	if p.Events[1].Period.D() != 100*time.Millisecond {
+		t.Fatalf("period parsed wrong: %+v", p.Events[1])
+	}
+}
+
+func TestPlanValidateRejectsBadEvents(t *testing.T) {
+	bad := []Event{
+		{Kind: Loss, Prob: 0},                   // no probability
+		{Kind: Loss, Prob: 1.5},                 // out of range
+		{Kind: Partition, Groups: [][]MID{{1}}}, // one group
+		{Kind: Burst, Period: d(time.Second)},   // no burst length
+		{Kind: Crash},                           // no node
+		{Kind: Delay},                           // no delay
+		{Kind: "gremlins"},                      // unknown
+		{Kind: Loss, Prob: 0.5, Start: d(5 * time.Second), Stop: d(time.Second)}, // stop before start
+	}
+	for _, e := range bad {
+		p := Plan{Events: []Event{e}}
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", e)
+		}
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	cfg := GenConfig{
+		Horizon:   20 * time.Second,
+		MIDs:      []MID{1, 2, 3, 4, 5},
+		Crashable: []CrashTarget{{Node: 5, Program: "srv"}},
+	}
+	a := Generate(rand.New(rand.NewSource(99)), cfg)
+	b := Generate(rand.New(rand.NewSource(99)), cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%+v\n%+v", a, b)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	c := Generate(rand.New(rand.NewSource(100)), cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestInjectorJudgePartitionAndWindows(t *testing.T) {
+	k := sim.New(1)
+	inj, err := NewInjector(k, Plan{Events: []Event{
+		{Kind: Partition, Start: d(time.Second), Stop: d(2 * time.Second), Groups: [][]MID{{1, 2}, {3}}},
+		{Kind: Loss, Start: 0, Stop: d(time.Second), Src: 1, Dst: 2, Prob: 1.0},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asymmetric total loss on 1->2 before t=1s; the reverse link is clean.
+	if !inj.Judge(0, 1, 2, nil).Drop {
+		t.Error("loss window did not drop 1->2")
+	}
+	if inj.Judge(0, 2, 1, nil).Drop {
+		t.Error("loss window dropped the reverse link (asymmetry broken)")
+	}
+	// Partition active only inside its window, only across groups.
+	if inj.Judge(500*time.Millisecond, 1, 3, nil).Drop {
+		t.Error("partition dropped before its start")
+	}
+	if !inj.Judge(1500*time.Millisecond, 1, 3, nil).Drop {
+		t.Error("partition did not cut a cross-group link")
+	}
+	if !inj.Judge(1500*time.Millisecond, 3, 1, nil).Drop {
+		t.Error("partition is not bidirectional")
+	}
+	if inj.Judge(1500*time.Millisecond, 1, 2, nil).Drop {
+		t.Error("partition dropped an intra-group link")
+	}
+	if inj.Judge(1500*time.Millisecond, 1, 7, nil).Drop {
+		t.Error("partition affected an unlisted machine")
+	}
+	if inj.Judge(2500*time.Millisecond, 1, 3, nil).Drop {
+		t.Error("partition outlived its stop time")
+	}
+}
+
+func TestInjectorJudgeBurst(t *testing.T) {
+	k := sim.New(1)
+	inj, err := NewInjector(k, Plan{Events: []Event{
+		{Kind: Burst, Start: d(time.Second), Period: d(100 * time.Millisecond), BurstLen: d(30 * time.Millisecond)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the burst phase of each period frames drop; outside they pass.
+	if !inj.Judge(time.Second+10*time.Millisecond, 1, 2, nil).Drop {
+		t.Error("burst did not drop inside its window")
+	}
+	if inj.Judge(time.Second+50*time.Millisecond, 1, 2, nil).Drop {
+		t.Error("burst dropped outside its window")
+	}
+	if !inj.Judge(time.Second+110*time.Millisecond, 1, 2, nil).Drop {
+		t.Error("burst did not recur on the next period")
+	}
+}
+
+func TestInjectorJudgeDelayAndDuplicate(t *testing.T) {
+	k := sim.New(1)
+	inj, err := NewInjector(k, Plan{Events: []Event{
+		{Kind: Delay, Delay: d(2 * time.Millisecond)},
+		{Kind: Duplicate, Prob: 1.0},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := inj.Judge(0, 1, 2, nil)
+	if act.Delay != 2*time.Millisecond || !act.Duplicate || act.Drop {
+		t.Fatalf("action = %+v, want delay 2ms + duplicate", act)
+	}
+}
+
+// obs builds checker input tersely.
+func obs(kind core.ObsKind, node MID, sig frame.RequesterSig) core.ObsEvent {
+	return core.ObsEvent{Kind: kind, Node: node, Sig: sig}
+}
+
+func TestCheckerExactlyOnceAndOrdering(t *testing.T) {
+	ch := NewChecker()
+	sig1 := frame.RequesterSig{MID: 1, TID: 10}
+	sig2 := frame.RequesterSig{MID: 1, TID: 11}
+	issue := func(sig frame.RequesterSig) core.ObsEvent {
+		ev := obs(core.ObsIssue, sig.MID, sig)
+		ev.Dst = frame.ServerSig{MID: 2}
+		return ev
+	}
+	ch.Observe(issue(sig1))
+	ch.Observe(issue(sig2))
+	// Arrive out of order at node 2: an ordering violation.
+	ch.Observe(obs(core.ObsArrival, 2, sig2))
+	ch.Observe(obs(core.ObsArrival, 2, sig1))
+	// sig2 delivered a second time: exactly-once violation.
+	ch.Observe(obs(core.ObsArrival, 2, sig2))
+	v := ch.Finish()
+	if len(v) != 2 {
+		t.Fatalf("violations = %v, want ordering + duplicate delivery", v)
+	}
+}
+
+func TestCheckerCleanRunIsGreen(t *testing.T) {
+	ch := NewChecker()
+	sig := frame.RequesterSig{MID: 1, TID: 7}
+	ev := obs(core.ObsIssue, 1, sig)
+	ev.Dst = frame.ServerSig{MID: 2}
+	ch.Observe(ev)
+	ch.Observe(obs(core.ObsArrival, 2, sig))
+	acc := obs(core.ObsAccept, 2, sig)
+	acc.Accept = core.AcceptSuccess
+	ch.Observe(acc)
+	done := obs(core.ObsComplete, 1, sig)
+	done.Status = core.StatusSuccess
+	ch.Observe(done)
+	if v := ch.Finish(); len(v) != 0 {
+		t.Fatalf("clean run reported violations: %v", v)
+	}
+	if u := ch.Unresolved(); len(u) != 0 {
+		t.Fatalf("clean run left unresolved requests: %v", u)
+	}
+}
+
+func TestCheckerStaleAndGuessedSignatures(t *testing.T) {
+	ch := NewChecker()
+	sig := frame.RequesterSig{MID: 1, TID: 5}
+	ev := obs(core.ObsIssue, 1, sig)
+	ev.Dst = frame.ServerSig{MID: 2}
+	ch.Observe(ev)
+	// Requester dies; its open request is absolved...
+	ch.Observe(obs(core.ObsDie, 1, frame.RequesterSig{}))
+	if u := ch.Unresolved(); len(u) != 0 {
+		t.Fatalf("death did not absolve open requests: %v", u)
+	}
+	// ...so a completion arriving afterwards is stale state.
+	done := obs(core.ObsComplete, 1, sig)
+	done.Status = core.StatusSuccess
+	ch.Observe(done)
+	// And a successful accept of a signature never issued is a forgery.
+	acc := obs(core.ObsAccept, 2, frame.RequesterSig{MID: 9, TID: 99})
+	acc.Accept = core.AcceptSuccess
+	ch.Observe(acc)
+	v := ch.Finish()
+	if len(v) != 2 {
+		t.Fatalf("violations = %v, want stale completion + guessed signature", v)
+	}
+}
+
+func TestCheckerCancelCompleteExclusivity(t *testing.T) {
+	ch := NewChecker()
+	sig := frame.RequesterSig{MID: 1, TID: 3}
+	ev := obs(core.ObsIssue, 1, sig)
+	ev.Dst = frame.ServerSig{MID: 2}
+	ch.Observe(ev)
+	ch.Observe(obs(core.ObsCancelled, 1, sig))
+	acc := obs(core.ObsAccept, 2, sig)
+	acc.Accept = core.AcceptSuccess
+	ch.Observe(acc)
+	if v := ch.Finish(); len(v) != 1 {
+		t.Fatalf("violations = %v, want accept-after-cancel", v)
+	}
+}
+
+func TestCheckerDeliveryTap(t *testing.T) {
+	ch := NewChecker()
+	good := frame.EncodeTransport(&frame.TransportFrame{Kind: frame.TransportData, Src: 1, Dst: 2, Payload: []byte("ok")})
+	ch.ObserveDelivery(bus.DeliveryEvent{Src: 1, Dst: 2, Raw: good})
+	if v := ch.Finish(); len(v) != 0 {
+		t.Fatalf("clean frame flagged: %v", v)
+	}
+	// A frame marked corrupted that still decodes is undetectable damage.
+	ch.ObserveDelivery(bus.DeliveryEvent{Src: 1, Dst: 2, Raw: good, Corrupted: true})
+	if v := ch.Finish(); len(v) != 1 {
+		t.Fatalf("violations = %v, want undetectable-damage", v)
+	}
+	total, corrupted := ch.Frames()
+	if total != 2 || corrupted != 1 {
+		t.Fatalf("Frames() = %d, %d; want 2, 1", total, corrupted)
+	}
+}

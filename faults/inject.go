@@ -1,0 +1,111 @@
+package faults
+
+import (
+	"time"
+
+	"soda/internal/bus"
+	"soda/internal/sim"
+)
+
+// NodeControl performs scheduled crash and reboot events. The soda.Network
+// implements it; the indirection keeps this package independent of the
+// facade.
+type NodeControl interface {
+	// Crash fails the node at mid (no-op for unknown machines).
+	Crash(mid MID)
+	// Reboot rejoins the node at mid after the quiet period and, when
+	// program is non-empty, boots it there.
+	Reboot(mid MID, program string)
+}
+
+// Injector executes a Plan: it is the bus's FaultModel for the plan's
+// window events, and schedules the plan's crash/reboot events on the
+// simulation clock via Arm.
+type Injector struct {
+	k       *sim.Kernel
+	windows []Event
+	sched   []Event
+}
+
+// NewInjector validates the plan and splits it into window and scheduled
+// events.
+func NewInjector(k *sim.Kernel, p Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	inj := &Injector{k: k}
+	for _, e := range p.Events {
+		switch e.Kind {
+		case Crash, Reboot:
+			inj.sched = append(inj.sched, e)
+		default:
+			inj.windows = append(inj.windows, e)
+		}
+	}
+	return inj, nil
+}
+
+// Arm schedules the plan's crash and reboot events. Call once, before the
+// run; ctl resolves target MIDs at fire time, so nodes may be added after
+// arming.
+func (inj *Injector) Arm(ctl NodeControl) {
+	for _, e := range inj.sched {
+		e := e
+		inj.k.At(e.Start.D(), func() {
+			switch e.Kind {
+			case Crash:
+				ctl.Crash(e.Node)
+			case Reboot:
+				ctl.Reboot(e.Node, e.Program)
+			}
+		})
+	}
+}
+
+// Judge implements bus.FaultModel: every active window event contributes
+// to the frame's fate; a drop from any event wins. All randomness comes
+// from the simulation kernel, keeping runs reproducible from the seed.
+func (inj *Injector) Judge(now sim.Time, src, dst MID, raw []byte) bus.FaultAction {
+	var act bus.FaultAction
+	rng := inj.k.Rand()
+	for i := range inj.windows {
+		e := &inj.windows[i]
+		if !e.active(now) {
+			continue
+		}
+		switch e.Kind {
+		case Loss:
+			if e.matchLink(src, dst) && rng.Float64() < e.Prob {
+				act.Drop = true
+			}
+		case Burst:
+			if e.matchLink(src, dst) && (now-e.Start.D())%e.Period.D() < e.BurstLen.D() {
+				act.Drop = true
+			}
+		case Partition:
+			if e.separates(src, dst) {
+				act.Drop = true
+			}
+		case Corrupt:
+			if e.matchLink(src, dst) && rng.Float64() < e.Prob {
+				act.Corrupt = true
+			}
+		case Duplicate:
+			if e.matchLink(src, dst) && rng.Float64() < e.Prob {
+				act.Duplicate = true
+			}
+		case Delay:
+			if e.matchLink(src, dst) {
+				d := e.Delay.D()
+				if j := e.Jitter.D(); j > 0 {
+					d += time.Duration(rng.Int63n(int64(j) + 1))
+				}
+				act.Delay += d
+			}
+		}
+	}
+	if act.Drop {
+		return bus.FaultAction{Drop: true}
+	}
+	return act
+}

@@ -44,13 +44,57 @@ func DefaultConfig() Config {
 
 // Stats counts traffic on the medium. FramesSent counts transmissions;
 // FramesDelivered counts per-receiver deliveries (a broadcast to N attached
-// interfaces can deliver N times); FramesLost counts per-receiver drops.
+// interfaces can deliver N times). FramesLost counts per-receiver drops by
+// the loss model or a fault model; FramesDroppedDown counts frames that
+// arrived at a downed interface and were discarded there. FramesCorrupted
+// and FramesDuplicated count fault-model damage and duplication.
 type Stats struct {
-	FramesSent      uint64
-	FramesDelivered uint64
-	FramesLost      uint64
-	BytesSent       uint64
-	ByKind          map[frame.TransportKind]uint64
+	FramesSent        uint64
+	FramesDelivered   uint64
+	FramesLost        uint64
+	FramesDroppedDown uint64
+	FramesCorrupted   uint64
+	FramesDuplicated  uint64
+	BytesSent         uint64
+	ByKind            map[frame.TransportKind]uint64
+}
+
+// FaultAction is a fault model's disposition of one per-receiver delivery.
+// The zero value delivers the frame untouched.
+type FaultAction struct {
+	// Drop discards the frame for this receiver (counted as FramesLost).
+	Drop bool
+	// Corrupt damages the frame in transit. The damage is always
+	// CRC-detectable — real hardware discards such frames after the
+	// checksum (§5.2.2), so the model guarantees the transport decoder
+	// rejects the bytes rather than ever delivering a forged frame.
+	Corrupt bool
+	// Duplicate delivers the frame a second time, one propagation delay
+	// after the first copy.
+	Duplicate bool
+	// Delay adds latency to the delivery. Link FIFO order is preserved:
+	// a delayed frame also delays everything behind it on the same
+	// (src, dst) link, as a store-and-forward repeater would.
+	Delay time.Duration
+}
+
+// FaultModel adjudicates every per-receiver delivery. Judge runs once per
+// receiver per transmission (twice the propagation is shared, the fate is
+// not) and must draw any randomness from the simulation kernel's source.
+type FaultModel interface {
+	Judge(now sim.Time, src, dst frame.MID, raw []byte) FaultAction
+}
+
+// DeliveryEvent describes one successful per-receiver delivery, for
+// invariant checkers observing the wire. Raw is the delivered bytes (the
+// receiver's copy; observers must not mutate it) and Corrupted reports
+// whether the fault model damaged the frame in transit.
+type DeliveryEvent struct {
+	At        sim.Time
+	Src       frame.MID
+	Dst       frame.MID
+	Raw       []byte
+	Corrupted bool
 }
 
 // TapEvent describes one transmission, for tracing.
@@ -70,7 +114,16 @@ type Bus struct {
 	busyUntil sim.Time
 	stats     Stats
 	tap       func(TapEvent)
+	fault     FaultModel
+	dtaps     []func(DeliveryEvent)
+	// linkFloor is the earliest admissible delivery instant per (src, dst)
+	// link, maintained only while a fault model is installed: fault delays
+	// must not reorder a link (the alternating-bit transport assumes FIFO
+	// links, as the physical medium provides).
+	linkFloor map[linkKey]sim.Time
 }
+
+type linkKey struct{ src, dst frame.MID }
 
 // New creates a bus on the given simulation kernel.
 func New(k *sim.Kernel, cfg Config) *Bus {
@@ -87,6 +140,23 @@ func New(k *sim.Kernel, cfg Config) *Bus {
 
 // SetTap installs a per-transmission observer (nil disables).
 func (b *Bus) SetTap(tap func(TapEvent)) { b.tap = tap }
+
+// SetFaultModel installs the fault model consulted for every delivery (nil
+// disables). The model is layered over Config.LossProb: uniform loss is
+// sampled first, then the model judges the survivors.
+func (b *Bus) SetFaultModel(m FaultModel) {
+	b.fault = m
+	if m != nil && b.linkFloor == nil {
+		b.linkFloor = make(map[linkKey]sim.Time)
+	}
+}
+
+// AddDeliveryTap registers an observer invoked for every per-receiver
+// delivery, after the frame is handed to the interface. Taps cannot be
+// removed; they are for run-scoped invariant checkers.
+func (b *Bus) AddDeliveryTap(tap func(DeliveryEvent)) {
+	b.dtaps = append(b.dtaps, tap)
+}
 
 // Stats returns a copy of the counters.
 func (b *Bus) Stats() Stats {
@@ -179,28 +249,90 @@ func (i *Iface) Send(dst frame.MID, raw []byte) {
 		}
 		slices.Sort(mids)
 		for _, mid := range mids {
-			b.scheduleDelivery(b.ifaces[mid], raw, deliverAt)
+			b.scheduleDelivery(i.mid, b.ifaces[mid], raw, deliverAt)
 		}
 		return
 	}
 	if target, ok := b.ifaces[dst]; ok {
-		b.scheduleDelivery(target, raw, deliverAt)
+		b.scheduleDelivery(i.mid, target, raw, deliverAt)
 	}
 }
 
-func (b *Bus) scheduleDelivery(target *Iface, raw []byte, at sim.Time) {
+func (b *Bus) scheduleDelivery(src frame.MID, target *Iface, raw []byte, at sim.Time) {
 	if b.cfg.LossProb > 0 && b.k.Rand().Float64() < b.cfg.LossProb {
+		b.stats.FramesLost++
+		return
+	}
+	var act FaultAction
+	if b.fault != nil {
+		act = b.fault.Judge(b.k.Now(), src, target.mid, raw)
+	}
+	if act.Drop {
 		b.stats.FramesLost++
 		return
 	}
 	buf := make([]byte, len(raw))
 	copy(buf, raw)
+	corrupted := false
+	if act.Corrupt && len(buf) > 0 {
+		b.corrupt(buf)
+		b.stats.FramesCorrupted++
+		corrupted = true
+	}
+	if act.Delay > 0 {
+		at += act.Delay
+	}
+	if b.fault != nil {
+		// Clamp to the link's FIFO floor so a delayed frame never
+		// overtakes (nor is overtaken on) its link.
+		key := linkKey{src, target.mid}
+		if floor := b.linkFloor[key]; at < floor {
+			at = floor
+		}
+		b.linkFloor[key] = at
+		if act.Duplicate {
+			b.stats.FramesDuplicated++
+			dupAt := at + b.cfg.PropDelay
+			b.linkFloor[key] = dupAt
+			b.deliver(src, target, buf, at, corrupted)
+			b.deliver(src, target, buf, dupAt, corrupted)
+			return
+		}
+	}
+	b.deliver(src, target, buf, at, corrupted)
+}
+
+// deliver schedules the actual handoff to the receiving interface.
+func (b *Bus) deliver(src frame.MID, target *Iface, buf []byte, at sim.Time, corrupted bool) {
 	b.k.At(at, func() {
 		if !target.up {
-			b.stats.FramesLost++
+			b.stats.FramesDroppedDown++
 			return
 		}
 		b.stats.FramesDelivered++
+		for _, tap := range b.dtaps {
+			tap(DeliveryEvent{At: b.k.Now(), Src: src, Dst: target.mid, Raw: buf, Corrupted: corrupted})
+		}
 		target.recv(buf)
 	})
+}
+
+// corrupt damages buf in place with one to three random byte flips, then
+// guarantees detectability by flipping a byte of the transport header's
+// length field (bytes 9..12): the decoder's length check — the CRC's
+// stand-in — always rejects the frame, so damage is never delivered as a
+// forged message, exactly as checksummed hardware behaves (§5.2.2).
+// Frames shorter than the transport header are rejected as short anyway.
+func (b *Bus) corrupt(buf []byte) {
+	rng := b.k.Rand()
+	for flips := 1 + rng.Intn(3); flips > 0; flips-- {
+		idx := rng.Intn(len(buf))
+		if len(buf) >= 16 && idx >= 9 && idx < 13 {
+			idx -= 9 // keep random flips off the length field
+		}
+		buf[idx] ^= byte(1 + rng.Intn(255))
+	}
+	if len(buf) >= 16 {
+		buf[9+rng.Intn(4)] ^= byte(1 + rng.Intn(255))
+	}
 }

@@ -142,6 +142,10 @@ func TestDownedInterface(t *testing.T) {
 	if st.FramesSent != 1 {
 		t.Fatalf("FramesSent = %d, want 1 (downed iface must not transmit)", st.FramesSent)
 	}
+	if st.FramesDroppedDown != 1 || st.FramesLost != 0 {
+		t.Fatalf("FramesDroppedDown = %d, FramesLost = %d; want the downed-iface discard counted separately (1, 0)",
+			st.FramesDroppedDown, st.FramesLost)
+	}
 
 	// After Up, traffic flows again.
 	i2.Up()
@@ -226,6 +230,164 @@ func TestSendToUnknownDestinationIsSilent(t *testing.T) {
 	}
 	if st := b.Stats(); st.FramesDelivered != 0 {
 		t.Fatalf("delivered %d frames to nobody", st.FramesDelivered)
+	}
+}
+
+// judgeFunc adapts a function to the FaultModel interface for tests.
+type judgeFunc func(now sim.Time, src, dst frame.MID, raw []byte) FaultAction
+
+func (f judgeFunc) Judge(now sim.Time, src, dst frame.MID, raw []byte) FaultAction {
+	return f(now, src, dst, raw)
+}
+
+// wireFrame builds a well-formed 16-byte-header transport frame so the
+// corruption model's length-field damage is observable via DecodeTransport.
+func wireFrame(payload []byte) []byte {
+	return frame.EncodeTransport(&frame.TransportFrame{
+		Kind:    frame.TransportData,
+		Src:     1,
+		Dst:     2,
+		Payload: payload,
+	})
+}
+
+func TestFaultModelDrop(t *testing.T) {
+	k := sim.New(1)
+	b := New(k, DefaultConfig())
+	received := 0
+	if _, err := b.Attach(2, func([]byte) { received++ }); err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := b.Attach(1, func([]byte) {})
+	drop := true
+	b.SetFaultModel(judgeFunc(func(_ sim.Time, src, dst frame.MID, _ []byte) FaultAction {
+		if src != 1 || dst != 2 {
+			t.Errorf("Judge saw link %d->%d, want 1->2", src, dst)
+		}
+		return FaultAction{Drop: drop}
+	}))
+	i1.Send(2, testFrame(frame.TransportData, 10))
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if received != 0 {
+		t.Fatal("dropped frame was delivered")
+	}
+	drop = false
+	i1.Send(2, testFrame(frame.TransportData, 10))
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if received != 1 {
+		t.Fatalf("received %d after fault cleared, want 1", received)
+	}
+	if st := b.Stats(); st.FramesLost != 1 {
+		t.Fatalf("FramesLost = %d, want 1", st.FramesLost)
+	}
+}
+
+func TestFaultModelCorruptIsAlwaysDetectable(t *testing.T) {
+	k := sim.New(7)
+	b := New(k, DefaultConfig())
+	var got [][]byte
+	if _, err := b.Attach(2, func(raw []byte) { got = append(got, raw) }); err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := b.Attach(1, func([]byte) {})
+	b.SetFaultModel(judgeFunc(func(sim.Time, frame.MID, frame.MID, []byte) FaultAction {
+		return FaultAction{Corrupt: true}
+	}))
+	const n = 200
+	original := wireFrame([]byte("kernel message payload"))
+	for range [n]struct{}{} {
+		i1.Send(2, original)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("delivered %d corrupted frames, want %d", len(got), n)
+	}
+	for _, raw := range got {
+		if _, err := frame.DecodeTransport(raw); err == nil {
+			t.Fatalf("corrupted frame decoded cleanly: % x", raw)
+		}
+	}
+	if st := b.Stats(); st.FramesCorrupted != n {
+		t.Fatalf("FramesCorrupted = %d, want %d", st.FramesCorrupted, n)
+	}
+}
+
+func TestFaultModelDuplicateAndDelayPreserveFIFO(t *testing.T) {
+	k := sim.New(1)
+	b := New(k, DefaultConfig())
+	var times []sim.Time
+	if _, err := b.Attach(2, func([]byte) { times = append(times, k.Now()) }); err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := b.Attach(1, func([]byte) {})
+	first := true
+	b.SetFaultModel(judgeFunc(func(sim.Time, frame.MID, frame.MID, []byte) FaultAction {
+		if first {
+			first = false
+			// Delay the first frame well past the second's natural
+			// arrival, and duplicate it.
+			return FaultAction{Delay: 50 * time.Millisecond, Duplicate: true}
+		}
+		return FaultAction{}
+	}))
+	i1.Send(2, testFrame(frame.TransportData, 125))
+	i1.Send(2, testFrame(frame.TransportData, 125))
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("delivered %d frames, want 3 (original + duplicate + second)", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("deliveries out of FIFO order: %v", times)
+		}
+	}
+	// The undelayed second frame must not overtake the delayed first.
+	if times[0] < 50*time.Millisecond {
+		t.Fatalf("delayed frame arrived at %v, want >= 50ms", times[0])
+	}
+	if st := b.Stats(); st.FramesDuplicated != 1 || st.FramesDelivered != 3 {
+		t.Fatalf("FramesDuplicated = %d, FramesDelivered = %d; want 1, 3", st.FramesDuplicated, st.FramesDelivered)
+	}
+}
+
+func TestDeliveryTapSeesDeliveries(t *testing.T) {
+	k := sim.New(3)
+	b := New(k, DefaultConfig())
+	if _, err := b.Attach(2, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := b.Attach(1, func([]byte) {})
+	corrupt := false
+	b.SetFaultModel(judgeFunc(func(sim.Time, frame.MID, frame.MID, []byte) FaultAction {
+		return FaultAction{Corrupt: corrupt}
+	}))
+	var evs []DeliveryEvent
+	b.AddDeliveryTap(func(e DeliveryEvent) { evs = append(evs, e) })
+	i1.Send(2, wireFrame([]byte("ok")))
+	corrupt = true
+	i1.Send(2, wireFrame([]byte("damaged")))
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("tap saw %d deliveries, want 2", len(evs))
+	}
+	if evs[0].Corrupted || !evs[1].Corrupted {
+		t.Fatalf("corruption marks = [%v %v], want [false true]", evs[0].Corrupted, evs[1].Corrupted)
+	}
+	if evs[0].Src != 1 || evs[0].Dst != 2 {
+		t.Fatalf("delivery event link = %d->%d, want 1->2", evs[0].Src, evs[0].Dst)
+	}
+	if _, err := frame.DecodeTransport(evs[0].Raw); err != nil {
+		t.Fatalf("undamaged delivery fails decode: %v", err)
 	}
 }
 

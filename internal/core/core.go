@@ -147,6 +147,10 @@ type Config struct {
 	// that many bytes. The client's OPEN/CLOSE state gates the kernel
 	// handler, providing the section's synchronization.
 	KernelRMRSize int
+	// Observer, when non-nil, receives the node's protocol event stream
+	// (see ObsEvent). Used by the fault layer's invariant checkers; it
+	// must never influence kernel behavior.
+	Observer func(ObsEvent)
 	// Costs are the client-processor overheads.
 	Costs Costs
 	// Transport configures the Delta-t endpoint.

@@ -44,6 +44,7 @@ import (
 	"io"
 	"time"
 
+	"soda/faults"
 	"soda/internal/bus"
 	"soda/internal/core"
 	"soda/internal/deltat"
@@ -156,10 +157,12 @@ func KernelPoke(c *Client, dst MID, addr int, value []byte) Status {
 type Option interface{ apply(*options) }
 
 type options struct {
-	seed     int64
-	busCfg   bus.Config
-	nodeCfg  core.Config
-	eventCap uint64
+	seed       int64
+	busCfg     bus.Config
+	nodeCfg    core.Config
+	eventCap   uint64
+	plan       *faults.Plan
+	invariants bool
 }
 
 type optionFunc func(*options)
@@ -198,14 +201,30 @@ func WithEventLimit(n uint64) Option {
 	return optionFunc(func(o *options) { o.eventCap = n })
 }
 
+// WithFaultPlan injects a fault schedule into the run: window events shape
+// the medium via the bus fault model, and crash/reboot events drive node
+// lifecycle on the virtual clock. The plan is validated at NewNetwork time
+// (panicking on a malformed plan, like an impossible topology would).
+func WithFaultPlan(p faults.Plan) Option {
+	return optionFunc(func(o *options) { o.plan = &p })
+}
+
+// WithInvariantChecks attaches a faults.Checker to every node's observer
+// stream and the bus delivery tap for the whole run; read the verdict with
+// Network.Invariants after the run settles.
+func WithInvariantChecks() Option {
+	return optionFunc(func(o *options) { o.invariants = true })
+}
+
 // Network is a simulated SODA network: the virtual clock, the broadcast
 // bus, the program registry, and the set of nodes.
 type Network struct {
-	k     *sim.Kernel
-	b     *bus.Bus
-	reg   core.Registry
-	cfg   core.Config
-	nodes map[MID]*core.Node
+	k       *sim.Kernel
+	b       *bus.Bus
+	reg     core.Registry
+	cfg     core.Config
+	nodes   map[MID]*core.Node
+	checker *faults.Checker
 }
 
 // NewNetwork creates an empty network.
@@ -221,14 +240,57 @@ func NewNetwork(opts ...Option) *Network {
 	}
 	k := sim.New(o.seed)
 	k.SetEventLimit(o.eventCap)
-	return &Network{
+	nw := &Network{
 		k:     k,
 		b:     bus.New(k, o.busCfg),
 		reg:   core.Registry{},
 		cfg:   o.nodeCfg,
 		nodes: make(map[MID]*core.Node),
 	}
+	if o.invariants {
+		nw.checker = faults.NewChecker()
+		nw.cfg.Observer = nw.checker.Observe
+		nw.b.AddDeliveryTap(nw.checker.ObserveDelivery)
+	}
+	if o.plan != nil {
+		inj, err := faults.NewInjector(k, *o.plan)
+		if err != nil {
+			panic(fmt.Sprintf("soda: %v", err))
+		}
+		nw.b.SetFaultModel(inj)
+		inj.Arm(nodeControl{nw})
+	}
+	return nw
 }
+
+// nodeControl adapts the network to the fault injector's crash/reboot
+// schedule. Targets are resolved at fire time; unknown machines no-op.
+type nodeControl struct{ nw *Network }
+
+func (c nodeControl) Crash(mid MID) {
+	if n := c.nw.nodes[mid]; n != nil {
+		n.Crash()
+	}
+}
+
+func (c nodeControl) Reboot(mid MID, program string) {
+	n := c.nw.nodes[mid]
+	if n == nil {
+		return
+	}
+	n.Reboot(func() {
+		if program != "" {
+			// Boot failures (e.g. an unregistered program in the plan)
+			// leave the node free and bootable, matching a bad ROM image.
+			_ = n.Boot(program, 0)
+		}
+	})
+}
+
+// Invariants returns the invariant checker installed by
+// WithInvariantChecks, or nil. Read it after the run: Finish() lists
+// violations, Unresolved() lists stuck requests.
+func (nw *Network) Invariants() *faults.Checker { return nw.checker }
 
 // Register adds a bootable program under name.
 func (nw *Network) Register(name string, prog Program) { nw.reg[name] = prog }
