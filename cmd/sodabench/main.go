@@ -9,6 +9,8 @@
 //	sodabench -table modcmp        # the SODA vs *MOD comparison (E3)
 //	sodabench -table deltat        # the Delta-t situations figure (E4)
 //	sodabench -ops 100             # more operations per cell
+//	sodabench -profile BENCH_table61.json   # machine-readable run profile
+//	sodabench -table none -profile f.json   # profile only, no tables
 //
 // All times are virtual milliseconds from the calibrated simulation; the
 // shapes — who wins, by what factor, where the crossovers fall — are the
@@ -25,8 +27,9 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: performance, breakdown, modcmp, deltat, all")
+	table := flag.String("table", "all", "table to print: performance, breakdown, modcmp, deltat, all, none")
 	ops := flag.Int("ops", 50, "measured operations per cell")
+	profile := flag.String("profile", "", "write the Table 6.1 scenario's machine-readable run profile (JSON) to this file")
 	flag.Parse()
 
 	switch *table {
@@ -46,10 +49,39 @@ func main() {
 		printModComparison(*ops)
 		fmt.Println()
 		printDeltaT()
+	case "none":
+		// Profile-only mode (CI bench-smoke).
 	default:
 		fmt.Fprintf(os.Stderr, "sodabench: unknown table %q\n", *table)
 		os.Exit(2)
 	}
+
+	if *profile != "" {
+		if err := writeProfile(*profile, *ops); err != nil {
+			fmt.Fprintf(os.Stderr, "sodabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeProfile re-runs the Table 6.1 SIGNAL breakdown scenario with the
+// metrics registry attached and writes the exportable profile.
+func writeProfile(path string, ops int) error {
+	p := bench.Table61Profile(ops)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("profile: %s written (%d ops, total %.1f ms/op)\n",
+		path, p.Ops, float64(p.Breakdown.TotalUS)/1000)
+	return nil
 }
 
 var words = []int{0, 1, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}

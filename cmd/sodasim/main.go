@@ -9,6 +9,12 @@
 //	sodasim -scenario crash          # crash detection via probes
 //	sodasim -seed 7 -duration 30s    # any scenario is deterministic per seed
 //
+// Observability:
+//
+//	sodasim -trace out.json          # write a Chrome trace (load in Perfetto)
+//	sodasim -metrics                 # print per-primitive latency digests
+//	sodasim -frames                  # print every frame on the bus
+//
 // Fault injection (any combination; all deterministic per seed):
 //
 //	sodasim -loss 0.1                # drop 10% of frames
@@ -33,6 +39,7 @@ import (
 	"soda/apps/fileserver"
 	"soda/apps/philo"
 	"soda/faults"
+	"soda/obs"
 	"soda/timesrv"
 )
 
@@ -40,7 +47,10 @@ func main() {
 	scenario := flag.String("scenario", "philosophers", "scenario: philosophers, fileserver, boot, crash")
 	seed := flag.Int64("seed", 1, "deterministic random seed")
 	duration := flag.Duration("duration", 20*time.Second, "virtual run time")
-	trace := flag.Bool("trace", false, "print every frame on the bus")
+	frames := flag.Bool("frames", false, "print every frame on the bus")
+	flag.StringVar(&ocfg.traceFile, "trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
+	flag.BoolVar(&ocfg.traceWire, "tracewire", false, "include per-frame wire events in the trace (bulky)")
+	flag.BoolVar(&ocfg.metrics, "metrics", false, "print per-primitive latency digests and node counters")
 	flag.Float64Var(&fcfg.loss, "loss", 0, "per-frame loss probability (0..1)")
 	flag.Float64Var(&fcfg.corrupt, "corrupt", 0, "per-frame corruption probability (0..1)")
 	flag.Float64Var(&fcfg.duplicate, "duplicate", 0, "per-frame duplication probability (0..1)")
@@ -48,7 +58,7 @@ func main() {
 	flag.BoolVar(&fcfg.chaos, "chaos", false, "generate a random fault plan from the seed")
 	flag.BoolVar(&fcfg.check, "check", false, "run the invariant checkers even without faults")
 	flag.Parse()
-	traceAll = *trace
+	traceAll = *frames
 
 	var err error
 	switch *scenario {
@@ -78,6 +88,16 @@ var fcfg struct {
 	planFile                 string
 	chaos                    bool
 	check                    bool
+}
+
+// ocfg carries the observability flags; tracer/metrics hold the instances
+// attached to the scenario network so report can export them.
+var ocfg struct {
+	traceFile string
+	traceWire bool
+	metrics   bool
+	tracer    *obs.Tracer
+	registry  *obs.Registry
 }
 
 // newNetwork assembles the scenario network plus whatever fault sources the
@@ -123,6 +143,14 @@ func newNetwork(seed int64, d time.Duration, mids []soda.MID, crashable []faults
 	if fcfg.check || fcfg.loss > 0 || len(plan.Events) > 0 {
 		opts = append(opts, soda.WithInvariantChecks())
 	}
+	if ocfg.traceFile != "" {
+		ocfg.tracer = obs.NewTracerWith(obs.TraceConfig{Wire: ocfg.traceWire})
+		opts = append(opts, soda.WithTracer(ocfg.tracer))
+	}
+	if ocfg.metrics {
+		ocfg.registry = obs.NewRegistry()
+		opts = append(opts, soda.WithMetrics(ocfg.registry))
+	}
 	nw := soda.NewNetwork(opts...)
 	if traceAll {
 		nw.Trace(os.Stdout)
@@ -130,10 +158,38 @@ func newNetwork(seed int64, d time.Duration, mids []soda.MID, crashable []faults
 	return nw, nil
 }
 
+// exportObs writes the Chrome trace file and prints the metrics digest,
+// whichever the flags asked for.
+func exportObs() error {
+	if ocfg.tracer != nil {
+		f, err := os.Create(ocfg.traceFile)
+		if err != nil {
+			return err
+		}
+		if err := ocfg.tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace: %d request spans written to %s (load in ui.perfetto.dev)\n",
+			len(ocfg.tracer.Spans()), ocfg.traceFile)
+	}
+	if ocfg.registry != nil {
+		fmt.Println("\nmetrics:")
+		ocfg.registry.WriteSummary(os.Stdout)
+	}
+	return nil
+}
+
 // report prints the invariant checker's verdict and turns violations into a
 // non-zero exit. Requests still in flight at the cutoff are listed but not
 // fatal: the run stops mid-conversation by design.
 func report(nw *soda.Network) error {
+	if err := exportObs(); err != nil {
+		return err
+	}
 	ch := nw.Invariants()
 	if ch == nil {
 		return nil

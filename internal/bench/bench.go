@@ -15,6 +15,7 @@ import (
 
 	"soda"
 	"soda/internal/modport"
+	"soda/obs"
 )
 
 // Op selects the REQUEST variant measured (§3.3.2).
@@ -239,13 +240,51 @@ type Breakdown struct {
 // blocking signals with immediate handler accepts, with every cost bucket
 // accumulated across both nodes and divided by the operation count.
 func MeasureBreakdown(ops int) Breakdown {
+	bd, _ := measureBreakdown(ops, nil)
+	return bd
+}
+
+// Table61Profile runs the Table 6.1 SIGNAL breakdown scenario with a
+// metrics registry attached and returns the exportable run profile:
+// per-operation cost attribution in the paper's categories, per-primitive
+// latency digests, per-node counters, and the bus counters for the
+// measurement window (the warmup operations are excluded from the breakdown
+// and bus figures; the latency histograms cover the whole run).
+func Table61Profile(ops int) *obs.Profile {
+	if ops <= 0 {
+		ops = 50
+	}
+	reg := obs.NewRegistry()
+	bd, nw := measureBreakdown(ops, reg)
+	p := nw.Profile("table61-signal")
+	p.Ops = ops
+	us := func(d time.Duration) int64 { return int64(d / time.Microsecond) }
+	p.Breakdown = &obs.CostBreakdown{
+		ConnTimersUS:     us(bd.ConnTimers),
+		RetransTimersUS:  us(bd.RetransTimers),
+		CtxSwitchUS:      us(bd.CtxSwitch),
+		TransmissionUS:   us(bd.Transmission),
+		ClientOverheadUS: us(bd.ClientOverhead),
+		ProtocolUS:       us(bd.Protocol),
+		CopiesUS:         us(bd.Copies),
+		TotalUS:          us(bd.Total),
+		FramesPerOp:      bd.FramesPerOp,
+	}
+	return p
+}
+
+func measureBreakdown(ops int, reg *obs.Registry) (Breakdown, *soda.Network) {
 	if ops <= 0 {
 		ops = 50
 	}
 	const warmup = 5
 	total := ops + warmup
 
-	nw := soda.NewNetwork()
+	var netOpts []soda.Option
+	if reg != nil {
+		netOpts = append(netOpts, soda.WithMetrics(reg))
+	}
+	nw := soda.NewNetwork(netOpts...)
 	nw.Register("server", server(Config{Op: OpSignal}))
 	var (
 		startAt  time.Duration
@@ -292,7 +331,7 @@ func MeasureBreakdown(ops int) Breakdown {
 	bd.Transmission = time.Duration(int64(st.BytesSent) * 8 * int64(time.Second) / 1_000_000 / int64(ops))
 	bd.FramesPerOp = float64(st.FramesSent) / float64(ops)
 	bd.Total = (finishAt - startAt) / n
-	return bd
+	return bd, nw
 }
 
 // ModRow is one row of the §5.5 SODA-vs-*MOD comparison.

@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"bytes"
 	"testing"
 	"time"
+
+	"soda/obs"
 )
 
 // TestPerformanceShapes pins the evaluation's reproduced claims (see
@@ -100,6 +103,46 @@ func TestBreakdownMatchesCalibration(t *testing.T) {
 	lo, hi := sum*9/10, sum*11/10
 	if bd.Total < lo || bd.Total > hi {
 		t.Errorf("total %v vs component sum %v", bd.Total, sum)
+	}
+}
+
+// TestTable61Profile: the exportable profile agrees with the breakdown
+// measurement, carries the per-primitive digests, and is byte-deterministic.
+func TestTable61Profile(t *testing.T) {
+	const ops = 20
+	p := Table61Profile(ops)
+	bd := MeasureBreakdown(ops)
+	us := func(d time.Duration) int64 { return int64(d / time.Microsecond) }
+	if p.Breakdown == nil {
+		t.Fatal("profile has no breakdown")
+	}
+	if p.Breakdown.TotalUS != us(bd.Total) || p.Breakdown.ProtocolUS != us(bd.Protocol) ||
+		p.Breakdown.FramesPerOp != bd.FramesPerOp {
+		t.Errorf("profile breakdown %+v disagrees with MeasureBreakdown %+v", p.Breakdown, bd)
+	}
+	if p.Scenario != "table61-signal" || p.Ops != ops {
+		t.Errorf("profile header: %q ops=%d", p.Scenario, p.Ops)
+	}
+	// The scenario issues warmup+ops signals; every one is a REQUEST.
+	if got := p.Primitives[obs.PrimRequest].Count; got != ops+5 {
+		t.Errorf("REQUEST count %d, want %d (ops+warmup)", got, ops+5)
+	}
+	if p.Bus == nil || p.Bus.FramesSent == 0 {
+		t.Error("profile missing bus counters")
+	}
+	// Attaching the registry must not move the measurement.
+	if bare, _ := measureBreakdown(ops, nil); bare.Total != bd.Total {
+		t.Errorf("metrics attachment changed the run: %v vs %v", bare.Total, bd.Total)
+	}
+	var b1, b2 bytes.Buffer
+	if err := p.Write(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table61Profile(ops).Write(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("profile export not byte-deterministic")
 	}
 }
 

@@ -48,6 +48,18 @@ func DefaultConfig() Config {
 // the loss model or a fault model; FramesDroppedDown counts frames that
 // arrived at a downed interface and were discarded there. FramesCorrupted
 // and FramesDuplicated count fault-model damage and duplication.
+//
+// The transport-sourced counters (Retransmissions, PiggybackedAcks,
+// PeerDeadTimeouts) are reported by the Delta-t endpoints through their
+// Iface, so protocol recovery work shows up next to the wire counters it
+// causes.
+//
+// Measurement-window contract: every field of Stats — wire counters,
+// fault-model counters, and transport-sourced counters alike — accumulates
+// from the last ResetStats (or from bus creation). ResetStats zeroes the
+// whole struct, so a window opened with ResetStats and read with Stats
+// attributes all counters to the same interval. Per-node CPU cost buckets
+// are NOT part of Stats; scope those separately with Node.ResetTotals.
 type Stats struct {
 	FramesSent        uint64
 	FramesDelivered   uint64
@@ -55,8 +67,17 @@ type Stats struct {
 	FramesDroppedDown uint64
 	FramesCorrupted   uint64
 	FramesDuplicated  uint64
-	BytesSent         uint64
-	ByKind            map[frame.TransportKind]uint64
+	// Retransmissions counts DATA frames re-sent by a transport
+	// retransmission timer (the first transmission is not counted).
+	Retransmissions uint64
+	// PiggybackedAcks counts acknowledgements that rode outgoing DATA
+	// frames instead of standalone ACK frames (invisible in ByKind).
+	PiggybackedAcks uint64
+	// PeerDeadTimeouts counts sends abandoned after MPL+Δt of silence
+	// (the transport reported the destination dead).
+	PeerDeadTimeouts uint64
+	BytesSent        uint64
+	ByKind           map[frame.TransportKind]uint64
 }
 
 // FaultAction is a fault model's disposition of one per-receiver delivery.
@@ -168,7 +189,10 @@ func (b *Bus) Stats() Stats {
 	return out
 }
 
-// ResetStats zeroes the counters; used to scope measurement windows.
+// ResetStats zeroes every counter — wire, fault-model, and
+// transport-sourced alike — by replacing the whole Stats value, so newly
+// added fields can never be missed. Used to scope measurement windows; see
+// the contract on Stats.
 func (b *Bus) ResetStats() {
 	b.stats = Stats{ByKind: make(map[frame.TransportKind]uint64)}
 }
@@ -198,6 +222,20 @@ func (b *Bus) Attach(mid frame.MID, recv func(raw []byte)) (*Iface, error) {
 
 // MID reports the interface's machine id.
 func (i *Iface) MID() frame.MID { return i.mid }
+
+// CountRetransmission records one transport-level retransmission in the
+// bus counters. The transport endpoint calls it when a retransmission
+// timer re-sends a DATA frame, so recovery traffic is attributable from
+// Stats alone.
+func (i *Iface) CountRetransmission() { i.bus.stats.Retransmissions++ }
+
+// CountPiggybackedAck records an acknowledgement carried on a DATA frame
+// (no standalone ACK frame hits the wire, so ByKind cannot see it).
+func (i *Iface) CountPiggybackedAck() { i.bus.stats.PiggybackedAcks++ }
+
+// CountPeerDeadTimeout records a send abandoned because the destination
+// stayed silent past the transport's death-detection bound.
+func (i *Iface) CountPeerDeadTimeout() { i.bus.stats.PeerDeadTimeouts++ }
 
 // Down disconnects the interface (a crashed node hears nothing). Frames in
 // flight toward it are discarded at delivery time.

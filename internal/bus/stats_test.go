@@ -1,0 +1,75 @@
+package bus
+
+import (
+	"reflect"
+	"testing"
+
+	"soda/internal/frame"
+	"soda/internal/sim"
+)
+
+// TestResetStatsZeroesEveryField walks the Stats struct by reflection,
+// poisons every field to a non-zero value, and asserts ResetStats clears
+// them all — so a counter added in the future can never dodge the reset and
+// silently leak across measurement windows.
+func TestResetStatsZeroesEveryField(t *testing.T) {
+	b := New(sim.New(1), DefaultConfig())
+
+	poison := reflect.ValueOf(&b.stats).Elem()
+	for i := 0; i < poison.NumField(); i++ {
+		f := poison.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(uint64(i) + 1)
+		case reflect.Map:
+			f.Set(reflect.MakeMap(f.Type()))
+			f.SetMapIndex(reflect.ValueOf(frame.TransportData), reflect.ValueOf(uint64(9)))
+		default:
+			t.Fatalf("Stats field %s has kind %v: teach this test how to poison it",
+				poison.Type().Field(i).Name, f.Kind())
+		}
+	}
+
+	b.ResetStats()
+
+	got := b.Stats()
+	v := reflect.ValueOf(got)
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := v.Type().Field(i).Name
+		switch f.Kind() {
+		case reflect.Uint64:
+			if f.Uint() != 0 {
+				t.Errorf("Stats.%s = %d after ResetStats, want 0", name, f.Uint())
+			}
+		case reflect.Map:
+			if f.Len() != 0 {
+				t.Errorf("Stats.%s has %d entries after ResetStats, want empty", name, f.Len())
+			}
+		}
+	}
+}
+
+// TestTransportSourcedCountersAccumulate: the Iface Count* reporters land in
+// Stats and reset with everything else.
+func TestTransportSourcedCountersAccumulate(t *testing.T) {
+	b := New(sim.New(1), DefaultConfig())
+	i, err := b.Attach(1, func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i.CountRetransmission()
+	i.CountRetransmission()
+	i.CountPiggybackedAck()
+	i.CountPeerDeadTimeout()
+	st := b.Stats()
+	if st.Retransmissions != 2 || st.PiggybackedAcks != 1 || st.PeerDeadTimeouts != 1 {
+		t.Fatalf("counters = %d/%d/%d, want 2/1/1",
+			st.Retransmissions, st.PiggybackedAcks, st.PeerDeadTimeouts)
+	}
+	b.ResetStats()
+	st = b.Stats()
+	if st.Retransmissions != 0 || st.PiggybackedAcks != 0 || st.PeerDeadTimeouts != 0 {
+		t.Fatalf("counters survived ResetStats: %+v", st)
+	}
+}

@@ -121,6 +121,7 @@ func (n *Node) requestSendDone(o *outRequest, res deltat.Result) {
 			}
 		}
 		o.delivered = true
+		n.observe(ObsEvent{Kind: ObsDelivered, Sig: frame.RequesterSig{MID: n.mid, TID: o.tid}, Dst: o.dst})
 		if o.cancelWaiter != nil {
 			o.cancelWaiter.Resume()
 		}

@@ -12,6 +12,10 @@ const (
 	// ObsIssue: a REQUEST was issued; Sig identifies it, Dst names the
 	// addressed service (Dst.MID is BroadcastMID for DISCOVER).
 	ObsIssue ObsKind = iota + 1
+	// ObsDelivered: the REQUEST's transport send completed — the server
+	// kernel acknowledged it (the requester-side delivery hop, between
+	// issue and the server-side arrival).
+	ObsDelivered
 	// ObsArrival: a REQUEST was delivered to this node's client handler;
 	// Sig identifies the request, Dst the local service it matched.
 	ObsArrival
@@ -37,6 +41,8 @@ func (k ObsKind) String() string {
 	switch k {
 	case ObsIssue:
 		return "ISSUE"
+	case ObsDelivered:
+		return "DELIVERED"
 	case ObsArrival:
 		return "ARRIVAL"
 	case ObsComplete:
@@ -58,9 +64,10 @@ func (k ObsKind) String() string {
 
 // ObsEvent is one entry of the kernel's observer stream: the client-visible
 // protocol transitions (request issue, delivery, completion, accept
-// outcomes) plus node lifecycle changes. The stream exists for the fault
-// layer's invariant checkers; it is not part of the SODA model and emitting
-// it must never change kernel behavior.
+// outcomes) plus node lifecycle changes. The stream feeds the fault layer's
+// invariant checkers and the obs layer's tracer and metrics registry; it is
+// not part of the SODA model and emitting it must never change kernel
+// behavior.
 type ObsEvent struct {
 	At   sim.Time
 	Kind ObsKind

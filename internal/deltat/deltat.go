@@ -123,6 +123,80 @@ type CostTotals struct {
 	FramesRecv   uint64
 }
 
+// EventKind discriminates transport observer events (see Event).
+type EventKind uint8
+
+const (
+	// EvConnOpen: a connection record for the peer was created.
+	EvConnOpen EventKind = iota + 1
+	// EvConnExpire: the record's receive side lapsed after ConnLifetime
+	// of silence (any sequence number is accepted again, §5.2.2).
+	EvConnExpire
+	// EvConnClose: the record was discarded (the peer was reported dead).
+	EvConnClose
+	// EvRetransmit: a retransmission timer re-sent the current DATA
+	// frame; Seq is its sequence number, Attempt the transmission count
+	// including this one.
+	EvRetransmit
+	// EvAckTx: a standalone acknowledgement frame was scheduled toward
+	// the peer.
+	EvAckTx
+	// EvAckRx: an acknowledgement for the outstanding DATA frame was
+	// consumed (the message completed).
+	EvAckRx
+	// EvPiggybackAck: an acknowledgement rode an outgoing DATA frame
+	// instead of a standalone ACK (§5.2.3).
+	EvPiggybackAck
+	// EvPeerDead: the destination stayed silent past MPL+Δt; the current
+	// message and everything queued behind it failed (§5.2.2).
+	EvPeerDead
+	// EvBusyRetry: a BUSY NACK parked the current message for the slower
+	// busy-retry interval (§5.2.3).
+	EvBusyRetry
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvConnOpen:
+		return "CONN_OPEN"
+	case EvConnExpire:
+		return "CONN_EXPIRE"
+	case EvConnClose:
+		return "CONN_CLOSE"
+	case EvRetransmit:
+		return "RETRANSMIT"
+	case EvAckTx:
+		return "ACK_TX"
+	case EvAckRx:
+		return "ACK_RX"
+	case EvPiggybackAck:
+		return "PIGGYBACK_ACK"
+	case EvPeerDead:
+		return "PEER_DEAD"
+	case EvBusyRetry:
+		return "BUSY_RETRY"
+	default:
+		return "EV(?)"
+	}
+}
+
+// Event is one entry of the transport's observer stream: the protocol
+// machinery (retransmission, acknowledgement, connection-record lifecycle)
+// that is invisible to the kernel observer above. Emitting it must never
+// change protocol behavior; with no Observer installed no event is built.
+type Event struct {
+	At   sim.Time
+	Kind EventKind
+	// Node is the endpoint the event happened on; Peer the other side.
+	Node frame.MID
+	Peer frame.MID
+	// Seq is the sequence number concerned (retransmit/ack events).
+	Seq uint8
+	// Attempt is the transmission count for EvRetransmit (2 = first
+	// retransmission).
+	Attempt int
+}
+
 // Config sets protocol timing.
 type Config struct {
 	// MPL, R, A are the Delta-t bounds (§5.2.2).
@@ -143,6 +217,10 @@ type Config struct {
 	// thesis's 1 Mbit Megalink — longer than the base interval).
 	LineBytesPerSec int64
 	Costs           Costs
+	// Observer, when non-nil, receives the endpoint's protocol event
+	// stream (see Event). It must never influence protocol behavior; the
+	// soda facade fans one observer out to every node.
+	Observer func(Event)
 }
 
 // DefaultConfig returns timing roughly calibrated to the thesis's
@@ -251,6 +329,7 @@ type outbox struct {
 	interval time.Duration
 	timerGen int
 	sent     bool // cur transmitted at least once
+	attempts int  // transmissions of cur so far (for observer events)
 }
 
 // Endpoint is one node's transport instance.
@@ -294,6 +373,16 @@ func New(k *sim.Kernel, b *bus.Bus, mid frame.MID, cfg Config, hooks Hooks) (*En
 
 // MID reports the endpoint's machine id.
 func (e *Endpoint) MID() frame.MID { return e.mid }
+
+// emit delivers one observer event, stamping time and place. Free (no
+// event is even built) when no observer is installed, preserving the
+// zero-overhead-when-disabled contract.
+func (e *Endpoint) emit(kind EventKind, peer frame.MID, seq uint8, attempt int) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	e.cfg.Observer(Event{At: e.k.Now(), Kind: kind, Node: e.mid, Peer: peer, Seq: seq, Attempt: attempt})
+}
 
 // Config returns the protocol configuration.
 func (e *Endpoint) Config() Config { return e.cfg }
@@ -457,6 +546,7 @@ func (e *Endpoint) conn(peer frame.MID) *conn {
 	if !ok {
 		c = &conn{lastHeard: now}
 		e.conns[peer] = c
+		e.emit(EvConnOpen, peer, 0, 0)
 		return c
 	}
 	// Lazy Delta-t expiry: after ConnLifetime of silence the RECEIVE side
@@ -467,6 +557,9 @@ func (e *Endpoint) conn(peer frame.MID) *conn {
 	// exactly the confusion Delta-t exists to prevent. A record whose
 	// frame is still held (unacknowledged) is never reclaimed.
 	if _, holding := e.holds[peer]; !holding && now-c.lastHeard > e.cfg.ConnLifetime() {
+		if c.recvValid {
+			e.emit(EvConnExpire, peer, c.recvSeq, 0)
+		}
 		c.recvValid = false
 		c.cached = cachedReply{}
 	}
@@ -504,6 +597,7 @@ func (e *Endpoint) startNext(dst frame.MID, o *outbox) {
 	o.cur = o.queue[0]
 	o.queue = o.queue[1:]
 	o.sent = false
+	o.attempts = 0
 	o.interval = e.cfg.RetransInterval
 	o.deadline = e.k.Now() + e.cfg.DeadAfter()
 	e.transmitCur(dst, o)
@@ -544,6 +638,11 @@ func (e *Endpoint) transmitCur(dst frame.MID, o *outbox) {
 			AckSeq:     req.piggyAckSeq,
 			Payload:    payload,
 		}
+		o.attempts++
+		if f.AckPresent {
+			e.iface.CountPiggybackedAck()
+			e.emit(EvPiggybackAck, dst, f.AckSeq, o.attempts)
+		}
 		e.transmit(f)
 		e.armRetransmit(dst, o, req, first)
 	})
@@ -576,6 +675,8 @@ func (e *Endpoint) armRetransmit(dst frame.MID, o *outbox, req *sendReq, first b
 			return
 		}
 		e.totals.RetransTimer += e.cfg.Costs.RetransTimer
+		e.iface.CountRetransmission()
+		e.emit(EvRetransmit, dst, e.conn(dst).sendSeq, o.attempts+1)
 		e.transmitCur(dst, o)
 	})
 }
@@ -587,6 +688,13 @@ func (e *Endpoint) peerDead(dst frame.MID, o *outbox) {
 	o.cur = nil
 	o.queue = nil
 	o.timerGen++
+	e.iface.CountPeerDeadTimeout()
+	if c := e.conns[dst]; c != nil {
+		e.emit(EvPeerDead, dst, c.sendSeq, o.attempts)
+		e.emit(EvConnClose, dst, c.sendSeq, 0)
+	} else {
+		e.emit(EvPeerDead, dst, 0, o.attempts)
+	}
 	delete(e.conns, dst)
 	for _, req := range failed {
 		if req != nil && req.cb != nil {
@@ -676,6 +784,7 @@ func (e *Endpoint) handleAck(src frame.MID, seq uint8, reply []byte) {
 	req := o.cur
 	o.cur = nil
 	o.timerGen++
+	e.emit(EvAckRx, src, seq, o.attempts)
 	c.sendSeq ^= 1
 	if req.cb != nil {
 		req.cb(Result{Kind: ResultAcked, Reply: reply})
@@ -698,6 +807,7 @@ func (e *Endpoint) handleNack(src frame.MID, seq uint8, code frame.ErrCode) {
 		// (§5.2.3).
 		req := o.cur
 		o.deadline = e.k.Now() + e.cfg.DeadAfter()
+		e.emit(EvBusyRetry, src, seq, o.attempts)
 		if !req.urgent && len(o.queue) > 0 && o.queue[0].urgent {
 			// A kernel reply is waiting behind this busy-retrying
 			// request; the peer may be blocked on it. Preempt: the
@@ -837,6 +947,7 @@ func (e *Endpoint) applyVerdict(src frame.MID, seq uint8, dec Decision) {
 }
 
 func (e *Endpoint) sendAck(dst frame.MID, seq uint8, payload []byte) {
+	e.emit(EvAckTx, dst, seq, 0)
 	d := e.chargeSend(false, 0)
 	epoch := e.epoch
 	e.k.After(d, func() {

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"soda/internal/frame"
+	"soda/internal/sim"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON Object
+// Format"), loadable by chrome://tracing and https://ui.perfetto.dev. Each
+// SODA node renders as a process (pid = MID); request spans are async events
+// correlated by id, so a span's hops draw across processes.
+type chromeEvent struct {
+	Name  string           `json:"name"`
+	Cat   string           `json:"cat,omitempty"`
+	Ph    string           `json:"ph"`
+	TS    float64          `json:"ts"`
+	Dur   *float64         `json:"dur,omitempty"`
+	PID   int              `json:"pid"`
+	TID   int              `json:"tid"`
+	ID    string           `json:"id,omitempty"`
+	Scope string           `json:"s,omitempty"`
+	Args  map[string]any   `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace file object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// WriteChromeTrace exports everything the tracer assembled as Chrome
+// trace-event JSON. Output is byte-deterministic: events are emitted in a
+// fixed order (metadata by MID, spans in issue order, instants in arrival
+// order) and encoding/json serializes map keys sorted.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, 8*len(t.spans)+len(t.instants)+len(t.nodes))
+
+	mids := make([]frame.MID, 0, len(t.nodes))
+	for mid := range t.nodes {
+		mids = append(mids, mid)
+	}
+	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
+	for _, mid := range mids {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: int(mid),
+			Args: map[string]any{"name": fmt.Sprintf("node %d", mid)},
+		})
+	}
+
+	for _, s := range t.spans {
+		events = append(events, t.spanEvents(s)...)
+	}
+	for _, in := range t.instants {
+		events = append(events, chromeEvent{
+			Name: in.name, Cat: in.cat, Ph: "i", TS: tsUS(in.at),
+			PID: int(in.node), Scope: "p", Args: intArgs(in.args),
+		})
+	}
+
+	blob, err := json.Marshal(chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"generator": "soda obs", "clock": "virtual"},
+	})
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	_, err = w.Write(blob)
+	return err
+}
+
+// spanEvents renders one request span as an async begin/step/end sequence
+// plus, when the server-side times are known, a synchronous SERVICE slice on
+// the serving node.
+func (t *Tracer) spanEvents(s *Span) []chromeEvent {
+	id := fmt.Sprintf("%d:%d", s.Sig.MID, s.Sig.TID)
+	prim := PrimRequest
+	if s.Discover {
+		prim = PrimDiscover
+	}
+	name := fmt.Sprintf("%s %s", prim, s.Pattern)
+	out := []chromeEvent{{
+		Name: name, Cat: "request", Ph: "b", TS: tsUS(s.Issue),
+		PID: int(s.Requester), ID: id,
+		Args: map[string]any{
+			"sig":     s.Sig.String(),
+			"server":  int(s.Server),
+			"pattern": s.Pattern.String(),
+		},
+	}}
+	step := func(at sim.Time, node frame.MID, stepName string, args map[string]any) {
+		out = append(out, chromeEvent{
+			Name: stepName, Cat: "request", Ph: "n", TS: tsUS(at),
+			PID: int(node), ID: id, Args: args,
+		})
+	}
+	if s.HasWireArrival {
+		step(s.WireArrival, s.ArrivalNodeOr(s.Server), "wire_arrival", nil)
+	}
+	if s.HasArrival {
+		step(s.Arrival, s.ArrivalNode, "arrival", nil)
+	}
+	if s.HasAccept {
+		step(s.Accept, s.ArrivalNode, "accept",
+			map[string]any{"status": s.AcceptStatus.String()})
+	}
+	if s.HasWireAccept {
+		step(s.WireAccept, s.Requester, "wire_accept", nil)
+	}
+	if s.HasDelivered {
+		step(s.Delivered, s.Requester, "delivered", nil)
+	}
+	endArgs := map[string]any{}
+	endAt := s.End
+	switch {
+	case s.Cancelled:
+		endArgs["outcome"] = "CANCELLED"
+	case s.Done:
+		endArgs["outcome"] = s.Status.String()
+	default:
+		// Unresolved at the end of the run (in flight, or orphaned by a
+		// crash): close at the last observed hop so viewers render it.
+		endArgs["outcome"] = "UNRESOLVED"
+		endAt = s.last()
+	}
+	out = append(out, chromeEvent{
+		Name: name, Cat: "request", Ph: "e", TS: tsUS(endAt),
+		PID: int(s.Requester), ID: id, Args: endArgs,
+	})
+	if s.HasArrival && s.HasAccept && s.Accept >= s.Arrival {
+		dur := tsUS(s.Accept - s.Arrival)
+		out = append(out, chromeEvent{
+			Name: "SERVICE " + s.Pattern.String(), Cat: "service", Ph: "X",
+			TS: tsUS(s.Arrival), Dur: &dur, PID: int(s.ArrivalNode), ID: id,
+		})
+	}
+	return out
+}
+
+// ArrivalNodeOr returns the arrival node, or fallback when no handler
+// arrival was observed (used to place the wire-arrival step).
+func (s *Span) ArrivalNodeOr(fallback frame.MID) frame.MID {
+	if s.HasArrival {
+		return s.ArrivalNode
+	}
+	return fallback
+}
+
+func intArgs(m map[string]int64) map[string]any {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

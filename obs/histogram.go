@@ -1,0 +1,111 @@
+package obs
+
+import "math/bits"
+
+const (
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits
+)
+
+// Histogram is a fixed-precision value recorder in the HDR style: values are
+// bucketed by power-of-two magnitude with histSubCount linear sub-buckets per
+// magnitude, bounding the relative error of any reported quantile at
+// 1/histSubCount (≈6%) while keeping Record O(1). Values below histSubCount
+// are exact. Units are whatever the caller records — the Registry records
+// whole virtual microseconds. Negative values clamp to zero. The zero value
+// is ready to use.
+type Histogram struct {
+	counts []uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	sub := int((uint64(v) >> (exp - histSubBits)) & (histSubCount - 1))
+	return histSubCount + (exp-histSubBits)*histSubCount + sub
+}
+
+// bucketUpper is the largest value that maps to bucket idx (the quantile
+// estimate reported for it).
+func bucketUpper(idx int) int64 {
+	if idx < histSubCount {
+		return int64(idx)
+	}
+	exp := (idx-histSubCount)/histSubCount + histSubBits
+	sub := int64((idx - histSubCount) % histSubCount)
+	lower := int64(1)<<exp + sub<<(exp-histSubBits)
+	return lower + int64(1)<<(exp-histSubBits) - 1
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	idx := bucketIndex(v)
+	if idx >= len(h.counts) {
+		grown := make([]uint64, idx+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[idx]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Min reports the smallest recorded value (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max reports the largest recorded value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean reports the exact arithmetic mean (0 when empty).
+func (h *Histogram) Mean() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / int64(h.count)
+}
+
+// Quantile reports an upper bound for the q-quantile (0 ≤ q ≤ 1), within the
+// histogram's ≈6% relative error; exact for values below histSubCount. Empty
+// histograms report 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q*float64(h.count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if u := bucketUpper(i); u < h.max {
+				return u
+			}
+			return h.max
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramBucketsAreContiguous(t *testing.T) {
+	// Bucket indexes must be monotone in the value, and each bucket's
+	// upper bound must cover every value mapped to it.
+	prev := -1
+	for v := int64(0); v < 1<<14; v++ {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, idx, prev)
+		}
+		if up := bucketUpper(idx); up < v {
+			t.Fatalf("bucketUpper(%d) = %d < value %d", idx, up, v)
+		}
+		prev = idx
+	}
+	// Large-magnitude spot checks.
+	for _, v := range []int64{1 << 30, 1<<40 + 12345, 1 << 62} {
+		if up := bucketUpper(bucketIndex(v)); up < v {
+			t.Fatalf("bucketUpper(bucketIndex(%d)) = %d < value", v, up)
+		}
+	}
+}
+
+func TestHistogramExactBelowSixteen(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < histSubCount; v++ {
+		h.Record(v)
+	}
+	for q, want := range map[float64]int64{0.0001: 0, 0.5: 7, 1.0: 15} {
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int64, 10_000)
+	var sum int64
+	for i := range values {
+		v := int64(rng.ExpFloat64() * 50_000) // latency-shaped distribution
+		values[i] = v
+		sum += v
+		h.Record(v)
+	}
+	if h.Count() != uint64(len(values)) {
+		t.Fatalf("count %d, want %d", h.Count(), len(values))
+	}
+	if h.Mean() != sum/int64(len(values)) {
+		t.Errorf("mean %d, want exact %d", h.Mean(), sum/int64(len(values)))
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	// The reported quantile is an upper bound on the true order statistic,
+	// within the histogram's 1/histSubCount relative error.
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := values[int(q*float64(len(values)))-1]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("Quantile(%v) = %d below exact %d", q, got, exact)
+		}
+		if bound := exact + exact/(histSubCount/2) + 1; got > bound {
+			t.Errorf("Quantile(%v) = %d, exact %d: beyond error bound %d", q, got, exact, bound)
+		}
+	}
+	if h.Quantile(1.0) != h.Max() {
+		t.Errorf("Quantile(1) = %d, want max %d", h.Quantile(1.0), h.Max())
+	}
+	if h.Min() != values[0] || h.Max() != values[len(values)-1] {
+		t.Errorf("min/max %d/%d, want %d/%d", h.Min(), h.Max(), values[0], values[len(values)-1])
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative record: min=%d max=%d count=%d", h.Min(), h.Max(), h.Count())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}

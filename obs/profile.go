@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"soda/internal/bus"
+	"soda/internal/sim"
+)
+
+// CostBreakdown is the per-operation CPU cost attribution in virtual µs,
+// reproducing the categories of the thesis's "Breakdown of Communications
+// Overhead" table (Table 6.1): where the time of one signal round-trip goes.
+type CostBreakdown struct {
+	ConnTimersUS     int64   `json:"connection_timers_us"`
+	RetransTimersUS  int64   `json:"retransmission_timers_us"`
+	CtxSwitchUS      int64   `json:"context_switch_us"`
+	TransmissionUS   int64   `json:"transmission_us"`
+	ClientOverheadUS int64   `json:"client_overhead_us"`
+	ProtocolUS       int64   `json:"protocol_us"`
+	CopiesUS         int64   `json:"copies_us"`
+	TotalUS          int64   `json:"total_us"`
+	FramesPerOp      float64 `json:"frames_per_op"`
+}
+
+// BusCounters mirrors bus.Stats with stable JSON names, plus a ByKind map
+// keyed by transport-kind name.
+type BusCounters struct {
+	FramesSent        uint64            `json:"frames_sent"`
+	FramesDelivered   uint64            `json:"frames_delivered"`
+	FramesLost        uint64            `json:"frames_lost"`
+	FramesDroppedDown uint64            `json:"frames_dropped_down"`
+	FramesCorrupted   uint64            `json:"frames_corrupted"`
+	FramesDuplicated  uint64            `json:"frames_duplicated"`
+	Retransmissions   uint64            `json:"retransmissions"`
+	PiggybackedAcks   uint64            `json:"piggybacked_acks"`
+	PeerDeadTimeouts  uint64            `json:"peer_dead_timeouts"`
+	BytesSent         uint64            `json:"bytes_sent"`
+	ByKind            map[string]uint64 `json:"frames_by_kind,omitempty"`
+}
+
+// BusCountersFrom converts a bus.Stats snapshot.
+func BusCountersFrom(st bus.Stats) *BusCounters {
+	out := &BusCounters{
+		FramesSent:        st.FramesSent,
+		FramesDelivered:   st.FramesDelivered,
+		FramesLost:        st.FramesLost,
+		FramesDroppedDown: st.FramesDroppedDown,
+		FramesCorrupted:   st.FramesCorrupted,
+		FramesDuplicated:  st.FramesDuplicated,
+		Retransmissions:   st.Retransmissions,
+		PiggybackedAcks:   st.PiggybackedAcks,
+		PeerDeadTimeouts:  st.PeerDeadTimeouts,
+		BytesSent:         st.BytesSent,
+	}
+	if len(st.ByKind) > 0 {
+		out.ByKind = make(map[string]uint64, len(st.ByKind))
+		for k, v := range st.ByKind {
+			out.ByKind[k.String()] = v
+		}
+	}
+	return out
+}
+
+// Profile is the machine-readable record of one measured run, written by
+// cmd/sodabench as BENCH_*.json and by sodasim's -metrics mode. All times
+// are virtual microseconds; all content is deterministic for a given seed,
+// so profiles diff cleanly across code changes.
+type Profile struct {
+	// Scenario names what ran (e.g. "table61-signal", "philosophers").
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed,omitempty"`
+	// Ops is the measured operation count for per-op figures.
+	Ops int `json:"ops,omitempty"`
+	// VirtualUS is the virtual-clock reading at the end of the run.
+	VirtualUS int64 `json:"virtual_us"`
+	// Breakdown is the Table 6.1 per-operation cost attribution (bench
+	// scenarios only).
+	Breakdown *CostBreakdown `json:"breakdown_us_per_op,omitempty"`
+	// Primitives digests the per-primitive latency histograms.
+	Primitives map[string]HistSummary `json:"primitives,omitempty"`
+	// Nodes carries per-node counters keyed by decimal MID.
+	Nodes map[string]*NodeCounters `json:"nodes,omitempty"`
+	// Bus snapshots the medium's counters for the measurement window.
+	Bus *BusCounters `json:"bus,omitempty"`
+	// OpenRequests counts requests never resolved by the end of the run.
+	OpenRequests int `json:"open_requests,omitempty"`
+}
+
+// Profile builds a profile from the registry's current state. The caller
+// fills Seed, Ops, Breakdown, and Bus as applicable.
+func (r *Registry) Profile(scenario string, now sim.Time) *Profile {
+	return &Profile{
+		Scenario:     scenario,
+		VirtualUS:    usec(now),
+		Primitives:   r.Summaries(),
+		Nodes:        r.Nodes(),
+		OpenRequests: r.OpenRequests(),
+	}
+}
+
+// Write emits the profile as indented JSON (stable key order; encoding/json
+// sorts map keys), followed by a newline.
+func (p *Profile) Write(w io.Writer) error {
+	blob, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	_, err = w.Write(blob)
+	return err
+}

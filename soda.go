@@ -50,6 +50,7 @@ import (
 	"soda/internal/deltat"
 	"soda/internal/frame"
 	"soda/internal/sim"
+	"soda/obs"
 )
 
 // Re-exported fundamental types. See the internal packages for full
@@ -163,6 +164,8 @@ type options struct {
 	eventCap   uint64
 	plan       *faults.Plan
 	invariants bool
+	tracer     *obs.Tracer
+	metrics    *obs.Registry
 }
 
 type optionFunc func(*options)
@@ -216,6 +219,24 @@ func WithInvariantChecks() Option {
 	return optionFunc(func(o *options) { o.invariants = true })
 }
 
+// WithTracer attaches an obs.Tracer to the run: it consumes every node's
+// kernel observer stream, every transport endpoint's protocol event stream,
+// and the bus delivery tap, assembling one causal span per REQUEST. Export
+// with Tracer.WriteChromeTrace after the run. Attaching a tracer never
+// changes behavior: all streams are synchronous observation, and a run
+// without one builds no events at all.
+func WithTracer(t *obs.Tracer) Option {
+	return optionFunc(func(o *options) { o.tracer = t })
+}
+
+// WithMetrics attaches an obs.Registry to the run: per-primitive latency
+// histograms and per-node protocol counters, fed from the same streams as
+// WithTracer. Read it after the run (Registry.WriteSummary, or
+// Network.Profile for the exportable form).
+func WithMetrics(r *obs.Registry) Option {
+	return optionFunc(func(o *options) { o.metrics = r })
+}
+
 // Network is a simulated SODA network: the virtual clock, the broadcast
 // bus, the program registry, and the set of nodes.
 type Network struct {
@@ -225,6 +246,8 @@ type Network struct {
 	cfg     core.Config
 	nodes   map[MID]*core.Node
 	checker *faults.Checker
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 }
 
 // NewNetwork creates an empty network.
@@ -249,8 +272,66 @@ func NewNetwork(opts ...Option) *Network {
 	}
 	if o.invariants {
 		nw.checker = faults.NewChecker()
-		nw.cfg.Observer = nw.checker.Observe
 		nw.b.AddDeliveryTap(nw.checker.ObserveDelivery)
+	}
+	nw.tracer = o.tracer
+	nw.metrics = o.metrics
+	if nw.tracer != nil {
+		nw.b.AddDeliveryTap(nw.tracer.ObserveDelivery)
+	}
+
+	// Fan the single kernel observer hook out to every attached consumer.
+	// A user observer set via WithNodeConfig runs first (it predates the
+	// obs layer), then the invariant checker, tracer, and metrics. With no
+	// consumers the hook stays nil, so nodes build no events at all.
+	coreObs := make([]func(core.ObsEvent), 0, 4)
+	if nw.cfg.Observer != nil {
+		coreObs = append(coreObs, nw.cfg.Observer)
+	}
+	if nw.checker != nil {
+		coreObs = append(coreObs, nw.checker.Observe)
+	}
+	if nw.tracer != nil {
+		coreObs = append(coreObs, nw.tracer.Observe)
+	}
+	if nw.metrics != nil {
+		coreObs = append(coreObs, nw.metrics.Observe)
+	}
+	switch len(coreObs) {
+	case 0:
+		nw.cfg.Observer = nil
+	case 1:
+		nw.cfg.Observer = coreObs[0]
+	default:
+		nw.cfg.Observer = func(ev core.ObsEvent) {
+			for _, f := range coreObs {
+				f(ev)
+			}
+		}
+	}
+
+	// Same fan-out for the transport observer hook.
+	tObs := make([]func(deltat.Event), 0, 3)
+	if nw.cfg.Transport.Observer != nil {
+		tObs = append(tObs, nw.cfg.Transport.Observer)
+	}
+	if nw.tracer != nil {
+		tObs = append(tObs, nw.tracer.ObserveTransport)
+	}
+	if nw.metrics != nil {
+		tObs = append(tObs, nw.metrics.ObserveTransport)
+	}
+	switch len(tObs) {
+	case 0:
+		nw.cfg.Transport.Observer = nil
+	case 1:
+		nw.cfg.Transport.Observer = tObs[0]
+	default:
+		nw.cfg.Transport.Observer = func(ev deltat.Event) {
+			for _, f := range tObs {
+				f(ev)
+			}
+		}
 	}
 	if o.plan != nil {
 		inj, err := faults.NewInjector(k, *o.plan)
@@ -291,6 +372,24 @@ func (c nodeControl) Reboot(mid MID, program string) {
 // WithInvariantChecks, or nil. Read it after the run: Finish() lists
 // violations, Unresolved() lists stuck requests.
 func (nw *Network) Invariants() *faults.Checker { return nw.checker }
+
+// Tracer returns the tracer installed by WithTracer, or nil.
+func (nw *Network) Tracer() *obs.Tracer { return nw.tracer }
+
+// Metrics returns the metrics registry installed by WithMetrics, or nil.
+func (nw *Network) Metrics() *obs.Registry { return nw.metrics }
+
+// Profile builds an exportable run profile (latency digests, per-node
+// counters, bus counters) from the attached metrics registry; nil when the
+// network was built without WithMetrics.
+func (nw *Network) Profile(scenario string) *obs.Profile {
+	if nw.metrics == nil {
+		return nil
+	}
+	p := nw.metrics.Profile(scenario, nw.Now())
+	p.Bus = obs.BusCountersFrom(nw.Stats())
+	return p
+}
 
 // Register adds a bootable program under name.
 func (nw *Network) Register(name string, prog Program) { nw.reg[name] = prog }
