@@ -1,0 +1,39 @@
+// Command sodavet runs this module's determinism and zero-overhead
+// analyzers (see lint/...) over Go packages.
+//
+// Standalone:
+//
+//	go run ./cmd/sodavet ./...
+//
+// As a vet tool (best effort — module packages only):
+//
+//	go vet -vettool=$(go env GOPATH)/bin/sodavet ./...
+//
+// Exit status: 0 clean, 1 findings, 2 operational failure. Suppress a
+// finding with a scoped annotation on (or directly above) the flagged line:
+//
+//	//lint:allow <analyzer> (reason)
+package main
+
+import (
+	"os"
+
+	"soda/lint"
+	"soda/lint/mapiterorder"
+	"soda/lint/nogoroutine"
+	"soda/lint/norawrand"
+	"soda/lint/nowallclock"
+	"soda/lint/obszerocost"
+	"soda/lint/statsreset"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], []*lint.Analyzer{
+		nowallclock.Analyzer,
+		norawrand.Analyzer,
+		nogoroutine.Analyzer,
+		mapiterorder.Analyzer,
+		obszerocost.Analyzer,
+		statsreset.Analyzer,
+	}))
+}

@@ -2,11 +2,11 @@ package faults
 
 import (
 	"fmt"
-	"sort"
 
 	"soda/internal/bus"
 	"soda/internal/core"
 	"soda/internal/frame"
+	"soda/internal/sortediter"
 )
 
 // maxViolations bounds the report; past it a run is broken enough.
@@ -200,17 +200,12 @@ func (ch *Checker) ObserveDelivery(ev bus.DeliveryEvent) {
 // sortedSigs returns the tracked signatures in (MID, TID) order, for
 // deterministic reports.
 func (ch *Checker) sortedSigs() []frame.RequesterSig {
-	sigs := make([]frame.RequesterSig, 0, len(ch.reqs))
-	for sig := range ch.reqs {
-		sigs = append(sigs, sig)
-	}
-	sort.Slice(sigs, func(i, j int) bool {
-		if sigs[i].MID != sigs[j].MID {
-			return sigs[i].MID < sigs[j].MID
+	return sortediter.KeysFunc(ch.reqs, func(a, b frame.RequesterSig) bool {
+		if a.MID != b.MID {
+			return a.MID < b.MID
 		}
-		return sigs[i].TID < sigs[j].TID
+		return a.TID < b.TID
 	})
-	return sigs
 }
 
 // Finish runs the end-of-run cross-checks (requester and server views of

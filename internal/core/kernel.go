@@ -64,7 +64,9 @@ func (n *Node) issueRequest(dst frame.ServerSig, arg int32, put []byte, getSize 
 		getSize: getSize,
 	}
 	n.outstanding[tid] = o
-	n.observe(ObsEvent{Kind: ObsIssue, Sig: frame.RequesterSig{MID: n.mid, TID: tid}, Dst: dst})
+	if n.cfg.Observer != nil {
+		n.observe(ObsEvent{Kind: ObsIssue, Sig: frame.RequesterSig{MID: n.mid, TID: tid}, Dst: dst})
+	}
 	if dst.MID == frame.BroadcastMID {
 		n.startDiscover(o)
 		return tid, nil
@@ -121,7 +123,9 @@ func (n *Node) requestSendDone(o *outRequest, res deltat.Result) {
 			}
 		}
 		o.delivered = true
-		n.observe(ObsEvent{Kind: ObsDelivered, Sig: frame.RequesterSig{MID: n.mid, TID: o.tid}, Dst: o.dst})
+		if n.cfg.Observer != nil {
+			n.observe(ObsEvent{Kind: ObsDelivered, Sig: frame.RequesterSig{MID: n.mid, TID: o.tid}, Dst: o.dst})
+		}
 		if o.cancelWaiter != nil {
 			o.cancelWaiter.Resume()
 		}
@@ -154,7 +158,9 @@ func (n *Node) completeRequest(o *outRequest, st Status, arg int32, data []byte,
 	delete(n.outstanding, o.tid)
 	o.probeGen++
 	o.discoverGen++
-	n.observe(ObsEvent{Kind: ObsComplete, Sig: frame.RequesterSig{MID: n.mid, TID: o.tid}, Status: st})
+	if n.cfg.Observer != nil {
+		n.observe(ObsEvent{Kind: ObsComplete, Sig: frame.RequesterSig{MID: n.mid, TID: o.tid}, Status: st})
+	}
 	if o.cancelWaiter != nil {
 		o.cancelWaiter.Resume()
 	}
@@ -392,7 +398,9 @@ func (n *Node) deliverRequest(src frame.MID, m *frame.Request) {
 		data:    m.Data,
 	}
 	n.delivered[sig] = in
-	n.observe(ObsEvent{Kind: ObsArrival, Sig: sig, Dst: frame.ServerSig{MID: n.mid, Pattern: m.Pattern}})
+	if n.cfg.Observer != nil {
+		n.observe(ObsEvent{Kind: ObsArrival, Sig: sig, Dst: frame.ServerSig{MID: n.mid, Pattern: m.Pattern}})
+	}
 	n.armAcceptWindow(in)
 	n.client.deliverArrival(Event{
 		Kind:    EventRequestArrival,
@@ -521,7 +529,7 @@ func (n *Node) acceptRequest(p *sim.Proc, sig frame.RequesterSig, arg int32, get
 		// forward to the requester's kernel, which adjudicates
 		// CANCELLED vs CRASHED from its TID window (§5.4).
 		res := n.sendOrphanAccept(p, sig, arg, getCap)
-		if n.client == nil || !n.client.dead {
+		if (n.client == nil || !n.client.dead) && n.cfg.Observer != nil {
 			n.observe(ObsEvent{Kind: ObsAccept, Sig: sig, Accept: res})
 		}
 		return res, nil, 0, 0
@@ -541,7 +549,9 @@ func (n *Node) acceptRequest(p *sim.Proc, sig frame.RequesterSig, arg int32, get
 		reply := frame.Encode(&frame.Accept{TID: sig.TID, Arg: arg, GetSize: uint32(getCap)})
 		n.ep.ResolveHold(sig.MID, deltat.Decision{Verdict: deltat.VerdictAck, Reply: reply})
 		delete(n.delivered, sig)
-		n.observe(ObsEvent{Kind: ObsAccept, Sig: sig, Accept: AcceptSuccess})
+		if n.cfg.Observer != nil {
+			n.observe(ObsEvent{Kind: ObsAccept, Sig: sig, Accept: AcceptSuccess})
+		}
 		return AcceptSuccess, in.data[:putN], putN, getN
 	}
 
@@ -612,10 +622,12 @@ func (n *Node) acceptRequest(p *sim.Proc, sig frame.RequesterSig, arg int32, get
 	in.acceptWaiter = nil
 	delete(n.delivered, sig)
 	if in.failStatus != 0 {
-		n.observe(ObsEvent{Kind: ObsAccept, Sig: sig, Accept: in.failStatus})
+		if n.cfg.Observer != nil {
+			n.observe(ObsEvent{Kind: ObsAccept, Sig: sig, Accept: in.failStatus})
+		}
 		return in.failStatus, nil, 0, 0
 	}
-	if in.acceptOut && (!in.needData || in.gotDataOK) {
+	if in.acceptOut && (!in.needData || in.gotDataOK) && n.cfg.Observer != nil {
 		// Observed only when the handshake truly finished: the loop also
 		// exits when the client dies mid-accept, with the outcome unknown.
 		n.observe(ObsEvent{Kind: ObsAccept, Sig: sig, Accept: AcceptSuccess})
@@ -737,6 +749,8 @@ func (n *Node) cancelRequest(p *sim.Proc, sig frame.RequesterSig) bool {
 	// never invoked for a successfully cancelled request.
 	delete(n.outstanding, sig.TID)
 	o.probeGen++
-	n.observe(ObsEvent{Kind: ObsCancelled, Sig: sig})
+	if n.cfg.Observer != nil {
+		n.observe(ObsEvent{Kind: ObsCancelled, Sig: sig})
+	}
 	return true
 }

@@ -283,7 +283,9 @@ func (n *Node) reset() {
 // and the node becomes eligible for booting again (§3.5.1). A client that
 // executes DIE is treated as a crashed processor (§3.6.1).
 func (n *Node) Die() {
-	n.observe(ObsEvent{Kind: ObsDie})
+	if n.cfg.Observer != nil {
+		n.observe(ObsEvent{Kind: ObsDie})
+	}
 	if n.client != nil {
 		n.client.terminate()
 		n.client = nil
@@ -294,7 +296,9 @@ func (n *Node) Die() {
 // Crash models a detectable processor failure: transport state is lost and
 // the node leaves the network until Reboot (§3.6.1).
 func (n *Node) Crash() {
-	n.observe(ObsEvent{Kind: ObsCrash})
+	if n.cfg.Observer != nil {
+		n.observe(ObsEvent{Kind: ObsCrash})
+	}
 	if n.client != nil {
 		n.client.terminate()
 		n.client = nil
@@ -308,7 +312,9 @@ func (n *Node) Crash() {
 // back on the network.
 func (n *Node) Reboot(ready func()) {
 	n.ep.Reboot(func() {
-		n.observe(ObsEvent{Kind: ObsReboot})
+		if n.cfg.Observer != nil {
+			n.observe(ObsEvent{Kind: ObsReboot})
+		}
 		if ready != nil {
 			ready()
 		}

@@ -68,6 +68,8 @@ func (k ObsKind) String() string {
 // invariant checkers and the obs layer's tracer and metrics registry; it is
 // not part of the SODA model and emitting it must never change kernel
 // behavior.
+//
+// lint:event — construct only under a nil-consumer guard (obszerocost).
 type ObsEvent struct {
 	At   sim.Time
 	Kind ObsKind

@@ -25,12 +25,12 @@ package deltat
 
 import (
 	"fmt"
-	"slices"
 	"time"
 
 	"soda/internal/bus"
 	"soda/internal/frame"
 	"soda/internal/sim"
+	"soda/internal/sortediter"
 )
 
 // Verdict is the upper layer's disposition of a delivered DATA frame.
@@ -184,6 +184,8 @@ func (k EventKind) String() string {
 // machinery (retransmission, acknowledgement, connection-record lifecycle)
 // that is invisible to the kernel observer above. Emitting it must never
 // change protocol behavior; with no Observer installed no event is built.
+//
+// lint:event — construct only under a nil-consumer guard (obszerocost).
 type Event struct {
 	At   sim.Time
 	Kind EventKind
@@ -481,12 +483,7 @@ func (e *Endpoint) FailAllHolds(code frame.ErrCode) {
 	if e.crashed || len(e.holds) == 0 {
 		return
 	}
-	srcs := make([]frame.MID, 0, len(e.holds))
-	for src := range e.holds {
-		srcs = append(srcs, src)
-	}
-	slices.Sort(srcs) // deterministic resolution order
-	for _, src := range srcs {
+	for _, src := range sortediter.Keys(e.holds) { // deterministic resolution order
 		e.ResolveHold(src, Decision{Verdict: VerdictError, Err: code})
 	}
 }

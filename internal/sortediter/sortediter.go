@@ -1,0 +1,42 @@
+// Package sortediter provides sorted-key iteration over maps.
+//
+// Go randomizes map iteration order, so ranging over a map while emitting
+// frames, scheduling events, or appending to exported output makes a run
+// depend on the hash seed — breaking the bit-identical-run guarantee the
+// simulation kernel otherwise provides. Every such loop in this module goes
+// through these helpers (enforced by the mapiterorder analyzer in lint/):
+// collect the keys, sort them, then iterate the slice.
+package sortediter
+
+import (
+	"cmp"
+	"slices"
+	"sort"
+)
+
+// Keys returns m's keys in ascending order. The map itself is not touched
+// after the call, so the caller may delete entries while iterating the
+// returned slice.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	//lint:allow mapiterorder (this is the sorting helper itself)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// KeysFunc returns m's keys sorted by less, for key types (structs like
+// frame.RequesterSig) that are not cmp.Ordered. less must define a strict
+// weak ordering that is total over the keys present, or the result order is
+// unspecified for tied keys.
+func KeysFunc[M ~map[K]V, K comparable, V any](m M, less func(a, b K) bool) []K {
+	keys := make([]K, 0, len(m))
+	//lint:allow mapiterorder (this is the sorting helper itself)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+	return keys
+}

@@ -1,0 +1,95 @@
+package sortediter
+
+import (
+	"slices"
+	"testing"
+
+	"soda/internal/frame"
+)
+
+func TestKeysMID(t *testing.T) {
+	m := map[frame.MID]string{7: "g", 1: "a", 300: "x", 2: "b"}
+	got := Keys(m)
+	want := []frame.MID{1, 2, 7, 300}
+	if !slices.Equal(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestKeysTID(t *testing.T) {
+	m := map[frame.TID]int{9: 0, 3: 0, 1 << 40: 0}
+	got := Keys(m)
+	want := []frame.TID{3, 9, 1 << 40}
+	if !slices.Equal(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestKeysString(t *testing.T) {
+	m := map[string]struct{}{"put": {}, "accept": {}, "signal": {}}
+	got := Keys(m)
+	want := []string{"accept", "put", "signal"}
+	if !slices.Equal(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestKeysEmptyAndNil(t *testing.T) {
+	if got := Keys(map[int]int{}); len(got) != 0 {
+		t.Fatalf("Keys(empty) = %v, want empty", got)
+	}
+	var nilMap map[int]int
+	if got := Keys(nilMap); len(got) != 0 {
+		t.Fatalf("Keys(nil) = %v, want empty", got)
+	}
+}
+
+// Deleting entries while ranging the returned slice must be safe: the
+// expiry sweeps in internal/deltat rely on it.
+func TestKeysDeleteWhileIterating(t *testing.T) {
+	m := map[frame.MID]int{1: 1, 2: 2, 3: 3, 4: 4}
+	for _, k := range Keys(m) {
+		if k%2 == 0 {
+			delete(m, k)
+		}
+	}
+	if len(m) != 2 {
+		t.Fatalf("map has %d entries after sweep, want 2", len(m))
+	}
+}
+
+func TestKeysFuncRequesterSig(t *testing.T) {
+	m := map[frame.RequesterSig]bool{
+		{MID: 2, TID: 1}: true,
+		{MID: 1, TID: 9}: true,
+		{MID: 1, TID: 2}: true,
+		{MID: 3, TID: 0}: true,
+	}
+	got := KeysFunc(m, func(a, b frame.RequesterSig) bool {
+		if a.MID != b.MID {
+			return a.MID < b.MID
+		}
+		return a.TID < b.TID
+	})
+	want := []frame.RequesterSig{
+		{MID: 1, TID: 2}, {MID: 1, TID: 9}, {MID: 2, TID: 1}, {MID: 3, TID: 0},
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("KeysFunc = %v, want %v", got, want)
+	}
+}
+
+// Iteration order must be identical across passes over the same map — the
+// whole point of the package.
+func TestKeysStableAcrossPasses(t *testing.T) {
+	m := map[string]int{}
+	for _, s := range []string{"q", "ab", "zz", "m", "k", "c", "yy", "d"} {
+		m[s] = len(s)
+	}
+	first := Keys(m)
+	for i := 0; i < 16; i++ {
+		if got := Keys(m); !slices.Equal(got, first) {
+			t.Fatalf("pass %d: Keys = %v, want %v", i, got, first)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Main is the multichecker entry point used by cmd/sodavet. It understands
+// three invocation shapes:
+//
+//	sodavet ./...            — analyze the whole module (standalone mode)
+//	sodavet ./internal/...   — analyze packages under a subtree
+//	sodavet <file>.cfg       — go vet -vettool unit-checking protocol
+//	                           (best-effort: module packages only)
+//
+// plus the -flags/-V=full introspection calls the go command makes before
+// driving a vettool. It returns the process exit code: 0 clean, 1 findings,
+// 2 usage or load failure.
+func Main(args []string, analyzers []*Analyzer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sodavet <packages>|<vet.cfg>")
+		return 2
+	}
+	switch {
+	case args[0] == "-flags":
+		// The go command queries supported analyzer flags; we add none.
+		fmt.Println("[]")
+		return 0
+	case strings.HasPrefix(args[0], "-V"):
+		fmt.Println("sodavet version devel")
+		return 0
+	case strings.HasSuffix(args[0], ".cfg"):
+		return vetUnitMode(args[0], analyzers)
+	}
+	return standaloneMode(args, analyzers)
+}
+
+func standaloneMode(patterns []string, analyzers []*Analyzer) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sodavet:", err)
+		return 2
+	}
+	root, err := FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sodavet:", err)
+		return 2
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sodavet:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sodavet:", err)
+		return 2
+	}
+	selected := selectPackages(pkgs, patterns, loader.ModulePath(), cwd, root)
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "sodavet: no packages match", strings.Join(patterns, " "))
+		return 2
+	}
+	eventTypes := MarkedEventTypes(pkgs)
+	found := false
+	for _, pkg := range selected {
+		diags, err := RunAnalyzers(pkg, analyzers, eventTypes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sodavet:", err)
+			return 2
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}
+
+// selectPackages filters pkgs by the command-line patterns. "./..." (from
+// the module root) and "all" select everything; "./x/..." selects a
+// subtree; "./x" or an import path selects one package.
+func selectPackages(pkgs []*Package, patterns []string, modPath, cwd, root string) []*Package {
+	var out []*Package
+	for _, pkg := range pkgs {
+		for _, pat := range patterns {
+			if matchPattern(pkg, pat, modPath, cwd, root) {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func matchPattern(pkg *Package, pat, modPath, cwd, root string) bool {
+	if pat == "all" {
+		return true
+	}
+	// Resolve filesystem-style patterns against cwd.
+	if pat == "." || strings.HasPrefix(pat, "./") || strings.HasPrefix(pat, "../") || filepath.IsAbs(pat) {
+		base, rest := pat, ""
+		if strings.HasSuffix(pat, "/...") {
+			base, rest = strings.TrimSuffix(pat, "/..."), "..."
+		}
+		abs := base
+		if !filepath.IsAbs(base) {
+			abs = filepath.Join(cwd, base)
+		}
+		abs = filepath.Clean(abs)
+		if rest == "..." {
+			return pkg.Dir == abs || strings.HasPrefix(pkg.Dir, abs+string(filepath.Separator))
+		}
+		return pkg.Dir == abs
+	}
+	// Import-path pattern.
+	if strings.HasSuffix(pat, "/...") {
+		base := strings.TrimSuffix(pat, "/...")
+		return pkg.Path == base || strings.HasPrefix(pkg.Path, base+"/")
+	}
+	return pkg.Path == pat
+}
+
+// vetConfig is the subset of the go vet unit-checking config we consume.
+type vetConfig struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+}
+
+// vetUnitMode implements enough of the go vet -vettool protocol to analyze
+// module packages: it parses the package's files and type-checks them
+// against the module tree from source. Packages outside the module (or
+// whose type information cannot be rebuilt from source) are skipped rather
+// than failed, since the go command drives the tool over every dependency.
+func vetUnitMode(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sodavet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "sodavet:", err)
+		return 2
+	}
+	root, err := FindModuleRoot(cfg.Dir)
+	if err != nil {
+		return 0 // outside any module we can analyze
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		return 0
+	}
+	mod := loader.ModulePath()
+	if cfg.ImportPath != mod && !strings.HasPrefix(cfg.ImportPath, mod+"/") {
+		return 0 // dependency package; nothing of ours to check
+	}
+	pkg, err := loadVetUnit(loader, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sodavet:", err)
+		return 2
+	}
+	// Event-type markers may live in other module packages (e.g. a literal
+	// of core.ObsEvent built outside internal/core), so scan the whole
+	// module for them.
+	all, err := loader.LoadAll()
+	if err != nil {
+		all = []*Package{pkg}
+	}
+	eventTypes := MarkedEventTypes(all)
+	diags, err := RunAnalyzers(pkg, analyzers, eventTypes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sodavet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// loadVetUnit type-checks exactly the files the go command handed us (which
+// may include generated files outside the package directory).
+func loadVetUnit(loader *Loader, cfg vetConfig) (*Package, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(loader.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: loader}
+	tpkg, err := conf.Check(cfg.ImportPath, loader.Fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: cfg.ImportPath, Dir: cfg.Dir, Fset: loader.Fset, Files: files, Types: tpkg, Info: info}, nil
+}

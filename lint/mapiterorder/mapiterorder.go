@@ -1,0 +1,176 @@
+// Package mapiterorder flags map iteration whose body has observable
+// effects, because Go randomizes map iteration order per run.
+//
+// Ranging over a map is fine while the body only aggregates (counters,
+// building another map, deleting entries): those are order-insensitive. The
+// moment the body calls anything — sending a frame, scheduling a kernel
+// event, writing output — or accumulates into state declared outside the
+// loop, the hash seed leaks into observable behavior and the
+// bit-identical-run guarantee is gone. The remedy is sorted-key iteration
+// via internal/sortediter; loops whose effects are genuinely
+// order-insensitive carry a scoped annotation instead:
+//
+//	//lint:allow mapiterorder (reason)
+package mapiterorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"soda/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "mapiterorder",
+	Doc:  "flag effectful iteration over maps; sort keys first (internal/sortediter) for deterministic order",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason := effectIn(pass, rs); reason != "" {
+				pass.Reportf(rs.Pos(),
+					"map iterated in nondeterministic order while its body %s; iterate sortediter.Keys(m) instead, or annotate //lint:allow mapiterorder (reason) if order truly cannot matter", reason)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// allowedBuiltins are order-insensitive (or non-effectful) builtin calls.
+var allowedBuiltins = map[string]bool{
+	"len": true, "cap": true, "delete": true, "min": true, "max": true,
+	"make": true, "new": true, "copy": true, "panic": true,
+}
+
+// effectIn scans the loop body and returns a description of the first
+// order-sensitive effect, or "" if the body is order-insensitive.
+func effectIn(pass *lint.Pass, rs *ast.RangeStmt) string {
+	reason := ""
+	found := func(r string) {
+		if reason == "" {
+			reason = r
+		}
+	}
+	lint.WalkStack(rs.Body, func(stack []ast.Node) {
+		if reason != "" {
+			return
+		}
+		n := stack[len(stack)-1]
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			found("spawns goroutines")
+		case *ast.SendStmt:
+			found("sends on a channel")
+		case *ast.ReturnStmt:
+			if !insideFuncLit(stack) {
+				found("returns (selecting an arbitrary entry)")
+			}
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && !insideNestedLoopOrSwitch(stack) {
+				found("breaks (selecting an arbitrary entry)")
+			}
+		case *ast.CallExpr:
+			if r := classifyCall(pass, n, stack, rs); r != "" {
+				found(r)
+			}
+		}
+	})
+	return reason
+}
+
+// insideFuncLit reports whether the innermost enclosing scope of the last
+// stack node (excluding it) is a function literal within the loop body.
+func insideFuncLit(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// insideNestedLoopOrSwitch reports whether a break at the top of the stack
+// binds to a loop/switch/select nested inside the range body rather than to
+// the range loop itself.
+func insideNestedLoopOrSwitch(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return true
+		}
+	}
+	return false
+}
+
+// classifyCall decides whether one call inside the loop body is an
+// order-sensitive effect. Type conversions and order-insensitive builtins
+// pass; append is judged by where its target lives.
+func classifyCall(pass *lint.Pass, call *ast.CallExpr, stack []ast.Node, rs *ast.RangeStmt) string {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := pass.Info.Types[fun]; ok && tv.IsType() {
+		return "" // conversion
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			if allowedBuiltins[b.Name()] {
+				return ""
+			}
+			if b.Name() == "append" {
+				return classifyAppend(pass, call, stack, rs)
+			}
+			return "calls " + b.Name()
+		}
+	}
+	return "calls " + types.ExprString(fun) + " (its effects would occur in map order)"
+}
+
+// classifyAppend allows appending to a variable declared inside the loop
+// body (a per-entry scratch slice) or to a map element (per-key state);
+// accumulating into anything longer-lived leaks map order into its element
+// order.
+func classifyAppend(pass *lint.Pass, call *ast.CallExpr, stack []ast.Node, rs *ast.RangeStmt) string {
+	for i := len(stack) - 2; i >= 0; i-- {
+		asg, ok := stack[i].(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		for _, lhs := range asg.Lhs {
+			switch lhs := ast.Unparen(lhs).(type) {
+			case *ast.Ident:
+				obj := pass.Info.Defs[lhs]
+				if obj == nil {
+					obj = pass.Info.Uses[lhs]
+				}
+				if obj != nil && rs.Body.Pos() <= obj.Pos() && obj.Pos() <= rs.Body.End() {
+					return "" // scratch slice local to the loop body
+				}
+				return "appends to " + lhs.Name + " (declared outside the loop, so element order follows map order)"
+			case *ast.IndexExpr:
+				if tv, ok := pass.Info.Types[lhs.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						return "" // per-key accumulation into a map
+					}
+				}
+				return "appends into an indexed element"
+			}
+		}
+		return "appends through a non-identifier target"
+	}
+	return "uses append outside an assignment"
+}

@@ -1,0 +1,12 @@
+package mapiterorder_test
+
+import (
+	"testing"
+
+	"soda/lint/linttest"
+	"soda/lint/mapiterorder"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", mapiterorder.Analyzer)
+}

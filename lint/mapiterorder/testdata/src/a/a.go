@@ -1,0 +1,98 @@
+// Package a seeds mapiterorder violations for the analyzer's golden test.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+var exported []string
+
+func badCall(m map[string]int) {
+	for k := range m { // want `calls fmt.Println`
+		fmt.Println(k)
+	}
+}
+
+func badAppend(m map[string]int) {
+	for k := range m { // want `appends to exported`
+		exported = append(exported, k)
+	}
+}
+
+func badLocalAccumulator(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `appends to out`
+		out = append(out, k)
+	}
+	return out
+}
+
+func badReturn(m map[string]int) string {
+	for k := range m { // want `returns \(selecting an arbitrary entry\)`
+		return k
+	}
+	return ""
+}
+
+func badBreak(m map[string]int) {
+	found := ""
+	for k := range m { // want `breaks \(selecting an arbitrary entry\)`
+		if k != "" {
+			found = k
+			break
+		}
+	}
+	_ = found
+}
+
+func goodAggregation(m map[string]int) (int, map[string]int) {
+	total := 0
+	dst := make(map[string]int, len(m))
+	for k, v := range m {
+		total += v
+		dst[k] = v
+	}
+	return total, dst
+}
+
+func goodDelete(m map[string]int) {
+	for k := range m {
+		if k == "" {
+			delete(m, k)
+		}
+	}
+}
+
+func goodLoopLocalScratch(m map[string][]int) map[string]int {
+	counts := make(map[string]int, len(m))
+	for k, vs := range m {
+		scratch := make([]int, 0, len(vs))
+		scratch = append(scratch, vs...)
+		counts[k] = len(scratch)
+	}
+	return counts
+}
+
+func goodNestedBreak(m map[string]int) map[string]int {
+	hit := make(map[string]int)
+	for k, v := range m {
+		for i := 0; i < v; i++ {
+			if i > 2 {
+				break // binds to the inner for, not the map range
+			}
+			hit[k]++
+		}
+	}
+	return hit
+}
+
+func allowedSortingIdiom(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//lint:allow mapiterorder (keys are sorted before use)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,63 @@
+// Package nogoroutine bans raw concurrency outside the simulation kernel.
+//
+// Determinism rests on the kernel running exactly one process at a time,
+// with control handed over explicitly (sim.Kernel.Spawn, Proc.Hold,
+// Proc.Suspend/Resume) and ties broken by sequence number. A raw goroutine,
+// channel, select, or sync primitive reintroduces the Go scheduler — and
+// with it run-to-run interleaving variance — behind the kernel's back.
+// internal/sim itself is exempt: it is the one place that legitimately
+// builds the cooperative machinery out of goroutines and channels.
+package nogoroutine
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"soda/lint"
+)
+
+// ExemptPaths are package import paths allowed to use raw concurrency.
+var ExemptPaths = map[string]bool{
+	"soda/internal/sim": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "nogoroutine",
+	Doc:  "forbid goroutines, channels, select, and sync outside internal/sim; concurrency goes through the scheduler",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if ExemptPaths[pass.Pkg.Path()] {
+		return nil
+	}
+	const remedy = "concurrency outside internal/sim must go through the scheduler (sim.Kernel.Spawn / Proc.Hold / Proc.Suspend)"
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "sync" || strings.HasPrefix(path, "sync/") {
+				pass.Reportf(imp.Pos(), "import of %q: %s", path, remedy)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement spawns a raw goroutine; %s", remedy)
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select races channel operations under the Go scheduler; %s", remedy)
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send; %s", remedy)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive; %s", remedy)
+				}
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "channel type declared; %s", remedy)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"soda/lint/linttest"
+	"soda/lint/nogoroutine"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", nogoroutine.Analyzer)
+}

@@ -1,0 +1,33 @@
+// Package a seeds nogoroutine violations for the analyzer's golden test.
+package a
+
+import "sync" // want `import of "sync"`
+
+func bad() {
+	ch := make(chan int) // want `channel type declared`
+	go work()            // want `go statement spawns a raw goroutine`
+	ch <- 1              // want `channel send`
+	<-ch                 // want `channel receive`
+	select {}            // want `select races channel operations`
+}
+
+func alsoBad() {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func work() {}
+
+func good() {
+	// Plain sequential code under the scheduler needs none of the above.
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += i
+	}
+	_ = total
+}
+
+func allowed() {
+	go work() //lint:allow nogoroutine (testing the annotation syntax)
+}

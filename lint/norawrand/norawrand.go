@@ -1,0 +1,64 @@
+// Package norawrand bans unseeded randomness.
+//
+// All randomness in a run must derive from the simulation kernel's seeded
+// source (sim.Kernel.Rand) so runs replay exactly from their seed. The
+// package-level math/rand functions draw from the process-global generator
+// (seeded per-process since Go 1.20), and crypto/rand is nondeterministic
+// by design — both produce runs that can never be reproduced. Constructing
+// explicitly seeded generators (rand.New(rand.NewSource(seed))) stays
+// legal: a seed travels with them.
+package norawrand
+
+import (
+	"go/ast"
+	"strings"
+
+	"soda/lint"
+)
+
+// bannedFns are the package-level math/rand (and v2) functions that consume
+// the global generator.
+var bannedFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "norawrand",
+	Doc:  "forbid global math/rand and all crypto/rand; randomness must come from the seeded sim RNG",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "crypto/rand" {
+				pass.Reportf(imp.Pos(),
+					"crypto/rand is nondeterministic; draw randomness from sim.Kernel.Rand")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := lint.PkgRef(pass.Info, sel)
+			if !ok {
+				return true
+			}
+			if (path == "math/rand" || path == "math/rand/v2") && bannedFns[name] {
+				pass.Reportf(sel.Pos(),
+					"rand.%s uses the process-global generator and is not replayable from a seed; use sim.Kernel.Rand (or a rand.New(rand.NewSource(seed)) that travels with the seed)", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

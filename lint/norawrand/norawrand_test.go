@@ -1,0 +1,12 @@
+package norawrand_test
+
+import (
+	"testing"
+
+	"soda/lint/linttest"
+	"soda/lint/norawrand"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", norawrand.Analyzer)
+}

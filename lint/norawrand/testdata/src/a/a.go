@@ -1,0 +1,31 @@
+// Package a seeds norawrand violations for the analyzer's golden test.
+package a
+
+import (
+	crand "crypto/rand" // want `crypto/rand is nondeterministic`
+	"math/rand"
+)
+
+func bad() int {
+	rand.Seed(1)              // want `rand.Seed uses the process-global generator`
+	if rand.Float64() < 0.5 { // want `rand.Float64 uses the process-global generator`
+		rand.Shuffle(3, func(i, j int) {}) // want `rand.Shuffle uses the process-global generator`
+	}
+	return rand.Intn(10) // want `rand.Intn uses the process-global generator`
+}
+
+func alsoBad() {
+	var buf [8]byte
+	_, _ = crand.Reader.Read(buf[:])
+}
+
+func good() *rand.Rand {
+	// Explicitly seeded generators are replayable: the seed travels.
+	rng := rand.New(rand.NewSource(42))
+	_ = rng.Intn(10)
+	return rng
+}
+
+func allowed() int {
+	return rand.Int() //lint:allow norawrand (testing the annotation syntax)
+}

@@ -1,0 +1,57 @@
+// Package nowallclock bans wall-clock time in simulation code.
+//
+// Every run of this module is a deterministic function of its seed: the
+// kernel's virtual clock (sim.Time, Kernel.Now/At/After) is the only clock.
+// A single time.Now or time.Sleep smuggles the host's wall clock into the
+// event stream and silently breaks the bit-identical-run and trace-hash
+// guarantees. time.Duration values and the time constants remain fine —
+// only the functions that read or wait on the real clock are banned.
+package nowallclock
+
+import (
+	"go/ast"
+
+	"soda/lint"
+)
+
+// banned maps forbidden package-level time functions to the virtual-time
+// replacement named in the diagnostic.
+var banned = map[string]string{
+	"Now":       "sim.Kernel.Now",
+	"Since":     "subtraction of sim.Time values",
+	"Until":     "subtraction of sim.Time values",
+	"Sleep":     "sim.Proc.Hold",
+	"After":     "sim.Kernel.After",
+	"AfterFunc": "sim.Kernel.After",
+	"Tick":      "a rescheduling sim.Kernel.After callback",
+	"NewTimer":  "sim.Kernel.After",
+	"NewTicker": "a rescheduling sim.Kernel.After callback",
+}
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid wall-clock time (time.Now etc.) in simulation code; virtual time only",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := lint.PkgRef(pass.Info, sel)
+			if !ok || path != "time" {
+				return true
+			}
+			if repl, bad := banned[name]; bad {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock and breaks run determinism; use %s", name, repl)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"soda/lint/linttest"
+	"soda/lint/nowallclock"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", nowallclock.Analyzer)
+}

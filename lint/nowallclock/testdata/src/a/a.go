@@ -1,0 +1,26 @@
+// Package a seeds nowallclock violations for the analyzer's golden test.
+package a
+
+import "time"
+
+func bad() time.Duration {
+	t0 := time.Now()             // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	return time.Since(t0)        // want `time.Since reads the wall clock`
+}
+
+func badTimers() {
+	_ = time.After(time.Second) // want `time.After reads the wall clock`
+	_ = time.Tick(time.Second)  // want `time.Tick reads the wall clock`
+	_ = time.NewTimer(1)        // want `time.NewTimer reads the wall clock`
+}
+
+func good() time.Duration {
+	// Durations, constants, and formatting helpers never read the clock.
+	d := 5 * time.Millisecond
+	return d + time.Second
+}
+
+func allowed() {
+	_ = time.Now() //lint:allow nowallclock (testing the annotation syntax)
+}

@@ -1,0 +1,12 @@
+package obszerocost_test
+
+import (
+	"testing"
+
+	"soda/lint/linttest"
+	"soda/lint/obszerocost"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", obszerocost.Analyzer)
+}

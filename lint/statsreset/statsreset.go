@@ -1,0 +1,160 @@
+// Package statsreset is the static companion to the ResetStats reflection
+// test: a counter field added to a package's Stats struct must be handled
+// by the package's reset and snapshot paths.
+//
+// The measurement-window contract says every Stats field accumulates from
+// the last ResetStats, and that snapshot accessors return fully detached
+// copies. Value fields are safe by construction (whole-struct assignment
+// zeroes or copies them), but reference fields — maps, slices, pointers —
+// silently alias or survive a reset unless handled explicitly. The
+// analyzer therefore checks, in any package declaring a struct named
+// "Stats":
+//
+//   - a function named ResetStats that assigns a fresh Stats composite
+//     literal must initialize every reference field in that literal; a
+//     field-by-field ResetStats must mention every field.
+//   - a function named Snapshot or Stats whose body copies the struct must
+//     mention every reference field (the deep-copy step).
+package statsreset
+
+import (
+	"go/ast"
+	"go/types"
+
+	"soda/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "statsreset",
+	Doc:  "fields added to a Stats struct must be handled in ResetStats and Snapshot/Stats accessors",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	obj := pass.Pkg.Scope().Lookup("Stats")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var all, refs []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		all = append(all, f.Name())
+		switch f.Type().Underlying().(type) {
+		case *types.Map, *types.Slice, *types.Pointer, *types.Chan, *types.Signature:
+			refs = append(refs, f.Name())
+		}
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "ResetStats":
+				checkReset(pass, fd, tn, all, refs)
+			case "Snapshot", "Stats":
+				if returnsStats(pass, fd, tn) {
+					checkMentions(pass, fd, refs,
+						"reference field %s of Stats is not handled in %s; copy it explicitly or the snapshot aliases live counters")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkReset verifies the reset path. A whole-struct assignment
+// (x = Stats{...}) zeroes value fields automatically, so only reference
+// fields must appear in the literal; without one, every field must be
+// mentioned somewhere in the body.
+func checkReset(pass *lint.Pass, fd *ast.FuncDecl, tn *types.TypeName, all, refs []string) {
+	lit := statsLiteral(pass, fd.Body, tn)
+	if lit != nil {
+		present := map[string]bool{}
+		for _, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					present[id.Name] = true
+				}
+			}
+		}
+		for _, name := range refs {
+			if !present[name] {
+				pass.Reportf(lit.Pos(),
+					"reference field %s of Stats is not initialized in the ResetStats literal; it will carry state across measurement windows", name)
+			}
+		}
+		return
+	}
+	checkMentions(pass, fd, all,
+		"field %s of Stats is not mentioned in field-by-field %s; it will survive the reset")
+}
+
+// statsLiteral finds a composite literal of the Stats type assigned inside
+// body, the canonical whole-struct reset shape.
+func statsLiteral(pass *lint.Pass, body *ast.BlockStmt, tn *types.TypeName) *ast.CompositeLit {
+	var found *ast.CompositeLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok || found != nil {
+			return true
+		}
+		if tv, ok := pass.Info.Types[cl]; ok {
+			if named, ok := tv.Type.(*types.Named); ok && named.Obj() == tn.Type().(*types.Named).Obj() {
+				found = cl
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// returnsStats reports whether fd's results include the Stats type.
+func returnsStats(pass *lint.Pass, fd *ast.FuncDecl, tn *types.TypeName) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, res := range fd.Type.Results.List {
+		if tv, ok := pass.Info.Types[res.Type]; ok {
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj() == tn.Type().(*types.Named).Obj() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkMentions reports every field in names that never appears as a
+// selector or key inside fd's body.
+func checkMentions(pass *lint.Pass, fd *ast.FuncDecl, names []string, format string) {
+	mentioned := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			mentioned[n.Sel.Name] = true
+		case *ast.KeyValueExpr:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				mentioned[id.Name] = true
+			}
+		}
+		return true
+	})
+	for _, name := range names {
+		if !mentioned[name] {
+			pass.Reportf(fd.Pos(), format, name, fd.Name.Name)
+		}
+	}
+}

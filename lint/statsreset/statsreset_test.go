@@ -1,0 +1,16 @@
+package statsreset_test
+
+import (
+	"testing"
+
+	"soda/lint/linttest"
+	"soda/lint/statsreset"
+)
+
+func TestWholeStructReset(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", statsreset.Analyzer)
+}
+
+func TestFieldByFieldReset(t *testing.T) {
+	linttest.Run(t, "testdata/src/b", statsreset.Analyzer)
+}

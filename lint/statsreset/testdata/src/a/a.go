@@ -1,0 +1,31 @@
+// Package a seeds statsreset violations for the analyzer's golden test:
+// whole-struct reset and snapshot accessors that miss a reference field.
+package a
+
+type Stats struct {
+	FramesSent uint64
+	BytesSent  uint64
+	ByKind     map[uint8]uint64
+	PerNode    map[uint16]uint64
+}
+
+type Bus struct {
+	stats Stats
+}
+
+// ResetStats replaces the whole value but forgets to initialize PerNode, so
+// the next window would write into a nil map (or, if lazily created, leak
+// the old window's entries through aliases held elsewhere).
+func (b *Bus) ResetStats() {
+	b.stats = Stats{ByKind: make(map[uint8]uint64)} // want `reference field PerNode of Stats is not initialized`
+}
+
+// Stats deep-copies ByKind but returns PerNode aliased to the live map.
+func (b *Bus) Stats() Stats { // want `reference field PerNode of Stats is not handled in Stats`
+	out := b.stats
+	out.ByKind = make(map[uint8]uint64, len(b.stats.ByKind))
+	for k, v := range b.stats.ByKind {
+		out.ByKind[k] = v
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+// Package b seeds the field-by-field reset shape for the statsreset golden
+// test: without a whole-struct literal, every field must be mentioned.
+package b
+
+type Stats struct {
+	FramesSent uint64
+	FramesLost uint64
+}
+
+type Bus struct {
+	stats Stats
+}
+
+// ResetStats zeroes fields one at a time and forgets FramesLost.
+func (b *Bus) ResetStats() { // want `field FramesLost of Stats is not mentioned`
+	b.stats.FramesSent = 0
+}

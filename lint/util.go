@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PkgRef resolves a selector expression of the form pkg.Name where pkg is
+// an imported package, returning the package's import path and the selected
+// name. ok is false for field/method selections and shadowed identifiers.
+func PkgRef(info *types.Info, sel *ast.SelectorExpr) (path, name string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// WalkStack traverses root in depth-first order, invoking visit with the
+// full ancestor stack for every node (stack[len(stack)-1] is the node
+// itself).
+func WalkStack(root ast.Node, visit func(stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		visit(stack)
+		return true
+	})
+}
+
+// IsNilCheck reports whether expr contains a comparison of something
+// against nil with the given operator token ("!=" when wantNeq, "==" when
+// not), anywhere in a &&/|| chain or parenthesization.
+func IsNilCheck(expr ast.Expr, wantNeq bool) bool {
+	switch e := expr.(type) {
+	case *ast.ParenExpr:
+		return IsNilCheck(e.X, wantNeq)
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "&&", "||":
+			return IsNilCheck(e.X, wantNeq) || IsNilCheck(e.Y, wantNeq)
+		case "!=":
+			return wantNeq && (isNilIdent(e.X) || isNilIdent(e.Y))
+		case "==":
+			return !wantNeq && (isNilIdent(e.X) || isNilIdent(e.Y))
+		}
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// Contains reports whether the node's source range encloses pos.
+func Contains(n ast.Node, pos ast.Node) bool {
+	return n.Pos() <= pos.Pos() && pos.End() <= n.End()
+}

@@ -4,10 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 
 	"soda/internal/frame"
 	"soda/internal/sim"
+	"soda/internal/sortediter"
 )
 
 // chromeEvent is one entry of the Chrome trace-event format ("JSON Object
@@ -15,16 +15,16 @@ import (
 // SODA node renders as a process (pid = MID); request spans are async events
 // correlated by id, so a span's hops draw across processes.
 type chromeEvent struct {
-	Name  string           `json:"name"`
-	Cat   string           `json:"cat,omitempty"`
-	Ph    string           `json:"ph"`
-	TS    float64          `json:"ts"`
-	Dur   *float64         `json:"dur,omitempty"`
-	PID   int              `json:"pid"`
-	TID   int              `json:"tid"`
-	ID    string           `json:"id,omitempty"`
-	Scope string           `json:"s,omitempty"`
-	Args  map[string]any   `json:"args,omitempty"`
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
 }
 
 // chromeTrace is the top-level trace file object.
@@ -41,12 +41,7 @@ type chromeTrace struct {
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	events := make([]chromeEvent, 0, 8*len(t.spans)+len(t.instants)+len(t.nodes))
 
-	mids := make([]frame.MID, 0, len(t.nodes))
-	for mid := range t.nodes {
-		mids = append(mids, mid)
-	}
-	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
-	for _, mid := range mids {
+	for _, mid := range sortediter.Keys(t.nodes) {
 		events = append(events, chromeEvent{
 			Name: "process_name", Ph: "M", PID: int(mid),
 			Args: map[string]any{"name": fmt.Sprintf("node %d", mid)},

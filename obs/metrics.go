@@ -3,12 +3,12 @@ package obs
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"soda/internal/core"
 	"soda/internal/deltat"
 	"soda/internal/frame"
 	"soda/internal/sim"
+	"soda/internal/sortediter"
 )
 
 // Primitive names used as histogram keys. Latencies are measured in whole
@@ -218,6 +218,7 @@ func (r *Registry) Summary(name string) HistSummary {
 // Summaries digests every non-empty histogram, keyed by primitive name.
 func (r *Registry) Summaries() map[string]HistSummary {
 	out := make(map[string]HistSummary, len(r.hists))
+	//lint:allow mapiterorder (builds a map keyed the same way; order cannot leak)
 	for name, h := range r.hists {
 		if h.Count() > 0 {
 			out[name] = r.Summary(name)
@@ -230,6 +231,7 @@ func (r *Registry) Summaries() map[string]HistSummary {
 // map; encoding/json emits keys sorted, keeping exports deterministic).
 func (r *Registry) Nodes() map[string]*NodeCounters {
 	out := make(map[string]*NodeCounters, len(r.nodes))
+	//lint:allow mapiterorder (map-to-map rekeying; encoding/json sorts keys on output)
 	for mid, nc := range r.nodes {
 		out[fmt.Sprintf("%d", mid)] = nc
 	}
@@ -251,16 +253,12 @@ func (r *Registry) OpenRequests() int {
 // WriteSummary renders a human-readable digest: a latency table per
 // primitive followed by per-node counters, in deterministic order.
 func (r *Registry) WriteSummary(w io.Writer) {
-	names := make([]string, 0, len(r.hists))
-	for name, h := range r.hists {
-		if h.Count() > 0 {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names)
 	fmt.Fprintf(w, "%-10s %8s %10s %10s %10s %10s %10s\n",
 		"primitive", "count", "mean", "p50", "p90", "p99", "max")
-	for _, name := range names {
+	for _, name := range sortediter.Keys(r.hists) {
+		if r.hists[name].Count() == 0 {
+			continue
+		}
 		s := r.Summary(name)
 		fmt.Fprintf(w, "%-10s %8d %8.1fms %8.1fms %8.1fms %8.1fms %8.1fms\n",
 			name, s.Count,
@@ -268,12 +266,7 @@ func (r *Registry) WriteSummary(w io.Writer) {
 			float64(s.P90US)/1000, float64(s.P99US)/1000,
 			float64(s.MaxUS)/1000)
 	}
-	mids := make([]frame.MID, 0, len(r.nodes))
-	for mid := range r.nodes {
-		mids = append(mids, mid)
-	}
-	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
-	for _, mid := range mids {
+	for _, mid := range sortediter.Keys(r.nodes) {
 		nc := r.nodes[mid]
 		fmt.Fprintf(w, "node %d: issues=%d completions=%d accepts=%d retransmits=%d acks_rx=%d piggyback=%d busy=%d peer_dead=%d\n",
 			mid, nc.Issues, nc.Completions, nc.Accepts, nc.Retransmits,

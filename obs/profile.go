@@ -55,6 +55,7 @@ func BusCountersFrom(st bus.Stats) *BusCounters {
 	}
 	if len(st.ByKind) > 0 {
 		out.ByKind = make(map[string]uint64, len(st.ByKind))
+		//lint:allow mapiterorder (map-to-map rekeying; encoding/json sorts keys on output)
 		for k, v := range st.ByKind {
 			out.ByKind[k.String()] = v
 		}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"soda"
+	"soda/internal/sortediter"
 )
 
 // Proc is a remotely callable procedure: in-parameters to out-parameters.
@@ -40,7 +41,9 @@ func Server(procs map[soda.Pattern]Proc) soda.Program {
 	return soda.Program{
 		Init: func(c *soda.Client, _ soda.MID) {
 			c.SetStash(&serverState{calls: make(map[soda.MID]*call)})
-			for p := range procs {
+			// Advertise in sorted order: the §5.4 pattern table resolves
+			// collisions last-writer-wins, so advertise order is observable.
+			for _, p := range sortediter.Keys(procs) {
 				if err := c.Advertise(p); err != nil {
 					panic(err)
 				}

@@ -2,6 +2,7 @@ package sodal
 
 import (
 	"soda"
+	"soda/internal/sortediter"
 )
 
 // EntryFunc services a request arrival on one entry pattern.
@@ -60,7 +61,9 @@ func (d *Dispatcher) Handle(c *soda.Client, ev soda.Event) bool {
 // Advertise advertises every registered entry pattern (convenience for the
 // Init section).
 func (d *Dispatcher) Advertise(c *soda.Client) error {
-	for p := range d.entries {
+	// Advertise in sorted order: the §5.4 pattern table resolves collisions
+	// last-writer-wins, so advertise order is observable.
+	for _, p := range sortediter.Keys(d.entries) {
 		if err := c.Advertise(p); err != nil {
 			return err
 		}
