@@ -1,0 +1,116 @@
+// Hot-path allocation benchmarks. Unlike bench_test.go, which reports
+// calibrated *virtual*-time metrics, these measure the simulator itself:
+// wall ns/op, B/op and allocs/op for the three costs that bound sweep
+// throughput — building+booting a network, one REQUEST round trip, and a
+// full chaos sweep. BENCH_sweep.json records the trajectory; CI re-runs
+// them with -benchmem.
+package soda_test
+
+import (
+	"testing"
+	"time"
+
+	"soda"
+	"soda/sweep"
+)
+
+var hotPattern = soda.WellKnownPattern(0o7441)
+
+// registerEcho installs a minimal echo service plus a client that performs
+// rounds blocking EXCHANGEs against it, recording the last result in *last.
+func registerEcho(nw *soda.Network, rounds int, last *soda.CallResult) {
+	nw.Register("server", soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			if err := c.Advertise(hotPattern); err != nil {
+				panic(err)
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind != soda.EventRequestArrival {
+				return
+			}
+			c.AcceptCurrentExchange(soda.OK, []byte("reply-payload-64b"), ev.PutSize)
+		},
+	})
+	nw.Register("client", soda.Program{
+		Task: func(c *soda.Client) {
+			srv, ok := c.Discover(hotPattern)
+			if !ok {
+				panic("benchmark: no server discovered")
+			}
+			put := []byte("request-payload-64-bytes-of-data")
+			for i := 0; i < rounds; i++ {
+				*last = c.BExchange(srv, soda.OK, put, 64)
+			}
+		},
+	})
+}
+
+// BenchmarkBoot measures building a two-node network, booting a server and
+// a client, and running one DISCOVER + one EXCHANGE to completion — the
+// fixed cost every sweep run pays before its workload starts.
+func BenchmarkBoot(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var last soda.CallResult
+		nw := soda.NewNetwork(soda.WithSeed(1))
+		registerEcho(nw, 1, &last)
+		nw.MustAddNode(1)
+		nw.MustAddNode(2)
+		nw.MustBoot(1, "server")
+		nw.MustBoot(2, "client")
+		// The run terminates with the server parked in its handler and no
+		// events left, which the kernel reports as a suspension; the real
+		// success signal is the client's last result.
+		_ = nw.RunToCompletion()
+		if last.Status != soda.StatusSuccess {
+			b.Fatalf("exchange failed: %v", last.Status)
+		}
+	}
+}
+
+// BenchmarkRequestRoundTrip measures one blocking EXCHANGE round trip on a
+// warm two-node network: REQUEST out, ACCEPT back, both riding the Delta-t
+// transport. allocs/op here is the per-transaction footprint of the whole
+// frame/bus/scheduler stack (setup is amortized over b.N round trips).
+func BenchmarkRequestRoundTrip(b *testing.B) {
+	b.ReportAllocs()
+	var last soda.CallResult
+	nw := soda.NewNetwork(soda.WithSeed(1))
+	registerEcho(nw, b.N, &last)
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "server")
+	nw.MustBoot(2, "client")
+	b.ResetTimer()
+	_ = nw.RunToCompletion() // ends in expected server-parked suspension
+	b.StopTimer()
+	if last.Status != soda.StatusSuccess {
+		b.Fatalf("exchange failed: %v", last.Status)
+	}
+}
+
+// BenchmarkChaosSweep measures a small sequential seed×plan sweep of the
+// fileserver scenario under generated fault plans — the unit of work
+// cmd/sodasweep shards across workers. runs/sec in BENCH_sweep.json comes
+// from the same engine.
+func BenchmarkChaosSweep(b *testing.B) {
+	spec := sweep.Spec{
+		Scenario:  "fileserver",
+		Seeds:     []int64{1, 2},
+		PlanSeeds: []int64{0, 7},
+		Nodes:     []int{3},
+		Horizon:   2 * time.Second,
+		Checks:    true,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := sweep.Run(spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Runs) != 4 {
+			b.Fatalf("got %d runs, want 4", len(rep.Runs))
+		}
+	}
+}

@@ -1,0 +1,33 @@
+#!/bin/sh
+# check_coverage.sh SUMMARY_FILE
+#
+# Compares the per-package coverage summary produced by `go test -cover ./...`
+# (the "ok <pkg> <time> coverage: <pct>% of statements" lines) against the
+# floors recorded in ci/coverage_baseline.txt. Fails if any baselined package
+# dropped below its floor or vanished from the summary entirely (a deleted or
+# no-longer-tested package must be removed from the baseline deliberately).
+set -eu
+
+summary=${1:?usage: check_coverage.sh SUMMARY_FILE}
+baseline=$(dirname "$0")/coverage_baseline.txt
+
+fail=0
+while read -r pkg floor; do
+    case $pkg in ''|\#*) continue ;; esac
+    actual=$(awk -v p="$pkg" '$1 == "ok" && $2 == p {
+        for (i = 3; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i; exit }
+    }' "$summary")
+    if [ -z "$actual" ]; then
+        echo "FAIL $pkg: no coverage line in $summary (package deleted or untested?)" >&2
+        fail=1
+        continue
+    fi
+    if awk -v a="$actual" -v f="$floor" 'BEGIN { exit !(a < f) }'; then
+        echo "FAIL $pkg: coverage $actual% fell below baseline floor $floor%" >&2
+        fail=1
+    else
+        echo "ok   $pkg: $actual% >= $floor%"
+    fi
+done < "$baseline"
+
+exit $fail

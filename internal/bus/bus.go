@@ -107,8 +107,9 @@ type FaultModel interface {
 }
 
 // DeliveryEvent describes one successful per-receiver delivery, for
-// invariant checkers observing the wire. Raw is the delivered bytes (the
-// receiver's copy; observers must not mutate it) and Corrupted reports
+// invariant checkers observing the wire. Raw is the delivered bytes —
+// shared with the sender and every other clean receiver of the same
+// transmission, so observers must not mutate it — and Corrupted reports
 // whether the fault model damaged the frame in transit.
 //
 // lint:event — construct only under a nil-consumer guard (obszerocost).
@@ -251,7 +252,9 @@ func (i *Iface) Up() { i.up = true }
 // Send transmits raw to dst (or to every other attached interface when dst
 // is BroadcastMID). The frame's first byte is the transport kind; it is
 // used for accounting only. Send never blocks the caller: transmission and
-// delivery are scheduled in virtual time.
+// delivery are scheduled in virtual time. The bus takes ownership of raw —
+// clean deliveries share the very same bytes with every receiver — so the
+// caller must not mutate the buffer after Send.
 func (i *Iface) Send(dst frame.MID, raw []byte) {
 	b := i.bus
 	if !i.up {
@@ -308,10 +311,15 @@ func (b *Bus) scheduleDelivery(src frame.MID, target *Iface, raw []byte, at sim.
 		b.stats.FramesLost++
 		return
 	}
-	buf := make([]byte, len(raw))
-	copy(buf, raw)
+	// Receivers, taps and the decoder all treat delivered bytes as
+	// read-only, so every clean delivery can share the sender's buffer;
+	// only corruption needs a private copy to damage (other receivers of
+	// the same broadcast must still see the frame intact).
+	buf := raw
 	corrupted := false
-	if act.Corrupt && len(buf) > 0 {
+	if act.Corrupt && len(raw) > 0 {
+		buf = make([]byte, len(raw))
+		copy(buf, raw)
 		b.corrupt(buf)
 		b.stats.FramesCorrupted++
 		corrupted = true

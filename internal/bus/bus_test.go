@@ -391,21 +391,41 @@ func TestDeliveryTapSeesDeliveries(t *testing.T) {
 	}
 }
 
-func TestDeliveredPayloadIsACopy(t *testing.T) {
+// TestDeliveryBufferOwnership pins the buffer-ownership contract: Send
+// takes ownership of raw, and every clean delivery shares the sender's
+// very bytes (no per-receiver copy), while a corrupted delivery damages a
+// private copy so the other receivers of the same broadcast still see the
+// frame intact.
+func TestDeliveryBufferOwnership(t *testing.T) {
 	k := sim.New(1)
 	b := New(k, DefaultConfig())
-	var got []byte
-	if _, err := b.Attach(2, func(raw []byte) { got = raw }); err != nil {
+	var clean, damaged []byte
+	if _, err := b.Attach(2, func(raw []byte) { clean = raw }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Attach(3, func(raw []byte) { damaged = raw }); err != nil {
 		t.Fatal(err)
 	}
 	i1, _ := b.Attach(1, func([]byte) {})
-	payload := testFrame(frame.TransportData, 4)
-	i1.Send(2, payload)
-	payload[1] = 0xAA // mutate after send; receiver must see the original
+	b.SetFaultModel(judgeFunc(func(_ sim.Time, _, dst frame.MID, _ []byte) FaultAction {
+		return FaultAction{Corrupt: dst == 3}
+	}))
+	sent := wireFrame([]byte("shared payload"))
+	pristine := wireFrame([]byte("shared payload"))
+	i1.Send(frame.BroadcastMID, sent)
 	if err := k.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if got[1] != 0 {
-		t.Fatal("receiver observed sender's post-send mutation")
+	if clean == nil || damaged == nil {
+		t.Fatal("missing deliveries")
+	}
+	if &clean[0] != &sent[0] {
+		t.Fatal("clean delivery copied the buffer; want the sender's bytes shared")
+	}
+	if &damaged[0] == &sent[0] {
+		t.Fatal("corrupted delivery aliases the shared buffer")
+	}
+	if string(sent) != string(pristine) {
+		t.Fatal("corruption damaged the shared buffer in place")
 	}
 }

@@ -716,9 +716,12 @@ func (e *Endpoint) transmit(f *frame.TransportFrame) {
 	e.iface.Send(f.Dst, frame.EncodeTransport(f))
 }
 
-// receive handles a raw frame from the bus (simulation context).
+// receive handles a raw frame from the bus (simulation context). The
+// shared decode aliases the payload into the bus's buffer, which is
+// immutable by contract; everything downstream either only reads it or
+// copies at the kernel-message decode (frame.Decode's reader.bytes).
 func (e *Endpoint) receive(raw []byte) {
-	f, err := frame.DecodeTransport(raw)
+	f, err := frame.DecodeTransportShared(raw)
 	if err != nil {
 		return // CRC-damaged frames are silently discarded (§5.2.2)
 	}

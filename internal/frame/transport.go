@@ -85,7 +85,14 @@ const (
 
 // EncodeTransport serializes a transport frame.
 func EncodeTransport(f *TransportFrame) []byte {
-	dst := make([]byte, 0, f.WireSize())
+	return AppendTransport(make([]byte, 0, f.WireSize()), f)
+}
+
+// AppendTransport appends the encoding of f to dst and returns the extended
+// slice, for callers that manage their own buffers. Note that a buffer
+// handed to Iface.Send must not be reused while deliveries are in flight:
+// the bus shares the sender's bytes with every receiver.
+func AppendTransport(dst []byte, f *TransportFrame) []byte {
 	dst = append(dst, byte(f.Kind))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(f.Src))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(f.Dst))
@@ -102,8 +109,22 @@ func EncodeTransport(f *TransportFrame) []byte {
 	return append(dst, f.Payload...)
 }
 
-// DecodeTransport parses a frame produced by EncodeTransport.
+// DecodeTransport parses a frame produced by EncodeTransport. The returned
+// frame's Payload is a fresh copy, independent of b.
 func DecodeTransport(b []byte) (*TransportFrame, error) {
+	return decodeTransport(b, false)
+}
+
+// DecodeTransportShared is DecodeTransport without the payload copy: the
+// returned frame's Payload aliases b. It exists for the receive hot path,
+// where the wire buffer is immutable by contract (the bus shares one buffer
+// among all receivers and observers). Callers must treat Payload as
+// read-only and must not retain it past the buffer's lifetime.
+func DecodeTransportShared(b []byte) (*TransportFrame, error) {
+	return decodeTransport(b, true)
+}
+
+func decodeTransport(b []byte, share bool) (*TransportFrame, error) {
 	if len(b) < transportHeaderSize {
 		return nil, ErrShortFrame
 	}
@@ -128,8 +149,12 @@ func DecodeTransport(b []byte) (*TransportFrame, error) {
 		return nil, ErrShortFrame
 	}
 	if n > 0 {
-		f.Payload = make([]byte, n)
-		copy(f.Payload, b[transportHeaderSize:])
+		if share {
+			f.Payload = b[transportHeaderSize : transportHeaderSize+n : transportHeaderSize+n]
+		} else {
+			f.Payload = make([]byte, n)
+			copy(f.Payload, b[transportHeaderSize:])
+		}
 	}
 	return f, nil
 }

@@ -1,0 +1,79 @@
+// Worker-pool primitive for sharding independent simulations.
+//
+// This file is the one sanctioned home for host-level concurrency in the
+// whole tree: the sodavet nogoroutine analyzer exempts soda/internal/sim
+// precisely so that goroutines, channels and sync never leak into
+// simulation code, where they would destroy determinism. The rule that
+// keeps ParallelFor safe is isolation: each index must touch state no
+// other index touches (its own Kernel, its own result slot). Nothing here
+// may ever run inside a Kernel's event loop.
+package sim
+
+import "sync"
+
+// ParallelFor runs fn(i) for every i in [0, n) across a pool of worker
+// goroutines, blocking until all calls return. workers <= 1 degrades to a
+// plain sequential loop (no goroutines at all), which callers use to pin
+// sequential/parallel equivalence in tests.
+//
+// Each fn(i) must be independent of every other: distinct simulation
+// kernels, distinct result slots (e.g. results[i]), no shared mutable
+// state. Indexes are handed out in order but complete in any order —
+// callers that need deterministic output must order by index, never by
+// completion.
+//
+// If any fn panics, ParallelFor finishes the remaining work and then
+// re-panics the first panic value on the caller's goroutine.
+func ParallelFor(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		mu         sync.Mutex
+		firstPanic any
+		panicked   bool
+	)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if !panicked {
+					panicked = true
+					firstPanic = r
+				}
+				mu.Unlock()
+			}
+		}()
+		fn(i)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				call(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if panicked {
+		panic(firstPanic)
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]int32
+		ParallelFor(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForZeroWork(t *testing.T) {
+	called := false
+	ParallelFor(4, 0, func(int) { called = true })
+	ParallelFor(4, -3, func(int) { called = true })
+	if called {
+		t.Fatal("fn called with no work")
+	}
+}
+
+func TestParallelForSequentialWhenOneWorker(t *testing.T) {
+	// workers <= 1 must not spawn goroutines: indexes arrive in order on
+	// the caller's goroutine, so plain (unsynchronized) writes are safe.
+	var order []int
+	ParallelFor(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order = %v", order)
+		}
+	}
+}
+
+func TestParallelForPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r != "boom-3" {
+			t.Fatalf("recovered %v, want boom-3", r)
+		}
+	}()
+	var ran int32
+	ParallelFor(4, 8, func(i int) {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 {
+			panic("boom-3")
+		}
+	})
+	t.Fatal("unreachable: ParallelFor must re-panic")
+}
+
+func TestParallelForIndependentKernels(t *testing.T) {
+	// The intended use: one isolated simulation per index, results merged
+	// by index. Identical seeds must yield identical results regardless of
+	// which worker ran them.
+	const n = 16
+	var got [n]Time
+	ParallelFor(4, n, func(i int) {
+		k := New(1)
+		k.After(Time(i+1)*1000, func() {})
+		if err := k.Run(); err != nil {
+			t.Error(err)
+			return
+		}
+		got[i] = k.Now()
+	})
+	for i, v := range got {
+		if v != Time(i+1)*1000 {
+			t.Fatalf("kernel %d ended at %v, want %v", i, v, Time(i+1)*1000)
+		}
+	}
+}

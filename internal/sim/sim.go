@@ -75,6 +75,11 @@ type Kernel struct {
 	current *Proc
 	stopped bool
 	limit   uint64 // safety valve on total events processed; 0 = unlimited
+	// free recycles event structs: every Hold, timer and delivery allocates
+	// one, so the scheduler's steady-state allocation rate would otherwise
+	// scale with event throughput. The freelist is bounded by the peak
+	// number of simultaneously pending events.
+	free []*event
 }
 
 // New returns a Kernel whose random source is seeded deterministically.
@@ -111,7 +116,26 @@ func (k *Kernel) At(t Time, fn func()) {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, &event{t: t, seq: k.seq, fn: fn})
+	ev := k.newEvent()
+	ev.t, ev.seq, ev.fn = t, k.seq, fn
+	heap.Push(&k.events, ev)
+}
+
+// newEvent takes an event struct from the freelist, or allocates one.
+func (k *Kernel) newEvent() *event {
+	if n := len(k.free); n > 0 {
+		ev := k.free[n-1]
+		k.free = k.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a fully consumed event to the freelist, clearing it so
+// the retained fn closure and proc become collectable immediately.
+func (k *Kernel) recycle(ev *event) {
+	*ev = event{}
+	k.free = append(k.free, ev)
 }
 
 // After schedules fn to run d from now. Negative d is clamped to zero.
@@ -143,14 +167,19 @@ func (k *Kernel) RunUntil(deadline Time) error {
 		switch {
 		case ev.proc != nil:
 			if ev.proc.finished {
+				k.recycle(ev)
 				continue // process died before its wakeup fired
 			}
-			k.current = ev.proc
-			ev.proc.resume <- struct{}{}
+			proc := ev.proc
+			k.recycle(ev) // the resumed process may schedule new events
+			k.current = proc
+			proc.resume <- struct{}{}
 			<-k.yield
 			k.current = nil
 		default:
-			ev.fn()
+			fn := ev.fn
+			k.recycle(ev) // fn may schedule new events
+			fn()
 		}
 	}
 	if deadline >= 0 {
@@ -196,7 +225,9 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 
 func (k *Kernel) scheduleProc(p *Proc, t Time) {
 	k.seq++
-	heap.Push(&k.events, &event{t: t, seq: k.seq, proc: p})
+	ev := k.newEvent()
+	ev.t, ev.seq, ev.proc = t, k.seq, p
+	heap.Push(&k.events, ev)
 }
 
 // Name reports the name given at Spawn, for traces and error messages.

@@ -1,0 +1,162 @@
+// Driver tests: multichecker exit codes over a throwaway module, in both
+// standalone and go vet -vettool (unit .cfg) modes. External test package
+// so the real analyzers can be imported without a cycle.
+package lint_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soda/lint"
+	"soda/lint/nogoroutine"
+)
+
+// writeModule lays out a small module with one clean package, one package
+// violating the nogoroutine contract, and one whose violation is
+// suppressed with //lint:allow.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"clean/clean.go": `package clean
+
+func F() int { return 1 }
+`,
+		"dirty/dirty.go": `package dirty
+
+func Leak() {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	<-ch
+}
+`,
+		"suppressed/s.go": `package suppressed
+
+func Pool() {
+	done := make(chan struct{}) //lint:allow nogoroutine (test fixture: sanctioned pool)
+	//lint:allow nogoroutine (test fixture: sanctioned pool)
+	go close(done)
+	//lint:allow nogoroutine (test fixture: sanctioned pool)
+	<-done
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// chdir is os.Chdir with test-scoped restore (the driver resolves patterns
+// and the module root against the working directory).
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chdir(old) })
+}
+
+func TestMainStandaloneExitCodes(t *testing.T) {
+	root := writeModule(t)
+	chdir(t, root)
+	analyzers := []*lint.Analyzer{nogoroutine.Analyzer}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean package", []string{"./clean"}, 0},
+		{"dirty package", []string{"./dirty"}, 1},
+		{"suppressed package", []string{"./suppressed"}, 0},
+		{"whole module", []string{"./..."}, 1},
+		{"all keyword", []string{"all"}, 1},
+		{"import path", []string{"tmpmod/dirty"}, 1},
+		{"import subtree", []string{"tmpmod/clean/..."}, 0},
+		{"clean plus suppressed", []string{"./clean", "./suppressed"}, 0},
+		{"no such package", []string{"./nonexistent"}, 2},
+		{"no args", nil, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := lint.Main(tc.args, analyzers); got != tc.want {
+				t.Fatalf("Main(%v) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMainVetProtocolHandshake(t *testing.T) {
+	// The go command probes a vettool with -flags and -V=full before
+	// handing it any work; both must succeed without a module present.
+	if got := lint.Main([]string{"-flags"}, nil); got != 0 {
+		t.Fatalf("Main(-flags) = %d, want 0", got)
+	}
+	if got := lint.Main([]string{"-V=full"}, nil); got != 0 {
+		t.Fatalf("Main(-V=full) = %d, want 0", got)
+	}
+}
+
+func TestMainVetUnitMode(t *testing.T) {
+	root := writeModule(t)
+	analyzers := []*lint.Analyzer{nogoroutine.Analyzer}
+
+	writeCfg := func(name string, cfg map[string]any) string {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(root, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	dirtyCfg := writeCfg("dirty.cfg", map[string]any{
+		"Dir":        filepath.Join(root, "dirty"),
+		"ImportPath": "tmpmod/dirty",
+		"GoFiles":    []string{"dirty.go"},
+	})
+	if got := lint.Main([]string{dirtyCfg}, analyzers); got != 1 {
+		t.Fatalf("unit mode on dirty package = %d, want 1", got)
+	}
+
+	suppressedCfg := writeCfg("suppressed.cfg", map[string]any{
+		"Dir":        filepath.Join(root, "suppressed"),
+		"ImportPath": "tmpmod/suppressed",
+		"GoFiles":    []string{"s.go"},
+	})
+	if got := lint.Main([]string{suppressedCfg}, analyzers); got != 0 {
+		t.Fatalf("unit mode on suppressed package = %d, want 0", got)
+	}
+
+	// Dependency packages (outside the module) are skipped, not failed:
+	// the go command drives the tool over every import.
+	depCfg := writeCfg("dep.cfg", map[string]any{
+		"Dir":        filepath.Join(root, "dirty"),
+		"ImportPath": "example.com/other/pkg",
+		"GoFiles":    []string{"dirty.go"},
+	})
+	if got := lint.Main([]string{depCfg}, analyzers); got != 0 {
+		t.Fatalf("unit mode on dependency package = %d, want 0", got)
+	}
+
+	if got := lint.Main([]string{filepath.Join(root, "missing.cfg")}, analyzers); got != 2 {
+		t.Fatal("unreadable .cfg did not exit 2")
+	}
+}

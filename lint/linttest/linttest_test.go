@@ -1,0 +1,38 @@
+package linttest_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"soda/lint"
+	"soda/lint/linttest"
+)
+
+// flagBad reports every function whose name starts with "Bad" — a minimal
+// analyzer whose findings are fully predictable, so the golden-matching
+// machinery itself is under test: backquoted and double-quoted want
+// regexps must match, unflagged lines must stay silent, and //lint:allow
+// must suppress.
+var flagBad = &lint.Analyzer{
+	Name: "flagbad",
+	Doc:  "test analyzer: flags functions named Bad*",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				name := fd.Name.Name
+				if len(name) >= 3 && name[:3] == "Bad" {
+					pass.Reportf(fd.Pos(), "function %s is flagged", name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestGoldenDiagnosticMatching(t *testing.T) {
+	linttest.Run(t, "testdata/src/flagbad", flagBad)
+}

@@ -1,0 +1,14 @@
+// Golden data for linttest's own test: the flagbad analyzer reports every
+// function whose name starts with Bad. Both want-comment quoting forms are
+// exercised, plus a //lint:allow suppression that must be honored (no want
+// on that line — linttest fails if a diagnostic survives there).
+package flagbad
+
+func BadOne() {} // want `function BadOne is flagged`
+
+func Good() {}
+
+func BadTwo() {} // want "function Bad[A-Za-z]+ is flagged"
+
+//lint:allow flagbad (suppressed in golden data)
+func BadThree() {}

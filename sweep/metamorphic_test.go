@@ -1,0 +1,73 @@
+package sweep_test
+
+import (
+	"testing"
+	"time"
+
+	"soda/sweep"
+)
+
+// TestMetamorphicTraceHashes extends the obs/ bit-identical-run guarantees
+// to the sweep layer: for the same matrix, the per-run trace hashes must
+// be identical across all four execution modes —
+//
+//	bare sequential, bare parallel, instrumented sequential,
+//	instrumented parallel
+//
+// i.e. neither attaching the full observability stack (tracer + metrics +
+// checkers) nor sharding across workers may perturb a single frame of any
+// run.
+func TestMetamorphicTraceHashes(t *testing.T) {
+	base := sweep.Spec{
+		Scenario:  "philosophers",
+		Seeds:     []int64{1, 7},
+		PlanSeeds: []int64{0, 11},
+		Nodes:     []int{5},
+		Horizon:   2 * time.Second,
+	}
+	instrumented := base
+	instrumented.Instrument = true
+	instrumented.Checks = true
+
+	type mode struct {
+		name    string
+		spec    sweep.Spec
+		workers int
+	}
+	modes := []mode{
+		{"bare/sequential", base, 1},
+		{"bare/parallel", base, 4},
+		{"instrumented/sequential", instrumented, 1},
+		{"instrumented/parallel", instrumented, 4},
+	}
+
+	hashes := make([][]string, len(modes))
+	for i, m := range modes {
+		rep, err := sweep.Run(m.spec, m.workers)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if len(rep.Runs) != 4 {
+			t.Fatalf("%s: %d runs, want 4", m.name, len(rep.Runs))
+		}
+		hs := make([]string, len(rep.Runs))
+		for j, r := range rep.Runs {
+			if r.Err != "" {
+				t.Fatalf("%s: run %v failed: %s", m.name, r.Key, r.Err)
+			}
+			if r.FramesSent == 0 {
+				t.Fatalf("%s: run %v sent no frames", m.name, r.Key)
+			}
+			hs[j] = r.TraceHash
+		}
+		hashes[i] = hs
+	}
+	for i := 1; i < len(modes); i++ {
+		for j := range hashes[0] {
+			if hashes[i][j] != hashes[0][j] {
+				t.Errorf("run %d: %s hash %s != %s hash %s",
+					j, modes[i].name, hashes[i][j], modes[0].name, hashes[0][j])
+			}
+		}
+	}
+}

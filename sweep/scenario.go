@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"soda"
+	"soda/apps/fileserver"
+	"soda/apps/philo"
+	"soda/timesrv"
+)
+
+// Scenario is a sweepable workload: Build populates a fresh network with
+// nodes 1..n, boots every program, and schedules whatever end-of-run
+// winding-down the workload needs so in-flight requests drain before the
+// horizon (the invariant checkers treat requests still open at the cutoff
+// as unresolved). Build must be deterministic and must not retain state
+// across calls — the engine invokes it once per run, concurrently.
+type Scenario struct {
+	// MinNodes is the smallest network the workload makes sense on.
+	MinNodes int
+	// Build wires the workload into nw for a run of the given horizon.
+	Build func(nw *soda.Network, nodes int, horizon time.Duration)
+}
+
+// scenarios is the built-in registry. Both entries scale with the node
+// count, so the matrix's Nodes axis is meaningful.
+var scenarios = map[string]Scenario{
+	// fileserver: the §4.4 file service on node 1, with n-1 clients
+	// looping find/open/read/close sessions against it. Clients stop at
+	// 3/4 of the horizon — the same quiet tail faults.Generate leaves —
+	// so the network drains before the cutoff.
+	"fileserver": {
+		MinNodes: 2,
+		Build: func(nw *soda.Network, nodes int, horizon time.Duration) {
+			nw.Register("fs", fileserver.Server(map[string][]byte{
+				"motd":  []byte("hello from the sweep"),
+				"zeros": make([]byte, 256),
+			}, 32))
+			nw.Register("client", soda.Program{
+				Task: func(c *soda.Client) {
+					stop := horizon * 3 / 4
+					for c.Now() < stop {
+						srv, ok := fileserver.Find(c)
+						if !ok {
+							c.Hold(200 * time.Millisecond)
+							continue
+						}
+						f, err := fileserver.Open(c, srv, "motd")
+						if err != nil {
+							c.Hold(100 * time.Millisecond)
+							continue
+						}
+						_, _ = f.Read(64)
+						_ = f.Close()
+						c.Hold(50 * time.Millisecond)
+					}
+				},
+			})
+			nw.MustAddNode(1)
+			nw.MustBoot(1, "fs")
+			for mid := soda.MID(2); int(mid) <= nodes; mid++ {
+				nw.MustAddNode(mid)
+				nw.MustBoot(mid, "client")
+			}
+		},
+	},
+	// philosophers: the §4.4 dining ring — timeserver on node 1, a ring
+	// of n-1 philosophers on nodes 2..n. The ring never stops on its own,
+	// so every client is killed at 7/8 of the horizon to drain.
+	"philosophers": {
+		MinNodes: 4,
+		Build: func(nw *soda.Network, nodes int, horizon time.Duration) {
+			nw.Register("timesrv", timesrv.Program(16))
+			nw.MustAddNode(1)
+			nw.MustBoot(1, "timesrv")
+			ring := make([]soda.MID, nodes-1)
+			for i := range ring {
+				ring[i] = soda.MID(i + 2)
+			}
+			for i, mid := range ring {
+				left := ring[(i-1+len(ring))%len(ring)]
+				name := fmt.Sprintf("phil%d", i)
+				nw.Register(name, philo.Philosopher(left, 0,
+					50*time.Millisecond, 30*time.Millisecond, nil))
+				nw.MustAddNode(mid)
+				nw.MustBoot(mid, name)
+			}
+			nw.At(horizon*7/8, func() {
+				for _, mid := range ring {
+					nw.Node(mid).Die()
+				}
+				nw.Node(1).Die()
+			})
+		},
+	},
+}
+
+// Scenarios lists the registered scenario names in sorted order.
+func Scenarios() []string {
+	names := make([]string, 0, len(scenarios))
+	//lint:allow mapiterorder (names are sorted immediately below)
+	for name := range scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,312 @@
+// Package sweep runs matrices of independent deterministic simulations —
+// every combination of scenario seed, generated fault-plan seed, and node
+// count — and merges the results into one aggregate report.
+//
+// The engine shards runs across host worker goroutines (sim.ParallelFor,
+// the tree's one sanctioned concurrency zone) while keeping each run a
+// completely isolated simulation: its own kernel, bus, nodes, fault plan
+// and observers. Results are merged by run key, never by completion order,
+// so a parallel sweep is byte-identical to a sequential sweep of the same
+// matrix — concurrency across runs, determinism within each. The test
+// battery in sweep_test.go and metamorphic_test.go pins exactly that.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"soda"
+	"soda/faults"
+	"soda/internal/sim"
+	"soda/obs"
+)
+
+// Spec describes a sweep matrix: the cross product of Seeds × PlanSeeds ×
+// Nodes for one scenario. The zero values of the optional fields mean
+// "fault-free" (PlanSeeds) and "bare" (Instrument, Checks).
+type Spec struct {
+	// Scenario names a registered workload (see Scenarios()).
+	Scenario string `json:"scenario"`
+	// Seeds are the simulation seeds; one run per seed per cell.
+	Seeds []int64 `json:"seeds"`
+	// PlanSeeds seed faults.Generate for each run's fault plan. Plan seed
+	// 0 is special: no fault plan at all (the fault-free column every
+	// sweep should keep as its control).
+	PlanSeeds []int64 `json:"plan_seeds"`
+	// Nodes lists the network sizes to sweep.
+	Nodes []int `json:"nodes"`
+	// Horizon is the virtual-time extent of every run.
+	Horizon time.Duration `json:"horizon_ns"`
+	// Instrument attaches an obs.Tracer and obs.Registry to every run and
+	// records a per-run Profile. The metamorphic battery pins that this
+	// never changes a run's trace hash.
+	Instrument bool `json:"instrument,omitempty"`
+	// Checks arms the faults invariant checkers on every run; violations
+	// land in RunResult.Violations.
+	Checks bool `json:"checks,omitempty"`
+}
+
+// RunKey identifies one cell of the matrix. Report order is the key order:
+// scenario, then node count, then seed, then plan seed.
+type RunKey struct {
+	Scenario string `json:"scenario"`
+	Nodes    int    `json:"nodes"`
+	Seed     int64  `json:"seed"`
+	PlanSeed int64  `json:"plan_seed"`
+}
+
+func (k RunKey) String() string {
+	return fmt.Sprintf("%s/n%d/seed%d/plan%d", k.Scenario, k.Nodes, k.Seed, k.PlanSeed)
+}
+
+func (k RunKey) less(o RunKey) bool {
+	if k.Scenario != o.Scenario {
+		return k.Scenario < o.Scenario
+	}
+	if k.Nodes != o.Nodes {
+		return k.Nodes < o.Nodes
+	}
+	if k.Seed != o.Seed {
+		return k.Seed < o.Seed
+	}
+	return k.PlanSeed < o.PlanSeed
+}
+
+// RunResult is the deterministic record of one run. Every field derives
+// from virtual time and the seeded simulation alone — no wall-clock data
+// belongs here, so sequential and parallel sweeps can be compared byte for
+// byte.
+type RunResult struct {
+	Key RunKey `json:"key"`
+	// TraceHash is the FNV-64a hash of the run's frame log (the same
+	// per-transmission lines Network.Trace writes), in hex.
+	TraceHash string `json:"trace_hash"`
+	// VirtualUS is the virtual clock at the end of the run.
+	VirtualUS int64 `json:"virtual_us"`
+	// Wire counters, always collected (they come from bus stats).
+	FramesSent      uint64 `json:"frames_sent"`
+	FramesLost      uint64 `json:"frames_lost"`
+	Retransmissions uint64 `json:"retransmissions"`
+	// Violations and Unresolved report the invariant checkers' verdict
+	// (Spec.Checks only).
+	Violations []string `json:"violations,omitempty"`
+	Unresolved int      `json:"unresolved,omitempty"`
+	// Profile is the run's full observability profile (Spec.Instrument
+	// only); byte-deterministic like everything else here.
+	Profile *obs.Profile `json:"profile,omitempty"`
+	// Err records a run that failed to complete (event-limit blowout);
+	// the sweep still reports every other cell.
+	Err string `json:"error,omitempty"`
+}
+
+// Digest summarizes one statistic across the runs of a sweep. Percentiles
+// are nearest-rank over the sorted per-run values.
+type Digest struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+func digest(vals []float64) Digest {
+	if len(vals) == 0 {
+		return Digest{}
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return Digest{
+		Count: len(sorted),
+		Min:   sorted[0],
+		P50:   rank(0.50),
+		P90:   rank(0.90),
+		P99:   rank(0.99),
+		Max:   sorted[len(sorted)-1],
+		Mean:  sum / float64(len(sorted)),
+	}
+}
+
+// Aggregate summarizes the whole matrix: wire-level digests always, and
+// cross-run REQUEST latency digests when the sweep was instrumented (each
+// run contributes its own p50/p90/p99, and the digest spreads those across
+// the matrix).
+type Aggregate struct {
+	Runs            int    `json:"runs"`
+	Failed          int    `json:"failed,omitempty"`
+	TotalViolations int    `json:"total_violations,omitempty"`
+	FramesSent      Digest `json:"frames_sent"`
+	Retransmissions Digest `json:"retransmissions"`
+	RequestP50US    Digest `json:"request_p50_us"`
+	RequestP90US    Digest `json:"request_p90_us"`
+	RequestP99US    Digest `json:"request_p99_us"`
+}
+
+// Report is the merged outcome of a sweep, ordered by run key. Its JSON
+// form is byte-deterministic: same Spec, same Report, regardless of worker
+// count or completion order.
+type Report struct {
+	Spec      Spec        `json:"spec"`
+	Runs      []RunResult `json:"runs"`
+	Aggregate Aggregate   `json:"aggregate"`
+}
+
+// Write emits the report as indented JSON (deterministic: encoding/json
+// sorts map keys, and Runs is key-ordered).
+func (r *Report) Write(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Keys expands the spec's matrix in report order, validating it first.
+func (s Spec) Keys() ([]RunKey, error) {
+	sc, ok := scenarios[s.Scenario]
+	if !ok {
+		return nil, fmt.Errorf("sweep: unknown scenario %q (have %v)", s.Scenario, Scenarios())
+	}
+	if len(s.Seeds) == 0 || len(s.Nodes) == 0 {
+		return nil, fmt.Errorf("sweep: empty matrix: need at least one seed and one node count")
+	}
+	if s.Horizon <= 0 {
+		return nil, fmt.Errorf("sweep: horizon must be positive")
+	}
+	planSeeds := s.PlanSeeds
+	if len(planSeeds) == 0 {
+		planSeeds = []int64{0}
+	}
+	for _, ps := range planSeeds {
+		if ps != 0 && s.Horizon < time.Second {
+			return nil, fmt.Errorf("sweep: horizon %v too short for generated fault plans (need >= 1s)", s.Horizon)
+		}
+	}
+	var keys []RunKey
+	for _, n := range s.Nodes {
+		if n < sc.MinNodes {
+			return nil, fmt.Errorf("sweep: scenario %q needs at least %d nodes, got %d", s.Scenario, sc.MinNodes, n)
+		}
+		for _, seed := range s.Seeds {
+			for _, ps := range planSeeds {
+				keys = append(keys, RunKey{Scenario: s.Scenario, Nodes: n, Seed: seed, PlanSeed: ps})
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	return keys, nil
+}
+
+// Run executes the matrix across the given number of workers (<= 1 means
+// strictly sequential, with no goroutines at all) and merges the results
+// in key order. The report is independent of the worker count.
+func Run(spec Spec, workers int) (*Report, error) {
+	keys, err := spec.Keys()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]RunResult, len(keys))
+	sim.ParallelFor(workers, len(keys), func(i int) {
+		results[i] = runOne(spec, keys[i])
+	})
+	rep := &Report{Spec: spec, Runs: results}
+	rep.Aggregate = aggregate(results)
+	return rep, nil
+}
+
+// runOne executes a single, fully isolated simulation.
+func runOne(spec Spec, key RunKey) RunResult {
+	sc := scenarios[key.Scenario]
+	opts := []soda.Option{soda.WithSeed(key.Seed)}
+	if key.PlanSeed != 0 {
+		mids := make([]faults.MID, key.Nodes)
+		for i := range mids {
+			mids[i] = faults.MID(i + 1)
+		}
+		plan := faults.Generate(rand.New(rand.NewSource(key.PlanSeed)), faults.GenConfig{
+			Horizon: spec.Horizon,
+			MIDs:    mids,
+		})
+		opts = append(opts, soda.WithFaultPlan(plan))
+	}
+	if spec.Checks {
+		opts = append(opts, soda.WithInvariantChecks())
+	}
+	var reg *obs.Registry
+	if spec.Instrument {
+		reg = obs.NewRegistry()
+		opts = append(opts, soda.WithMetrics(reg), soda.WithTracer(obs.NewTracer()))
+	}
+	nw := soda.NewNetwork(opts...)
+	h := fnv.New64a()
+	nw.Trace(h)
+	sc.Build(nw, key.Nodes, spec.Horizon)
+
+	res := RunResult{Key: key}
+	if err := nw.Run(spec.Horizon); err != nil {
+		res.Err = err.Error()
+	}
+	res.TraceHash = fmt.Sprintf("%016x", h.Sum64())
+	res.VirtualUS = nw.Now().Microseconds()
+	st := nw.Stats()
+	res.FramesSent = st.FramesSent
+	res.FramesLost = st.FramesLost
+	res.Retransmissions = st.Retransmissions
+	if ch := nw.Invariants(); ch != nil {
+		res.Violations = ch.Finish()
+		res.Unresolved = len(ch.Unresolved())
+	}
+	if spec.Instrument {
+		res.Profile = nw.Profile(key.String())
+	}
+	return res
+}
+
+func aggregate(runs []RunResult) Aggregate {
+	agg := Aggregate{Runs: len(runs)}
+	var sent, retrans, p50, p90, p99 []float64
+	for i := range runs {
+		r := &runs[i]
+		if r.Err != "" {
+			agg.Failed++
+		}
+		agg.TotalViolations += len(r.Violations)
+		sent = append(sent, float64(r.FramesSent))
+		retrans = append(retrans, float64(r.Retransmissions))
+		if r.Profile != nil {
+			if hs, ok := r.Profile.Primitives[obs.PrimRequest]; ok {
+				p50 = append(p50, float64(hs.P50US))
+				p90 = append(p90, float64(hs.P90US))
+				p99 = append(p99, float64(hs.P99US))
+			}
+		}
+	}
+	agg.FramesSent = digest(sent)
+	agg.Retransmissions = digest(retrans)
+	agg.RequestP50US = digest(p50)
+	agg.RequestP90US = digest(p90)
+	agg.RequestP99US = digest(p99)
+	return agg
+}
