@@ -8,9 +8,12 @@
 //	sodabench -table breakdown     # the overhead breakdown table (E2)
 //	sodabench -table modcmp        # the SODA vs *MOD comparison (E3)
 //	sodabench -table deltat        # the Delta-t situations figure (E4)
+//	sodabench -table window        # the sliding-window sweep (DESIGN.md §11)
 //	sodabench -ops 100             # more operations per cell
 //	sodabench -profile BENCH_table61.json   # machine-readable run profile
 //	sodabench -table none -profile f.json   # profile only, no tables
+//	sodabench -table none -window BENCH_window.json       # write the window artifact
+//	sodabench -table none -windowcheck BENCH_window.json  # regression-gate against it
 //
 // All times are virtual milliseconds from the calibrated simulation; the
 // shapes — who wins, by what factor, where the crossovers fall — are the
@@ -27,9 +30,11 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: performance, breakdown, modcmp, deltat, all, none")
+	table := flag.String("table", "all", "table to print: performance, breakdown, modcmp, deltat, window, all, none")
 	ops := flag.Int("ops", 50, "measured operations per cell")
 	profile := flag.String("profile", "", "write the Table 6.1 scenario's machine-readable run profile (JSON) to this file")
+	windowOut := flag.String("window", "", "write the sliding-window sweep artifact (BENCH_window.json format) to this file")
+	windowCheck := flag.String("windowcheck", "", "re-measure the window sweep and regression-gate it against this artifact")
 	flag.Parse()
 
 	switch *table {
@@ -41,6 +46,8 @@ func main() {
 		printModComparison(*ops)
 	case "deltat":
 		printDeltaT()
+	case "window":
+		printWindow(*ops)
 	case "all":
 		printPerformance(*ops)
 		fmt.Println()
@@ -49,6 +56,8 @@ func main() {
 		printModComparison(*ops)
 		fmt.Println()
 		printDeltaT()
+		fmt.Println()
+		printWindow(*ops)
 	case "none":
 		// Profile-only mode (CI bench-smoke).
 	default:
@@ -58,6 +67,18 @@ func main() {
 
 	if *profile != "" {
 		if err := writeProfile(*profile, *ops); err != nil {
+			fmt.Fprintf(os.Stderr, "sodabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *windowOut != "" {
+		if err := writeWindow(*windowOut, *ops); err != nil {
+			fmt.Fprintf(os.Stderr, "sodabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *windowCheck != "" {
+		if err := checkWindow(*windowCheck, *ops); err != nil {
 			fmt.Fprintf(os.Stderr, "sodabench: %v\n", err)
 			os.Exit(1)
 		}
@@ -143,6 +164,77 @@ func printModComparison(ops int) {
 	for _, row := range bench.MeasureModComparison(ops) {
 		fmt.Printf("  %-44s %6.1f ms\n", row.Name, ms(row.PerOp))
 	}
+}
+
+func printWindow(ops int) {
+	s := bench.MeasureWindowSweep(bench.DefaultWindowWords, bench.DefaultWindows, ops)
+	fmt.Printf("Sliding-Window Bulk Transfer (DESIGN.md §11; %d-word pipelined %s, virtual time)\n",
+		s.Words, s.Op)
+	fmt.Printf("  %-8s %10s %10s %9s %7s %8s %9s\n",
+		"Window", "ms/op", "frames/op", "speedup", "fills", "cumacks", "retrans")
+	for _, r := range s.Rows {
+		fmt.Printf("  %-8d %10.1f %10.1f %8.2fx %7d %8d %9d\n",
+			r.Window, float64(r.PerOpUS)/1000, r.FramesPerOp, r.SpeedupVsW1,
+			r.WindowFills, r.CumulativeAcks, r.FragRetransmits)
+	}
+}
+
+// writeWindow regenerates the BENCH_window.json artifact.
+func writeWindow(path string, ops int) error {
+	s := bench.MeasureWindowSweep(bench.DefaultWindowWords, bench.DefaultWindows, ops)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("window sweep: %s written (%d ops per row)\n", path, s.Ops)
+	return nil
+}
+
+// checkWindow re-measures the window sweep at the artifact's own op count
+// and gates two regressions: the window=1 stop-and-wait baseline must not
+// get slower than the checked-in figure (exact virtual time, so any drift
+// is a real transport change), and window=4 must keep its >=2x speedup on
+// the 1000-word pipelined PUT. Used by the CI window-bench job.
+func checkWindow(path string, ops int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	want, err := bench.ReadWindowSweep(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if want.Ops > 0 {
+		ops = want.Ops
+	}
+	got := bench.MeasureWindowSweep(want.Words, bench.DefaultWindows, ops)
+	w1, w1want := got.Row(1), want.Row(1)
+	if w1 == nil || w1want == nil {
+		return fmt.Errorf("window sweep missing the window=1 baseline row")
+	}
+	if w1.PerOpUS > w1want.PerOpUS {
+		return fmt.Errorf("window=1 regression: %d us/op, checked-in baseline %d us/op (virtual time is deterministic — this is a real stop-and-wait slowdown; if intentional, regenerate %s)",
+			w1.PerOpUS, w1want.PerOpUS, path)
+	}
+	w4 := got.Row(4)
+	if w4 == nil {
+		return fmt.Errorf("window sweep missing the window=4 row")
+	}
+	if w4.SpeedupVsW1 < 2.0 {
+		return fmt.Errorf("window=4 speedup %.2fx < 2.0x (per-op %d us vs baseline %d us)",
+			w4.SpeedupVsW1, w4.PerOpUS, w1.PerOpUS)
+	}
+	fmt.Printf("window sweep check ok: window=1 %d us/op (baseline %d), window=4 speedup %.2fx\n",
+		w1.PerOpUS, w1want.PerOpUS, w4.SpeedupVsW1)
+	return nil
 }
 
 func printDeltaT() {

@@ -37,6 +37,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	instrument := flag.Bool("instrument", false, "attach tracer+metrics and embed per-run profiles")
 	check := flag.Bool("check", true, "arm the invariant checkers; violations exit non-zero")
+	window := flag.Int("window", 0, "transport sliding-window depth on every node (<=1 = stop-and-wait)")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	benchOut := flag.String("bench", "", "write a BENCH_sweep.json throughput artifact here")
 	flag.Parse()
@@ -46,6 +47,7 @@ func main() {
 		Horizon:    *horizon,
 		Instrument: *instrument,
 		Checks:     *check,
+		Window:     *window,
 	}
 	for s := int64(1); s <= int64(*seeds); s++ {
 		spec.Seeds = append(spec.Seeds, s)

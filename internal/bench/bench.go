@@ -53,6 +53,11 @@ type Result struct {
 	PerOp       time.Duration
 	FramesPerOp float64
 	Ops         int
+	// Windowed-transport counters for the whole run (including warmup);
+	// zero on the stop-and-wait path.
+	WindowFills     uint64
+	CumulativeAcks  uint64
+	FragRetransmits uint64
 }
 
 // Config selects the measurement variant.
@@ -67,6 +72,10 @@ type Config struct {
 	// Queued makes the server accept from a task-side queue instead of
 	// immediately in the handler (the port-style 10.0 ms case of §5.5).
 	Queued bool
+	// Window sets the transport's sliding-window depth in messages
+	// (deltat.Config.Window, DESIGN.md §11); <= 1 measures the
+	// paper-faithful stop-and-wait path.
+	Window int
 	// Ops is the measured operation count (after warmup); default 50.
 	Ops int
 }
@@ -136,6 +145,7 @@ func MeasureOp(cfg Config) Result {
 
 	nodeCfg := soda.DefaultNodeConfig()
 	nodeCfg.Pipelined = cfg.Pipelined
+	nodeCfg.Transport.Window = cfg.Window
 	nw := soda.NewNetwork(soda.WithNodeConfig(nodeCfg))
 	nw.Register("server", server(cfg))
 
@@ -215,10 +225,14 @@ func MeasureOp(cfg Config) Result {
 		panic(fmt.Sprintf("bench: %v words=%d never finished", cfg.Op, cfg.Words))
 	}
 	n := total - warmup
+	st := nw.Stats()
 	return Result{
-		PerOp:       (finishAt - startAt) / time.Duration(n),
-		FramesPerOp: float64(endFrames-startFrames) / float64(n),
-		Ops:         n,
+		PerOp:           (finishAt - startAt) / time.Duration(n),
+		FramesPerOp:     float64(endFrames-startFrames) / float64(n),
+		Ops:             n,
+		WindowFills:     st.WindowFills,
+		CumulativeAcks:  st.CumulativeAcks,
+		FragRetransmits: st.FragmentRetransmits,
 	}
 }
 

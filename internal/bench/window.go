@@ -1,0 +1,111 @@
+// Window-sweep measurement: per-operation virtual time of a bulk PUT
+// stream as a function of the transport's sliding-window depth
+// (deltat.Config.Window, DESIGN.md §11). Window=1 is the paper-faithful
+// stop-and-wait baseline; larger windows pipeline fragments and amortize
+// the per-message round trip. cmd/sodabench -table window prints the sweep
+// and -window writes it as the BENCH_window.json artifact CI regenerates.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// DefaultWindowWords is the message size of the standard window sweep:
+// the performance table's largest cell (1000 PDP-11 words).
+const DefaultWindowWords = 1000
+
+// DefaultWindows is the window-depth axis of the standard sweep.
+var DefaultWindows = []int{1, 2, 4, 8}
+
+// WindowRow is one cell of the window sweep.
+type WindowRow struct {
+	Window      int     `json:"window"`
+	PerOpUS     int64   `json:"per_op_us"`
+	FramesPerOp float64 `json:"frames_per_op"`
+	// SpeedupVsW1 is the window=1 per-op time divided by this row's.
+	SpeedupVsW1     float64 `json:"speedup_vs_w1"`
+	WindowFills     uint64  `json:"window_fills"`
+	CumulativeAcks  uint64  `json:"cumulative_acks"`
+	FragRetransmits uint64  `json:"frag_retransmits"`
+}
+
+// WindowSweep is the machine-readable window-sweep record (the
+// BENCH_window.json format). All times are deterministic virtual
+// microseconds, so the artifact diffs cleanly across code changes and CI
+// can compare regenerated numbers exactly.
+type WindowSweep struct {
+	Description string      `json:"description"`
+	Command     string      `json:"command"`
+	Op          string      `json:"op"`
+	Words       int         `json:"words"`
+	Pipelined   bool        `json:"pipelined"`
+	Ops         int         `json:"ops"`
+	Rows        []WindowRow `json:"rows"`
+}
+
+// MeasureWindowSweep runs the streaming pipelined PUT measurement at each
+// window depth. The first row is forced to window<=1 so every row's
+// speedup is relative to the stop-and-wait baseline.
+func MeasureWindowSweep(words int, windows []int, ops int) WindowSweep {
+	if words <= 0 {
+		words = DefaultWindowWords
+	}
+	if len(windows) == 0 {
+		windows = DefaultWindows
+	}
+	sweep := WindowSweep{
+		Description: "Per-operation virtual time of a streaming pipelined PUT vs the Delta-t transport's sliding-window depth (DESIGN.md §11). window=1 is the paper-faithful stop-and-wait transport — bit-identical to the pre-window code — and must never regress; larger windows fragment and pipeline the message stream. Deterministic virtual time: CI regenerates this file and compares exactly.",
+		Command:     fmt.Sprintf("go run ./cmd/sodabench -table window -ops %d", ops),
+		Op:          OpPut.String(),
+		Words:       words,
+		Pipelined:   true,
+		Ops:         ops,
+	}
+	var basePerOp time.Duration
+	for i, w := range windows {
+		r := MeasureOp(Config{Op: OpPut, Words: words, Pipelined: true, Window: w, Ops: ops})
+		if i == 0 {
+			basePerOp = r.PerOp
+		}
+		row := WindowRow{
+			Window:          w,
+			PerOpUS:         int64(r.PerOp / time.Microsecond),
+			FramesPerOp:     r.FramesPerOp,
+			WindowFills:     r.WindowFills,
+			CumulativeAcks:  r.CumulativeAcks,
+			FragRetransmits: r.FragRetransmits,
+		}
+		if r.PerOp > 0 {
+			row.SpeedupVsW1 = float64(basePerOp) / float64(r.PerOp)
+		}
+		sweep.Rows = append(sweep.Rows, row)
+	}
+	return sweep
+}
+
+// Write emits the sweep as indented JSON (the BENCH_window.json format).
+func (s WindowSweep) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadWindowSweep parses a BENCH_window.json artifact.
+func ReadWindowSweep(r io.Reader) (WindowSweep, error) {
+	var s WindowSweep
+	err := json.NewDecoder(r).Decode(&s)
+	return s, err
+}
+
+// Row returns the sweep row for window depth w, or nil.
+func (s WindowSweep) Row(w int) *WindowRow {
+	for i := range s.Rows {
+		if s.Rows[i].Window == w {
+			return &s.Rows[i]
+		}
+	}
+	return nil
+}

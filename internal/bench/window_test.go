@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMeasureWindowSweep runs a miniature sweep and checks the artifact's
+// structural invariants: the first row is the speedup baseline, every row
+// carries the measured counters, and deeper windows never lose to
+// stop-and-wait on a bulk pipelined stream.
+func TestMeasureWindowSweep(t *testing.T) {
+	s := MeasureWindowSweep(600, []int{1, 4}, 6)
+	if s.Words != 600 || s.Ops != 6 || !s.Pipelined || s.Op != OpPut.String() {
+		t.Fatalf("sweep header wrong: %+v", s)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(s.Rows))
+	}
+	base := s.Row(1)
+	if base == nil || base.SpeedupVsW1 != 1 {
+		t.Fatalf("baseline row = %+v, want speedup 1", base)
+	}
+	w4 := s.Row(4)
+	if w4 == nil {
+		t.Fatal("window=4 row missing")
+	}
+	if w4.PerOpUS <= 0 || base.PerOpUS <= 0 {
+		t.Fatalf("non-positive per-op times: %d, %d", base.PerOpUS, w4.PerOpUS)
+	}
+	if w4.PerOpUS > base.PerOpUS {
+		t.Fatalf("window=4 slower than stop-and-wait: %d vs %d us/op", w4.PerOpUS, base.PerOpUS)
+	}
+	if w4.SpeedupVsW1 <= 1 {
+		t.Fatalf("window=4 speedup %.2f, want > 1", w4.SpeedupVsW1)
+	}
+	if base.CumulativeAcks != 0 {
+		t.Fatalf("stop-and-wait run counted %d cumulative acks", base.CumulativeAcks)
+	}
+	if w4.CumulativeAcks == 0 {
+		t.Fatal("windowed run counted no cumulative acks")
+	}
+	if s.Row(8) != nil {
+		t.Fatal("Row(8) found a row that was never measured")
+	}
+}
+
+// TestWindowSweepRoundTrip: Write → ReadWindowSweep is the identity on the
+// BENCH_window.json format.
+func TestWindowSweepRoundTrip(t *testing.T) {
+	s := MeasureWindowSweep(0, nil, 3) // defaults: DefaultWindowWords × DefaultWindows
+	if s.Words != DefaultWindowWords || len(s.Rows) != len(DefaultWindows) {
+		t.Fatalf("defaults not applied: words=%d rows=%d", s.Words, len(s.Rows))
+	}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWindowSweep(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(s.Rows) || back.Description != s.Description {
+		t.Fatalf("round trip changed the sweep: %+v", back)
+	}
+	for i := range s.Rows {
+		if back.Rows[i] != s.Rows[i] {
+			t.Fatalf("row %d changed: %+v vs %+v", i, back.Rows[i], s.Rows[i])
+		}
+	}
+}

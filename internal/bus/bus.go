@@ -76,8 +76,19 @@ type Stats struct {
 	// PeerDeadTimeouts counts sends abandoned after MPL+Δt of silence
 	// (the transport reported the destination dead).
 	PeerDeadTimeouts uint64
-	BytesSent        uint64
-	ByKind           map[frame.TransportKind]uint64
+	// WindowFills counts sends that had to queue because the sliding
+	// window (Config.Window messages) toward the destination was full —
+	// the windowed transport's analogue of stop-and-wait head-of-line
+	// blocking. Always zero at window=1.
+	WindowFills uint64
+	// CumulativeAcks counts cumulative fragment acknowledgements sent,
+	// standalone FRAGACK frames and piggybacks on reverse FRAGs alike.
+	CumulativeAcks uint64
+	// FragmentRetransmits counts FRAG frames re-sent by the windowed
+	// transport's go-back-N recovery (first transmissions not counted).
+	FragmentRetransmits uint64
+	BytesSent           uint64
+	ByKind              map[frame.TransportKind]uint64
 }
 
 // FaultAction is a fault model's disposition of one per-receiver delivery.
@@ -241,6 +252,17 @@ func (i *Iface) CountPiggybackedAck() { i.bus.stats.PiggybackedAcks++ }
 // CountPeerDeadTimeout records a send abandoned because the destination
 // stayed silent past the transport's death-detection bound.
 func (i *Iface) CountPeerDeadTimeout() { i.bus.stats.PeerDeadTimeouts++ }
+
+// CountWindowFill records a send queued behind a full sliding window.
+func (i *Iface) CountWindowFill() { i.bus.stats.WindowFills++ }
+
+// CountCumulativeAck records one cumulative fragment acknowledgement
+// (standalone FRAGACK or piggybacked on a reverse FRAG frame).
+func (i *Iface) CountCumulativeAck() { i.bus.stats.CumulativeAcks++ }
+
+// CountFragmentRetransmit records a FRAG frame re-sent by go-back-N
+// recovery.
+func (i *Iface) CountFragmentRetransmit() { i.bus.stats.FragmentRetransmits++ }
 
 // Down disconnects the interface (a crashed node hears nothing). Frames in
 // flight toward it are discarded at delivery time.

@@ -82,9 +82,11 @@ func (n *Node) issueRequest(dst frame.ServerSig, arg int32, put []byte, getSize 
 	}
 	full := frame.Encode(msg)
 	var retrans []byte
-	if msg.HasData {
+	if msg.HasData && n.ep.Config().Window <= 1 {
 		// Retransmissions never carry the data again (§5.2.3); a server
-		// that needs it asks via NeedData at ACCEPT time.
+		// that needs it asks via NeedData at ACCEPT time. The windowed
+		// transport retransmits individual fragments verbatim instead, so
+		// the stripped encoding is never built there.
 		stripped := *msg
 		stripped.HasData = false
 		stripped.Data = nil

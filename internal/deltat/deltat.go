@@ -153,6 +153,17 @@ const (
 	// EvBusyRetry: a BUSY NACK parked the current message for the slower
 	// busy-retry interval (§5.2.3).
 	EvBusyRetry
+	// EvWindowFill: a windowed send had to queue because Config.Window
+	// messages toward the destination were already unacknowledged. Seq is
+	// the message sequence the send will get; Attempt the window depth.
+	EvWindowFill
+	// EvCumAck: a cumulative fragment acknowledgement was transmitted
+	// (standalone FRAGACK or piggybacked on a reverse FRAG); Seq is the
+	// highest in-order fragment sequence acknowledged.
+	EvCumAck
+	// EvFragRetransmit: go-back-N recovery re-sent a FRAG frame; Seq is
+	// its fragment sequence, Attempt the retransmission round.
+	EvFragRetransmit
 )
 
 func (k EventKind) String() string {
@@ -175,6 +186,12 @@ func (k EventKind) String() string {
 		return "PEER_DEAD"
 	case EvBusyRetry:
 		return "BUSY_RETRY"
+	case EvWindowFill:
+		return "WINDOW_FILL"
+	case EvCumAck:
+		return "CUM_ACK"
+	case EvFragRetransmit:
+		return "FRAG_RETRANSMIT"
 	default:
 		return "EV(?)"
 	}
@@ -218,7 +235,17 @@ type Config struct {
 	// waits scale with frame size (a 2000-byte frame takes 16 ms on the
 	// thesis's 1 Mbit Megalink — longer than the base interval).
 	LineBytesPerSec int64
-	Costs           Costs
+	// Window is the sliding-window depth in messages: how many reliable
+	// messages may be unacknowledged toward one destination at once.
+	// Values <= 1 select the paper-faithful alternating-bit stop-and-wait
+	// path (§5.2.2), bit-identical to the pre-window transport; values
+	// > 1 route all reliable traffic through the windowed engine with
+	// message fragmentation (window.go, DESIGN.md §11).
+	Window int
+	// FragSize caps the payload bytes of one FRAG frame in windowed
+	// mode; <= 0 means DefaultFragSize. Window=1 never fragments.
+	FragSize int
+	Costs    Costs
 	// Observer, when non-nil, receives the endpoint's protocol event
 	// stream (see Event). It must never influence protocol behavior; the
 	// soda facade fans one observer out to every node.
@@ -345,10 +372,24 @@ type Endpoint struct {
 	out     map[frame.MID]*outbox
 	holds   map[frame.MID]*held
 	defAcks map[frame.MID]*deferredAck
-	totals  CostTotals
-	crashed bool
-	epoch   int // bumped on crash; stale scheduled work checks it
+	// Windowed-mode state (Config.Window > 1), created lazily so the
+	// stop-and-wait path carries no trace of it. See window.go.
+	wout map[frame.MID]*wsend
+	win  map[frame.MID]*wrecv
+	// recvReadyAt serializes windowed receive charges: the processor
+	// finishes frames in arrival order, so a small fragment's (cheaper)
+	// charge cannot complete before a larger fragment that arrived first —
+	// which would hand the strict in-order go-back-N receiver the frames
+	// out of sequence and force a spurious retransmission round. The
+	// receive-side mirror of wsend.readyAt. Unused when Window <= 1.
+	recvReadyAt sim.Time
+	totals      CostTotals
+	crashed     bool
+	epoch       int // bumped on crash; stale scheduled work checks it
 }
+
+// windowed reports whether the sliding-window engine is in effect.
+func (e *Endpoint) windowed() bool { return e.cfg.Window > 1 }
 
 // New attaches a transport endpoint for mid to the bus.
 func New(k *sim.Kernel, b *bus.Bus, mid frame.MID, cfg Config, hooks Hooks) (*Endpoint, error) {
@@ -398,8 +439,13 @@ func (e *Endpoint) ResetTotals() { e.totals = CostTotals{} }
 // Send queues payload for reliable delivery to dst. retrans, when non-nil,
 // replaces the payload on retransmissions (SODA strips bulk data from
 // REQUEST retries, §5.2.3). cb receives exactly one Result unless the local
-// node crashes first.
+// node crashes first. The windowed engine retransmits fragments verbatim,
+// so retrans is ignored when Config.Window > 1.
 func (e *Endpoint) Send(dst frame.MID, payload, retrans []byte, cb func(Result)) {
+	if e.windowed() {
+		e.wEnqueue(dst, payload, cb, false)
+		return
+	}
 	e.enqueue(dst, &sendReq{payload: payload, retrans: retrans, cb: cb})
 }
 
@@ -410,6 +456,10 @@ func (e *Endpoint) Send(dst frame.MID, payload, retrans []byte, cb func(Result))
 // REQUEST toward a peer must never block the reply that peer is waiting
 // for (§5.2.2).
 func (e *Endpoint) SendUrgent(dst frame.MID, payload, retrans []byte, cb func(Result)) {
+	if e.windowed() {
+		e.wEnqueue(dst, payload, cb, true)
+		return
+	}
 	e.enqueue(dst, &sendReq{payload: payload, retrans: retrans, cb: cb, urgent: true})
 }
 
@@ -422,6 +472,15 @@ func (e *Endpoint) SendUrgent(dst frame.MID, payload, retrans []byte, cb func(Re
 // plain ACK right away — the peer may be blocked waiting for it, and the
 // queued traffic may be blocked on the peer (§5.2.2's no-deadlock rule).
 func (e *Endpoint) SendResolvingHold(dst frame.MID, payload, retrans []byte, cb func(Result)) bool {
+	if e.windowed() {
+		// Message acknowledgements bypass the window, so the hold is
+		// released as a plain ACK immediately and the reply travels as an
+		// ordinary urgent windowed message — there is no single-frame
+		// piggyback to defer the ACK for.
+		had := e.ResolveHold(dst, Decision{Verdict: VerdictAck})
+		e.SendUrgent(dst, payload, retrans, cb)
+		return had
+	}
 	if e.OutboxBusy(dst) {
 		had := e.ResolveHold(dst, Decision{Verdict: VerdictAck})
 		e.SendUrgent(dst, payload, retrans, cb)
@@ -457,6 +516,10 @@ func (e *Endpoint) HasHold(src frame.MID) bool {
 // reply that must not wait (SODA's ACCEPT, §5.2.2) has to ride an
 // acknowledgement instead when this is true.
 func (e *Endpoint) OutboxBusy(dst frame.MID) bool {
+	if e.windowed() {
+		ws := e.wout[dst]
+		return ws != nil && (len(ws.queue) > 0 || len(ws.inflight) > 0)
+	}
 	o, ok := e.out[dst]
 	return ok && (o.cur != nil || len(o.queue) > 0)
 }
@@ -519,6 +582,39 @@ func (e *Endpoint) Crash() {
 	e.out = make(map[frame.MID]*outbox)
 	e.holds = make(map[frame.MID]*held)
 	e.defAcks = make(map[frame.MID]*deferredAck)
+	e.wout = nil
+	e.win = nil
+	e.recvReadyAt = 0
+}
+
+// Quiescent reports whether the endpoint has fully settled: nothing queued
+// or unacknowledged toward any destination, no held or deferred-ack frames,
+// no partially reassembled or undelivered windowed messages, and no
+// acknowledgement still owed. After a drained simulation run (sim.Kernel.Run
+// returned), a non-quiescent endpoint means the protocol leaked state —
+// the property battery asserts this after every fault schedule.
+func (e *Endpoint) Quiescent() bool {
+	if len(e.holds) > 0 || len(e.defAcks) > 0 {
+		return false
+	}
+	for _, dst := range sortediter.Keys(e.out) {
+		if o := e.out[dst]; o.cur != nil || len(o.queue) > 0 {
+			return false
+		}
+	}
+	for _, dst := range sortediter.Keys(e.wout) {
+		ws := e.wout[dst]
+		if len(ws.queue) > 0 || len(ws.inflight) > 0 || len(ws.frames) > 0 {
+			return false
+		}
+	}
+	for _, src := range sortediter.Keys(e.win) {
+		wr := e.win[src]
+		if wr.delivering || wr.busyWait || wr.ackPending || wr.asmOpen || len(wr.buffered) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Reboot rejoins the network after the Delta-t quiet period (2·MPL+Δt) and
@@ -729,10 +825,22 @@ func (e *Endpoint) receive(raw []byte) {
 		return // MID screening rejects spurious traffic (§6.12)
 	}
 	dataBytes := 0
-	if f.Kind == frame.TransportData {
+	if f.Kind == frame.TransportData || f.Kind == frame.TransportFrag {
 		dataBytes = len(f.Payload)
 	}
 	d := e.chargeRecv(f.Kind, dataBytes)
+	if e.windowed() {
+		// Serialize behind earlier receive charges (see recvReadyAt) so
+		// process() sees frames in arrival order. Gated on the window so
+		// a stop-and-wait endpoint's timing is untouched.
+		now := e.k.Now()
+		done := now + sim.Time(d)
+		if e.recvReadyAt > now {
+			done = e.recvReadyAt + sim.Time(d)
+		}
+		e.recvReadyAt = done
+		d = time.Duration(done - now)
+	}
 	epoch := e.epoch
 	e.k.After(d, func() {
 		if epoch != e.epoch {
@@ -748,6 +856,10 @@ func (e *Endpoint) process(f *frame.TransportFrame) {
 		if e.hooks.OnDatagram != nil {
 			e.hooks.OnDatagram(f.Src, f.Payload)
 		}
+		return
+	}
+	if e.windowed() {
+		e.wProcess(f)
 		return
 	}
 	c := e.conn(f.Src)
@@ -885,6 +997,10 @@ func (e *Endpoint) replay(src frame.MID, seq uint8, c *conn) {
 }
 
 func (e *Endpoint) applyVerdict(src frame.MID, seq uint8, dec Decision) {
+	if e.windowed() {
+		e.wApplyVerdict(src, seq, dec)
+		return
+	}
 	c := e.conn(src)
 	switch dec.Verdict {
 	case VerdictAck:
@@ -1008,10 +1124,10 @@ func (e *Endpoint) chargeRecv(kind frame.TransportKind, dataLen int) time.Durati
 	e.totals.Protocol += cs.ProtocolPerFrame
 	e.totals.ConnTimer += cs.ConnTimerPerFrame
 	switch kind {
-	case frame.TransportAck, frame.TransportNack:
+	case frame.TransportAck, frame.TransportNack, frame.TransportFragAck:
 		d += cs.RetransTimer
 		e.totals.RetransTimer += cs.RetransTimer
-	case frame.TransportData:
+	case frame.TransportData, frame.TransportFrag:
 		cp := time.Duration(dataLen) * cs.CopyPerByte
 		d += cp
 		e.totals.Copy += cp

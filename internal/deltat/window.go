@@ -1,0 +1,976 @@
+// Sliding-window engine for the Delta-t endpoint (Config.Window > 1).
+//
+// The stop-and-wait transport in deltat.go admits one outstanding DATA frame
+// per direction, which caps bulk throughput at one frame per round trip. The
+// windowed mode keeps every Delta-t property — timer-based connection
+// records, duplicate suppression, death detection by silence, the busy/urgent
+// no-deadlock rule — but pipelines traffic two ways:
+//
+//   - up to Config.Window reliable MESSAGES may be unacknowledged toward one
+//     destination at once (the window is counted in messages, matching the
+//     paper's per-request accounting);
+//   - each message is cut into FRAG frames of at most FragSize payload
+//     bytes, numbered in a per-link frame-sequence stream that the receiver
+//     acknowledges cumulatively (go-back-N).
+//
+// Frame sequence numbers and message sequence numbers are uint8 serial
+// numbers; correctness requires the outstanding span to stay below half the
+// space, which maxInflightFrags and maxWindowMessages guarantee.
+//
+// Loss recovery is go-back-N: the receiver only accepts the next in-order
+// frame sequence, and the sender's single per-destination timer re-sends
+// every unacknowledged fragment. Message completion is signalled separately
+// by a TransportAck carrying the message sequence (and any reply payload),
+// exactly like the stop-and-wait path — so a lost completion ack is
+// recovered by the §5.2.3 cached-reply replay when a duplicate of the
+// message's final fragment arrives.
+//
+// Window=1 configurations never reach this file: every entry point is gated
+// on Endpoint.windowed(), keeping the default path bit-identical to the
+// pre-window transport.
+package deltat
+
+import (
+	"time"
+
+	"soda/internal/frame"
+	"soda/internal/sim"
+	"soda/internal/sortediter"
+)
+
+// DefaultFragSize is the FRAG payload cap when Config.FragSize is unset.
+// 1024 keeps a full-size fragment close to the thesis's maximum Megalink
+// frame while cutting a 1000-word message into just two frames.
+const DefaultFragSize = 1024
+
+const (
+	// maxWindowMessages clamps Config.Window so message sequence numbers
+	// stay within half the uint8 serial space.
+	maxWindowMessages = 32
+	// maxInflightFrags bounds unacknowledged FRAG frames per destination,
+	// keeping frame sequence numbers within half the serial space.
+	maxInflightFrags = 64
+	// maxFragsPerMsg bounds fragments per message (FragIndex is uint8);
+	// larger messages get a proportionally larger effective FragSize.
+	maxFragsPerMsg = 256
+	// replyCacheCap bounds the per-peer cache of message replies kept for
+	// duplicate replay: twice the window, so a reply outlives every
+	// message the sender can still be probing for.
+	replyCacheCap = 2 * maxWindowMessages
+)
+
+// seqLE reports a <= b in uint8 serial-number order, valid while the live
+// span stays under half the sequence space.
+func seqLE(a, b uint8) bool { return b-a < 128 }
+
+// seqLT is strict serial-number order.
+func seqLT(a, b uint8) bool { return a != b && seqLE(a, b) }
+
+// wmsg is one reliable message in the windowed outbox.
+type wmsg struct {
+	msgSeq  uint8
+	payload []byte
+	cb      func(Result)
+	urgent  bool
+	fragSz  int
+	frags   int
+	next    int   // next fragment index of the current transmission pass
+	lastSeq uint8 // frame seq of the final fragment, for probe duplicates
+	parked  bool  // busy-parked awaiting the slow retry
+	parkGen int
+	done    bool // completed; stale scheduled work checks it
+}
+
+// wfrag is one unacknowledged FRAG transmission.
+type wfrag struct {
+	seq uint8
+	msg *wmsg
+	idx int
+}
+
+// wsend is the per-destination windowed send state.
+type wsend struct {
+	queue    []*wmsg // admitted when the window opens
+	inflight []*wmsg // unacknowledged messages, message-sequence order
+	frames   []wfrag // unacknowledged fragments, frame-sequence order
+	nextMsg  uint8
+	nextSeq  uint8
+	stalled  bool // window-full edge already counted
+	// readyAt serializes fragment CPU charges: the kernel processor
+	// copies one buffer at a time, so a burst of fragments reaches the
+	// bus in sequence order even though their per-byte copy charges
+	// differ. Without this, a smaller final fragment would overtake its
+	// predecessor and the in-order receiver would see a permanent gap.
+	readyAt sim.Time
+	// lineFreeAt paces fragment submissions to the line rate: the node
+	// has one transmitter, so fragment k+1 is handed to the medium only
+	// once fragment k has left the wire. Without pacing, a window's worth
+	// of fragments floods the bus FIFO at CPU speed and the peer's
+	// acknowledgements queue behind the whole burst, collapsing the
+	// pipeline into a batch round trip.
+	lineFreeAt sim.Time
+	deadline   sim.Time
+	interval   time.Duration
+	attempts   int
+	timerGen   int
+	armed      bool
+}
+
+// sendable returns the message whose fragment should transmit next: the one
+// mid-pass, else the earliest admitted message not yet started (a fresh
+// admission or a busy retry). Never interleaving fragments of two messages
+// keeps each message's fragments contiguous in the frame-sequence stream,
+// which the receiver's single reassembly buffer relies on.
+func (ws *wsend) sendable() *wmsg {
+	var restart *wmsg
+	for _, m := range ws.inflight {
+		if m.parked || m.next >= m.frags {
+			continue
+		}
+		if m.next > 0 {
+			return m
+		}
+		if restart == nil {
+			restart = m
+		}
+	}
+	return restart
+}
+
+// outstanding reports whether anything toward the peer still awaits
+// acknowledgement (parked messages wait on their own retry timer).
+func (ws *wsend) outstanding() bool {
+	if len(ws.frames) > 0 {
+		return true
+	}
+	for _, m := range ws.inflight {
+		if !m.parked {
+			return true
+		}
+	}
+	return false
+}
+
+// take removes and returns the inflight message with msgSeq, or nil.
+func (ws *wsend) take(msgSeq uint8) *wmsg {
+	for i, m := range ws.inflight {
+		if m.msgSeq == msgSeq {
+			ws.inflight = append(ws.inflight[:i], ws.inflight[i+1:]...)
+			m.done = true
+			m.parked = false
+			m.parkGen++
+			return m
+		}
+	}
+	return nil
+}
+
+// winMsg is a fully reassembled message awaiting in-order delivery.
+type winMsg struct {
+	payload []byte
+	urgent  bool
+}
+
+// wrecv is the per-peer windowed receive state.
+type wrecv struct {
+	valid     bool
+	cum       uint8 // highest in-order frame sequence received
+	next      uint8 // next message sequence to deliver
+	lastHeard sim.Time
+
+	// Reassembly of the (single) message currently arriving in the
+	// contiguous frame stream.
+	asmOpen bool
+	asmSeq  uint8
+	asmIdx  int
+	asm     []byte
+
+	buffered map[uint8]*winMsg // reassembled, not yet delivered
+	skipped  map[uint8]bool    // delivered ahead of order during busyWait
+
+	delivering bool // one upper-layer verdict outstanding at a time
+	busyWait   bool // head message busy-refused; urgent may overtake
+
+	// Cached replies for duplicate replay (§5.2.3), evicted FIFO.
+	cache    map[uint8]cachedReply
+	cacheAge []uint8
+
+	ackPending bool // standalone FRAGACK scheduled
+	ackGen     int
+}
+
+// window is the clamped message-window depth.
+func (e *Endpoint) window() int {
+	w := e.cfg.Window
+	if w > maxWindowMessages {
+		w = maxWindowMessages
+	}
+	return w
+}
+
+// wFragSize is the effective fragment payload cap for a message of n bytes.
+func (e *Endpoint) wFragSize(n int) int {
+	fs := e.cfg.FragSize
+	if fs <= 0 {
+		fs = DefaultFragSize
+	}
+	if n > fs*maxFragsPerMsg {
+		fs = (n + maxFragsPerMsg - 1) / maxFragsPerMsg
+	}
+	return fs
+}
+
+func (e *Endpoint) wsendFor(dst frame.MID) *wsend {
+	ws := e.wout[dst]
+	if ws == nil {
+		ws = &wsend{}
+		if e.wout == nil {
+			e.wout = make(map[frame.MID]*wsend)
+		}
+		e.wout[dst] = ws
+		if e.win[dst] == nil {
+			e.emit(EvConnOpen, dst, 0, 0)
+		}
+	}
+	return ws
+}
+
+// wrecvFor returns the receive record for src, applying the lazy Delta-t
+// expiry: after ConnLifetime of silence with nothing pending, the record
+// lapses and any sequence number is accepted again ("take any SN", §5.2.2).
+func (e *Endpoint) wrecvFor(src frame.MID) *wrecv {
+	wr := e.win[src]
+	now := e.k.Now()
+	if wr == nil {
+		wr = &wrecv{lastHeard: now}
+		if e.win == nil {
+			e.win = make(map[frame.MID]*wrecv)
+		}
+		e.win[src] = wr
+		if e.wout[src] == nil {
+			e.emit(EvConnOpen, src, 0, 0)
+		}
+		return wr
+	}
+	_, holding := e.holds[src]
+	if wr.valid && !holding && !wr.delivering && len(wr.buffered) == 0 &&
+		now-wr.lastHeard > e.cfg.ConnLifetime() {
+		e.emit(EvConnExpire, src, wr.cum, 0)
+		*wr = wrecv{lastHeard: wr.lastHeard}
+	}
+	return wr
+}
+
+// wEnqueue queues payload as one reliable windowed message toward dst.
+// Urgent messages (kernel replies) jump ahead of queued ordinary traffic,
+// mirroring the stop-and-wait urgency rule.
+func (e *Endpoint) wEnqueue(dst frame.MID, payload []byte, cb func(Result), urgent bool) {
+	if e.crashed {
+		return
+	}
+	ws := e.wsendFor(dst)
+	m := &wmsg{payload: payload, cb: cb, urgent: urgent}
+	if urgent {
+		pos := 0
+		for pos < len(ws.queue) && ws.queue[pos].urgent {
+			pos++
+		}
+		ws.queue = append(ws.queue, nil)
+		copy(ws.queue[pos+1:], ws.queue[pos:])
+		ws.queue[pos] = m
+	} else {
+		ws.queue = append(ws.queue, m)
+	}
+	e.wPump(dst, ws)
+}
+
+// wPump admits queued messages while the window is open and transmits
+// fragments while the fragment budget allows, then makes sure the recovery
+// timer covers whatever is outstanding.
+func (e *Endpoint) wPump(dst frame.MID, ws *wsend) {
+	for {
+		m := ws.sendable()
+		if m == nil {
+			if len(ws.queue) == 0 {
+				break
+			}
+			if len(ws.inflight) >= e.window() {
+				if !ws.stalled {
+					ws.stalled = true
+					e.iface.CountWindowFill()
+					e.emit(EvWindowFill, dst, ws.nextMsg, len(ws.inflight))
+				}
+				break
+			}
+			m = ws.queue[0]
+			ws.queue = ws.queue[1:]
+			ws.stalled = false
+			m.msgSeq = ws.nextMsg
+			ws.nextMsg++
+			m.fragSz = e.wFragSize(len(m.payload))
+			m.frags = (len(m.payload) + m.fragSz - 1) / m.fragSz
+			if m.frags == 0 {
+				m.frags = 1 // empty payload still takes one fragment
+			}
+			if len(ws.inflight) == 0 && len(ws.frames) == 0 {
+				ws.deadline = e.k.Now() + e.cfg.DeadAfter()
+				ws.interval = e.cfg.RetransInterval
+				ws.attempts = 0
+			}
+			ws.inflight = append(ws.inflight, m)
+			continue
+		}
+		if len(ws.frames) >= maxInflightFrags {
+			break
+		}
+		idx := m.next
+		m.next++
+		seq := ws.nextSeq
+		ws.nextSeq++
+		if idx == m.frags-1 {
+			m.lastSeq = seq
+		}
+		ws.frames = append(ws.frames, wfrag{seq: seq, msg: m, idx: idx})
+		e.wTransmitFrag(dst, ws, m, idx, seq)
+	}
+	e.wArm(dst, ws)
+}
+
+// wTransmitFrag charges the send cost and schedules fragment idx of m onto
+// the bus, serialized behind earlier fragment charges (ws.readyAt). The
+// transmission is skipped if the message completes or parks before the
+// processing delay elapses.
+func (e *Endpoint) wTransmitFrag(dst frame.MID, ws *wsend, m *wmsg, idx int, seq uint8) {
+	start := idx * m.fragSz
+	end := start + m.fragSz
+	if end > len(m.payload) {
+		end = len(m.payload)
+	}
+	var chunk []byte
+	if start < end {
+		chunk = m.payload[start:end]
+	}
+	d := e.chargeSend(true, len(chunk))
+	now := e.k.Now()
+	cpuDone := now + d
+	if ws.readyAt > now {
+		cpuDone = ws.readyAt + d
+	}
+	ws.readyAt = cpuDone
+	submit := cpuDone
+	if submit < ws.lineFreeAt {
+		submit = ws.lineFreeAt
+	}
+	wire := (&frame.TransportFrame{Kind: frame.TransportFrag, Payload: chunk}).WireSize()
+	ws.lineFreeAt = submit + e.wireTime(wire)
+	epoch := e.epoch
+	e.k.After(submit-now, func() {
+		if epoch != e.epoch || m.done || m.parked {
+			return
+		}
+		f := &frame.TransportFrame{
+			Kind:      frame.TransportFrag,
+			Src:       e.mid,
+			Dst:       dst,
+			Seq:       seq,
+			ConnOpen:  true,
+			MsgSeq:    m.msgSeq,
+			FragIndex: uint8(idx),
+			FragEnd:   idx == m.frags-1,
+			Urgent:    m.urgent,
+			Payload:   chunk,
+		}
+		if wr := e.win[dst]; wr != nil && wr.valid {
+			// The fragment carries the reverse direction's cumulative
+			// acknowledgement, superseding any standalone FRAGACK pending
+			// (§5.2.3's piggyback preference).
+			f.AckPresent = true
+			f.AckSeq = wr.cum
+			wr.ackGen++
+			wr.ackPending = false
+			e.iface.CountCumulativeAck()
+			e.emit(EvCumAck, dst, wr.cum, 0)
+		}
+		e.transmit(f)
+	})
+}
+
+// wArm starts the per-destination go-back-N recovery timer if it is not
+// already running and something is outstanding. The wait scales with the
+// bytes in flight so a burst is not retried while still on the wire, capped
+// well inside the death-detection window.
+func (e *Endpoint) wArm(dst frame.MID, ws *wsend) {
+	if ws.armed || !ws.outstanding() {
+		return
+	}
+	ws.armed = true
+	ws.timerGen++
+	gen := ws.timerGen
+	bytes := 0
+	for _, fr := range ws.frames {
+		n := len(fr.msg.payload) - fr.idx*fr.msg.fragSz
+		if n > fr.msg.fragSz {
+			n = fr.msg.fragSz
+		}
+		if n > 0 {
+			bytes += n
+		}
+	}
+	guard := e.wireTime(bytes) * 3
+	if max := e.cfg.DeadAfter() / 2; guard > max {
+		guard = max
+	}
+	wait := ws.interval + guard
+	if e.cfg.RetransJitter > 0 {
+		wait += time.Duration(e.k.Rand().Int63n(int64(e.cfg.RetransJitter) + 1))
+	}
+	epoch := e.epoch
+	e.k.After(wait, func() {
+		if epoch != e.epoch || e.wout[dst] != ws || ws.timerGen != gen {
+			return
+		}
+		ws.armed = false
+		if !ws.outstanding() {
+			return
+		}
+		if e.k.Now() >= ws.deadline {
+			e.wPeerDead(dst, ws)
+			return
+		}
+		e.wRetransmit(dst, ws)
+	})
+}
+
+// wCancelTimer stops the recovery timer and resets the backoff, called on
+// acknowledgement progress (go-back-N restarts the timer for the new oldest
+// outstanding frame).
+func (e *Endpoint) wCancelTimer(ws *wsend) {
+	ws.timerGen++
+	ws.armed = false
+	ws.interval = e.cfg.RetransInterval
+	ws.attempts = 0
+}
+
+// wRetransmit is one go-back-N recovery round: re-send every unacknowledged
+// fragment in frame-sequence order. When every fragment is acknowledged but
+// a message completion is missing, probe with the oldest incomplete
+// message's final fragment — the duplicate triggers the receiver's
+// cached-reply replay (§5.2.3).
+func (e *Endpoint) wRetransmit(dst frame.MID, ws *wsend) {
+	e.totals.RetransTimer += e.cfg.Costs.RetransTimer
+	ws.attempts++
+	if e.cfg.RetransBackoff > 1 {
+		// Retry rate decreases with attempts (§5.2.2), capped so a
+		// live-but-lossy peer still sees several attempts per
+		// death-detection window.
+		ws.interval = time.Duration(float64(ws.interval) * e.cfg.RetransBackoff)
+		if max := e.cfg.DeadAfter() / 6; ws.interval > max {
+			ws.interval = max
+		}
+	}
+	if len(ws.frames) > 0 {
+		for _, fr := range ws.frames {
+			e.iface.CountFragmentRetransmit()
+			e.emit(EvFragRetransmit, dst, fr.seq, ws.attempts+1)
+			e.wTransmitFrag(dst, ws, fr.msg, fr.idx, fr.seq)
+		}
+	} else {
+		for _, m := range ws.inflight {
+			if m.parked || m.next < m.frags {
+				continue
+			}
+			e.iface.CountFragmentRetransmit()
+			e.emit(EvFragRetransmit, dst, m.lastSeq, ws.attempts+1)
+			e.wTransmitFrag(dst, ws, m, m.frags-1, m.lastSeq)
+			break
+		}
+	}
+	e.wArm(dst, ws)
+}
+
+// wPeerDead fails every inflight and queued message and discards both sides
+// of the connection state, mirroring the stop-and-wait peerDead.
+func (e *Endpoint) wPeerDead(dst frame.MID, ws *wsend) {
+	failed := append(append([]*wmsg(nil), ws.inflight...), ws.queue...)
+	ws.inflight = nil
+	ws.queue = nil
+	ws.frames = nil
+	ws.timerGen++
+	e.iface.CountPeerDeadTimeout()
+	e.emit(EvPeerDead, dst, 0, ws.attempts)
+	e.emit(EvConnClose, dst, 0, 0)
+	delete(e.wout, dst)
+	delete(e.win, dst)
+	for _, m := range failed {
+		m.done = true
+		m.parkGen++
+		if m.cb != nil {
+			m.cb(Result{Kind: ResultPeerDead})
+		}
+	}
+}
+
+// wDropFrames removes m's fragments from the unacknowledged-frame list.
+func (e *Endpoint) wDropFrames(ws *wsend, m *wmsg) {
+	kept := ws.frames[:0]
+	for _, fr := range ws.frames {
+		if fr.msg != m {
+			kept = append(kept, fr)
+		}
+	}
+	ws.frames = kept
+}
+
+// wProcess dispatches one received frame in windowed mode. Any frame heard
+// proves the peer alive and restarts the no-response clock (§5.2.2).
+func (e *Endpoint) wProcess(f *frame.TransportFrame) {
+	if ws := e.wout[f.Src]; ws != nil && ws.outstanding() {
+		ws.deadline = e.k.Now() + e.cfg.DeadAfter()
+	}
+	switch f.Kind {
+	case frame.TransportFrag:
+		e.wHandleFrag(f.Src, f)
+	case frame.TransportFragAck:
+		e.wHandleCumAck(f.Src, f.Seq)
+	case frame.TransportAck:
+		e.wHandleMsgAck(f.Src, f)
+	case frame.TransportNack:
+		e.wHandleNack(f.Src, f)
+	}
+	// TransportData toward a windowed endpoint would mean a mixed-mode
+	// network, which is unsupported; such frames fall through and drop.
+}
+
+// wHandleCumAck releases every fragment covered by a cumulative frame
+// acknowledgement and lets admission and transmission resume.
+func (e *Endpoint) wHandleCumAck(src frame.MID, cum uint8) {
+	ws := e.wout[src]
+	if ws == nil {
+		return
+	}
+	progress := false
+	for len(ws.frames) > 0 && seqLE(ws.frames[0].seq, cum) {
+		ws.frames = ws.frames[1:]
+		progress = true
+	}
+	if !progress {
+		return
+	}
+	e.wCancelTimer(ws)
+	e.wPump(src, ws)
+}
+
+// wHandleMsgAck completes the acknowledged message: its fragments are
+// released, its callback runs with any piggybacked reply, and the window
+// opens for the next queued message.
+func (e *Endpoint) wHandleMsgAck(src frame.MID, f *frame.TransportFrame) {
+	if f.AckPresent {
+		e.wHandleCumAck(src, f.AckSeq)
+	}
+	ws := e.wout[src]
+	if ws == nil {
+		return
+	}
+	m := ws.take(f.Seq)
+	if m == nil {
+		return // duplicate ack of an already-completed message
+	}
+	e.wDropFrames(ws, m)
+	e.emit(EvAckRx, src, f.Seq, 0)
+	if m.cb != nil {
+		m.cb(Result{Kind: ResultAcked, Reply: f.Payload})
+	}
+	e.wCancelTimer(ws)
+	e.wPump(src, ws)
+}
+
+// wHandleNack processes a message-level negative acknowledgement. BUSY parks
+// the message for the slower busy-retry interval (§5.2.3) — its fragments
+// are dropped from the recovery set because the receiver provably assembled
+// the whole message before refusing it, and the retry re-fragments from the
+// start with fresh frame sequences. Error NACKs consume the message.
+func (e *Endpoint) wHandleNack(src frame.MID, f *frame.TransportFrame) {
+	ws := e.wout[src]
+	if ws == nil {
+		return
+	}
+	msgSeq := f.Seq
+	if f.Err == frame.NackBusy {
+		var m *wmsg
+		for _, c := range ws.inflight {
+			if c.msgSeq == msgSeq {
+				m = c
+				break
+			}
+		}
+		if m == nil || m.parked {
+			return
+		}
+		ws.deadline = e.k.Now() + e.cfg.DeadAfter()
+		e.emit(EvBusyRetry, src, msgSeq, 0)
+		m.parked = true
+		m.parkGen++
+		m.next = 0
+		e.wDropFrames(ws, m)
+		gen := m.parkGen
+		epoch := e.epoch
+		e.k.After(e.cfg.BusyRetryInterval, func() {
+			if epoch != e.epoch || e.wout[src] != ws || m.done ||
+				!m.parked || m.parkGen != gen {
+				return
+			}
+			m.parked = false
+			e.wPump(src, ws)
+		})
+		e.wCancelTimer(ws)
+		e.wArm(src, ws) // still covers the other in-flight messages
+		return
+	}
+	m := ws.take(msgSeq)
+	if m == nil {
+		return
+	}
+	e.wDropFrames(ws, m)
+	if m.cb != nil {
+		m.cb(Result{Kind: ResultError, Err: f.Err})
+	}
+	e.wCancelTimer(ws)
+	e.wPump(src, ws)
+}
+
+// wHandleFrag is the receive side: strict in-order frame acceptance
+// (go-back-N), single-buffer reassembly, duplicate replay from the reply
+// cache, and buffering of completed messages for in-order delivery. The
+// payload is always copied out of the shared bus buffer — delivery happens
+// on a later event, past the buffer's lifetime.
+func (e *Endpoint) wHandleFrag(src frame.MID, f *frame.TransportFrame) {
+	if f.AckPresent {
+		e.wHandleCumAck(src, f.AckSeq)
+	}
+	wr := e.wrecvFor(src)
+	wr.lastHeard = e.k.Now()
+	if !wr.valid {
+		// "Take any SN" adoption (§5.2.2) — but only a message-initial
+		// fragment can start a fresh record; a mid-message fragment waits
+		// for the sender's recovery pass to wrap back to the start.
+		if f.FragIndex != 0 {
+			return
+		}
+		wr.valid = true
+		wr.cum = f.Seq
+		wr.next = f.MsgSeq
+	} else {
+		switch {
+		case f.Seq == wr.cum+1:
+			wr.cum++
+		case seqLE(f.Seq, wr.cum):
+			// Duplicate: our acknowledgement was lost. A duplicate of a
+			// message's final fragment may also be the sender probing for
+			// a lost completion ack — replay it from the cache.
+			if f.FragEnd {
+				if cr, ok := wr.cache[f.MsgSeq]; ok {
+					e.wReplay(src, f.MsgSeq, cr)
+					return
+				}
+			}
+			e.wScheduleCumAck(src, wr)
+			return
+		default:
+			// Gap: go-back-N receivers drop out-of-order fragments; the
+			// cumulative ack tells the sender where to resume.
+			e.wScheduleCumAck(src, wr)
+			return
+		}
+	}
+	if wr.asmOpen && (wr.asmSeq != f.MsgSeq || wr.asmIdx != int(f.FragIndex)) {
+		// The sender restarted the message (busy retry) or moved on;
+		// whatever was accumulating is void.
+		wr.asmOpen = false
+		wr.asm = nil
+	}
+	if !wr.asmOpen {
+		if f.FragIndex != 0 {
+			// Mid-message fragment with no open assembly: the stream
+			// position is consumed but the content is unusable; the
+			// sender recovers at the message level (probe → replay or
+			// busy retry from fragment zero).
+			e.wScheduleCumAck(src, wr)
+			return
+		}
+		wr.asmOpen = true
+		wr.asmSeq = f.MsgSeq
+		wr.asmIdx = 0
+		wr.asm = nil
+	}
+	wr.asmIdx++
+	if !f.FragEnd {
+		wr.asm = append(wr.asm, f.Payload...)
+		e.wScheduleCumAck(src, wr)
+		return
+	}
+	wr.asmOpen = false
+	payload := append(wr.asm, f.Payload...) // copies out of the bus buffer
+	wr.asm = nil
+	if cr, ok := wr.cache[f.MsgSeq]; ok {
+		// A full re-delivery of an answered message (busy retry whose
+		// first delivery was consumed, with the answer lost): replay.
+		e.wReplay(src, f.MsgSeq, cr)
+		return
+	}
+	if wr.skipped[f.MsgSeq] || seqLT(f.MsgSeq, wr.next) {
+		e.wScheduleCumAck(src, wr)
+		return // stale incarnation of an already-consumed message
+	}
+	if wr.buffered == nil {
+		wr.buffered = make(map[uint8]*winMsg)
+	}
+	wr.buffered[f.MsgSeq] = &winMsg{payload: payload, urgent: f.Urgent}
+	e.wScheduleCumAck(src, wr)
+	e.wTryDeliver(src, wr)
+}
+
+// wTryDeliver hands the next deliverable buffered message to the upper
+// layer. Delivery is strictly in message-sequence order, with one exception:
+// while the head message is busy-refused (busyWait), the serially-lowest
+// URGENT buffered message may overtake — a kernel reply must never be
+// blocked behind a busy-parked request (§5.2.2's no-deadlock rule). One
+// delivery is outstanding at a time; the verdict (wConsume) triggers the
+// next. The upper-layer hook runs on a fresh event so a verdict arriving
+// via ResolveHold cannot reenter OnData from client context.
+func (e *Endpoint) wTryDeliver(src frame.MID, wr *wrecv) {
+	if wr.delivering {
+		return
+	}
+	for wr.skipped[wr.next] {
+		delete(wr.skipped, wr.next)
+		wr.next++
+		wr.busyWait = false
+	}
+	seq := wr.next
+	m := wr.buffered[seq]
+	if m == nil && wr.busyWait {
+		bestDist := -1
+		for _, k := range sortediter.Keys(wr.buffered) {
+			if !wr.buffered[k].urgent {
+				continue
+			}
+			d := int(k - wr.next) // serial distance past the head
+			if bestDist < 0 || d < bestDist {
+				bestDist = d
+				seq = k
+			}
+		}
+		if bestDist >= 0 {
+			m = wr.buffered[seq]
+		}
+	}
+	if m == nil {
+		return
+	}
+	delete(wr.buffered, seq)
+	wr.delivering = true
+	payload := m.payload
+	msgSeq := seq
+	epoch := e.epoch
+	e.k.After(0, func() {
+		if epoch != e.epoch {
+			return
+		}
+		dec := e.hooks.OnData(src, payload)
+		e.wApplyVerdict(src, msgSeq, dec)
+	})
+}
+
+// wApplyVerdict is the windowed counterpart of applyVerdict: it disposes of
+// a delivered message per the upper layer's decision.
+func (e *Endpoint) wApplyVerdict(src frame.MID, msgSeq uint8, dec Decision) {
+	wr := e.wrecvFor(src)
+	switch dec.Verdict {
+	case VerdictAck:
+		e.wConsume(src, wr, msgSeq, cachedReply{kind: replyAck, payload: dec.Reply})
+		e.wSendMsgAck(src, msgSeq, dec.Reply)
+	case VerdictError:
+		e.wConsume(src, wr, msgSeq, cachedReply{kind: replyNack, err: dec.Err})
+		e.wSendMsgNack(src, msgSeq, dec.Err)
+	case VerdictAckDeferred:
+		// No piggyback rides a windowed completion ack, so the deferral
+		// degrades to a plain ack after one ack-delay (A).
+		e.wConsume(src, wr, msgSeq, cachedReply{kind: replyAck})
+		epoch := e.epoch
+		e.k.After(e.cfg.A, func() {
+			if epoch != e.epoch {
+				return
+			}
+			e.wSendMsgAck(src, msgSeq, nil)
+		})
+	case VerdictBusy:
+		// Not consumed: the sender re-fragments after its busy-retry
+		// interval; meanwhile urgent buffered messages may overtake.
+		wr.delivering = false
+		wr.busyWait = true
+		e.wSendMsgNack(src, msgSeq, frame.NackBusy)
+		e.wTryDeliver(src, wr)
+	case VerdictHold:
+		h := &held{seq: msgSeq, expiry: dec.ExpiryVerdict}
+		e.holds[src] = h
+		timeout := dec.HoldTimeout
+		if timeout < 0 {
+			return // no auto expiry; the upper layer owns the hold
+		}
+		if timeout == 0 {
+			timeout = e.cfg.A
+		}
+		if h.expiry == 0 {
+			h.expiry = VerdictAck
+		}
+		gen := h.gen
+		epoch := e.epoch
+		e.k.After(timeout, func() {
+			if epoch != e.epoch || e.holds[src] != h || h.gen != gen {
+				return
+			}
+			delete(e.holds, src)
+			e.wApplyVerdict(src, msgSeq, Decision{Verdict: h.expiry})
+			if e.hooks.OnHoldExpired != nil {
+				e.hooks.OnHoldExpired(src, h.expiry)
+			}
+		})
+	default:
+		panic("deltat: invalid verdict in windowed mode")
+	}
+}
+
+// wConsume records a consuming verdict: delivery order advances, the reply
+// is cached for duplicate replay, and the next buffered message (if any)
+// is handed up.
+func (e *Endpoint) wConsume(src frame.MID, wr *wrecv, msgSeq uint8, cr cachedReply) {
+	wr.delivering = false
+	if msgSeq == wr.next {
+		wr.next++
+		wr.busyWait = false
+	} else {
+		// An urgent message consumed ahead of order during busyWait; the
+		// head pointer skips it when it finally advances.
+		if wr.skipped == nil {
+			wr.skipped = make(map[uint8]bool)
+		}
+		wr.skipped[msgSeq] = true
+	}
+	if wr.cache == nil {
+		wr.cache = make(map[uint8]cachedReply)
+	}
+	if _, ok := wr.cache[msgSeq]; !ok {
+		wr.cacheAge = append(wr.cacheAge, msgSeq)
+		if len(wr.cacheAge) > replyCacheCap {
+			delete(wr.cache, wr.cacheAge[0])
+			wr.cacheAge = wr.cacheAge[1:]
+		}
+	}
+	wr.cache[msgSeq] = cr
+	e.wTryDeliver(src, wr)
+}
+
+// wReplay re-answers a duplicate of a consumed message from the cache.
+func (e *Endpoint) wReplay(src frame.MID, msgSeq uint8, cr cachedReply) {
+	switch cr.kind {
+	case replyAck:
+		e.wSendMsgAck(src, msgSeq, cr.payload)
+	case replyNack:
+		e.wSendMsgNack(src, msgSeq, cr.err)
+	}
+}
+
+// wSendMsgAck transmits a message-completion acknowledgement, doubling as
+// the cumulative fragment acknowledgement for the link.
+func (e *Endpoint) wSendMsgAck(dst frame.MID, msgSeq uint8, reply []byte) {
+	e.emit(EvAckTx, dst, msgSeq, 0)
+	d := e.chargeSend(false, 0)
+	epoch := e.epoch
+	e.k.After(d, func() {
+		if epoch != e.epoch {
+			return
+		}
+		f := &frame.TransportFrame{
+			Kind:     frame.TransportAck,
+			Src:      e.mid,
+			Dst:      dst,
+			Seq:      msgSeq,
+			ConnOpen: true,
+			Payload:  reply,
+		}
+		if wr := e.win[dst]; wr != nil && wr.valid {
+			f.AckPresent = true
+			f.AckSeq = wr.cum
+			wr.ackGen++
+			wr.ackPending = false
+			e.iface.CountCumulativeAck()
+			e.emit(EvCumAck, dst, wr.cum, 0)
+		}
+		e.transmit(f)
+	})
+}
+
+// wSendMsgNack transmits a message-level negative acknowledgement (BUSY or
+// an error code), also carrying the cumulative fragment acknowledgement.
+func (e *Endpoint) wSendMsgNack(dst frame.MID, msgSeq uint8, code frame.ErrCode) {
+	d := e.chargeSend(false, 0)
+	epoch := e.epoch
+	e.k.After(d, func() {
+		if epoch != e.epoch {
+			return
+		}
+		f := &frame.TransportFrame{
+			Kind:     frame.TransportNack,
+			Src:      e.mid,
+			Dst:      dst,
+			Seq:      msgSeq,
+			ConnOpen: true,
+			Err:      code,
+		}
+		if wr := e.win[dst]; wr != nil && wr.valid {
+			f.AckPresent = true
+			f.AckSeq = wr.cum
+			wr.ackGen++
+			wr.ackPending = false
+			e.iface.CountCumulativeAck()
+			e.emit(EvCumAck, dst, wr.cum, 0)
+		}
+		e.transmit(f)
+	})
+}
+
+// wScheduleCumAck arranges a standalone cumulative fragment acknowledgement
+// after a short wait — long enough for an imminent message-completion ack or
+// reverse fragment to carry the cumulative ack for free (§5.2.3's piggyback
+// preference), but well inside the sender's retransmission guard.
+func (e *Endpoint) wScheduleCumAck(src frame.MID, wr *wrecv) {
+	if wr.ackPending {
+		return
+	}
+	wr.ackPending = true
+	wr.ackGen++
+	gen := wr.ackGen
+	delay := e.cfg.A + 2*e.wireTime(e.wFragSize(0))
+	epoch := e.epoch
+	e.k.After(delay, func() {
+		if epoch != e.epoch || e.win[src] != wr || wr.ackGen != gen || !wr.ackPending {
+			return
+		}
+		wr.ackPending = false
+		d := e.chargeSend(false, 0)
+		e.k.After(d, func() {
+			if epoch != e.epoch {
+				return
+			}
+			e.iface.CountCumulativeAck()
+			e.emit(EvCumAck, src, wr.cum, 0)
+			e.transmit(&frame.TransportFrame{
+				Kind:     frame.TransportFragAck,
+				Src:      e.mid,
+				Dst:      src,
+				Seq:      wr.cum,
+				ConnOpen: true,
+			})
+		})
+	})
+}

@@ -64,6 +64,60 @@ func capturedFrames(tb testing.TB) [][]byte {
 	return raws
 }
 
+// capturedWindowFrames is the windowed-transport counterpart of
+// capturedFrames: a lossy bidirectional exchange of multi-fragment
+// messages between Window=4 endpoints, tapping every delivered frame. The
+// capture contains FRAG runs (first, middle, FragEnd, and Urgent-flagged
+// fragments), standalone FRAGACKs, piggybacked cumulative acks, and
+// go-back-N retransmissions — the whole §11 wire vocabulary.
+func capturedWindowFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	k := sim.New(7)
+	cfg := bus.DefaultConfig()
+	cfg.LossProb = 0.15
+	b := bus.New(k, cfg)
+
+	var raws [][]byte
+	b.AddDeliveryTap(func(e bus.DeliveryEvent) {
+		raws = append(raws, append([]byte(nil), e.Raw...))
+	})
+
+	dcfg := deltat.DefaultConfig()
+	dcfg.Window = 4
+	mk := func(mid frame.MID) *deltat.Endpoint {
+		ep, err := deltat.New(k, b, mid, dcfg, deltat.Hooks{
+			OnData: func(frame.MID, []byte) deltat.Decision {
+				return deltat.Decision{Verdict: deltat.VerdictAck, Reply: []byte("ok")}
+			},
+		})
+		if err != nil {
+			tb.Fatalf("deltat.New(%d): %v", mid, err)
+		}
+		return ep
+	}
+	ep1, ep2 := mk(1), mk(2)
+
+	bulk := func(n int, fill byte) []byte {
+		p := make([]byte, n)
+		for i := range p {
+			p[i] = fill + byte(i)
+		}
+		return p
+	}
+	ep1.Send(2, bulk(3000, 0x10), nil, nil)
+	ep1.Send(2, bulk(1500, 0x20), nil, nil)
+	ep2.Send(1, bulk(2200, 0x30), nil, nil)
+	ep1.SendUrgent(2, bulk(1300, 0x40), nil, nil)
+	ep1.Send(2, []byte("small"), nil, nil)
+	if err := k.Run(); err != nil {
+		tb.Fatalf("window capture run: %v", err)
+	}
+	if len(raws) == 0 {
+		tb.Fatal("window capture rig produced no frames")
+	}
+	return raws
+}
+
 // seedMessages is one instance of every kernel message type, with and
 // without payload data.
 func seedMessages() []frame.Message {
@@ -130,8 +184,19 @@ func FuzzTransportRoundTrip(f *testing.F) {
 	for _, raw := range capturedFrames(f) {
 		f.Add(raw)
 	}
+	for _, raw := range capturedWindowFrames(f) {
+		f.Add(raw)
+	}
 	f.Add(frame.EncodeTransport(&frame.TransportFrame{
 		Kind: frame.TransportNack, Src: 1, Dst: 2, Seq: 9, Err: frame.NackBusy,
+	}))
+	f.Add(frame.EncodeTransport(&frame.TransportFrame{
+		Kind: frame.TransportFrag, Src: 1, Dst: 2, Seq: 3, MsgSeq: 1, FragIndex: 2,
+		FragEnd: true, Urgent: true, AckPresent: true, AckSeq: 5,
+		Payload: []byte("tail-chunk"),
+	}))
+	f.Add(frame.EncodeTransport(&frame.TransportFrame{
+		Kind: frame.TransportFragAck, Src: 2, Dst: 1, Seq: 3,
 	}))
 	f.Add(frame.EncodeTransport(&frame.TransportFrame{
 		Kind: frame.TransportDatagram, Src: 3, Dst: frame.BroadcastMID,
@@ -188,5 +253,57 @@ func TestCapturedCorpusDecodes(t *testing.T) {
 	}
 	if kinds[frame.TransportData] == 0 || kinds[frame.TransportAck] == 0 {
 		t.Fatalf("capture rig missing core traffic: %v", kinds)
+	}
+}
+
+// TestCapturedWindowCorpusDecodes pins the windowed capture rig: every
+// tapped frame decodes, re-encodes byte-identically (the codec is
+// canonical on real traffic), and the shared decoder agrees with the
+// copying one while aliasing rather than copying fragment payloads. Unlike
+// DATA frames, a fragment's payload is a chunk of a larger message, so it
+// is deliberately NOT fed to frame.Decode here. The capture must exhibit
+// the full fragment vocabulary — first/middle/FragEnd fragments, urgent
+// fragments, piggybacked cumulative acks, and standalone FRAGACKs — or the
+// fuzz seeds have gone stale.
+func TestCapturedWindowCorpusDecodes(t *testing.T) {
+	kinds := map[frame.TransportKind]int{}
+	ends, urgents, piggy := 0, 0, 0
+	for _, raw := range capturedWindowFrames(t) {
+		tf, err := frame.DecodeTransport(raw)
+		if err != nil {
+			t.Fatalf("captured frame does not decode: %v", err)
+		}
+		shared, err := frame.DecodeTransportShared(raw)
+		if err != nil {
+			t.Fatalf("shared decode rejected a frame the copying decoder accepted: %v", err)
+		}
+		if !reflect.DeepEqual(tf, shared) {
+			t.Fatalf("shared decode diverged on captured %s:\n  copy:   %#v\n  shared: %#v",
+				tf.Kind, tf, shared)
+		}
+		if len(shared.Payload) > 0 && &shared.Payload[0] != &raw[len(raw)-len(shared.Payload)] {
+			t.Fatalf("DecodeTransportShared copied a %s payload", tf.Kind)
+		}
+		if enc := frame.EncodeTransport(tf); !bytes.Equal(enc, raw) {
+			t.Fatalf("captured %s is not canonical: re-encode differs", tf.Kind)
+		}
+		kinds[tf.Kind]++
+		if tf.Kind == frame.TransportFrag {
+			if tf.FragEnd {
+				ends++
+			}
+			if tf.Urgent {
+				urgents++
+			}
+			if tf.AckPresent {
+				piggy++
+			}
+		}
+	}
+	if kinds[frame.TransportFrag] == 0 || kinds[frame.TransportFragAck] == 0 {
+		t.Fatalf("window capture missing fragment traffic: %v", kinds)
+	}
+	if ends == 0 || urgents == 0 || piggy == 0 {
+		t.Fatalf("fragment vocabulary incomplete: FragEnd=%d Urgent=%d AckPresent=%d", ends, urgents, piggy)
 	}
 }

@@ -28,6 +28,20 @@ const (
 	// and their staggered replies use datagrams; SODA makes no
 	// reliability guarantees about DISCOVER (§3.4.4).
 	TransportDatagram
+	// TransportFrag is one fragment of a reliable message under the
+	// opt-in sliding-window transport mode (Config.Window > 1). Seq
+	// numbers the fragment in the per-link frame stream (acknowledged
+	// cumulatively); MsgSeq/FragIndex locate it within its message, and
+	// FragEnd marks the message's last fragment. A FRAG may piggyback a
+	// cumulative frame acknowledgement for the reverse direction
+	// (AckPresent/AckSeq). The window=1 transport never emits this kind.
+	TransportFrag
+	// TransportFragAck is a standalone cumulative fragment
+	// acknowledgement: Seq is the highest frame sequence number received
+	// in order. It advances the sender's window but completes no message
+	// (message completion is signalled by TransportAck on the message
+	// sequence number). Window=1 never emits this kind.
+	TransportFragAck
 )
 
 func (k TransportKind) String() string {
@@ -40,6 +54,10 @@ func (k TransportKind) String() string {
 		return "NACK"
 	case TransportDatagram:
 		return "DGRAM"
+	case TransportFrag:
+		return "FRAG"
+	case TransportFragAck:
+		return "FRAGACK"
 	default:
 		return fmt.Sprintf("transport(%d)", uint8(k))
 	}
@@ -61,11 +79,25 @@ type TransportFrame struct {
 	Seq      uint8
 	ConnOpen bool
 	// AckPresent marks a DATA frame that also acknowledges the peer's
-	// outstanding DATA with sequence AckSeq (piggybacked ACK).
+	// outstanding DATA with sequence AckSeq (piggybacked ACK). On a FRAG
+	// frame it instead carries a cumulative frame acknowledgement for
+	// the reverse direction's fragment stream.
 	AckPresent bool
 	AckSeq     uint8
 	Err        ErrCode // NACK discriminator; NackBusy or an ErrCode
-	Payload    []byte
+
+	// Fragment header extension, meaningful only for TransportFrag
+	// (zero and unencoded for every other kind). MsgSeq numbers the
+	// message the fragment belongs to, FragIndex the fragment within it,
+	// and FragEnd marks the message's last fragment. Urgent mirrors the
+	// sender's reply priority so the receiver can let a kernel reply
+	// overtake a busy-rejected request (§5.2.2's no-deadlock rule).
+	MsgSeq    uint8
+	FragIndex uint8
+	FragEnd   bool
+	Urgent    bool
+
+	Payload []byte
 }
 
 // transportHeaderSize is the fixed on-wire header length: kind(1) src(2)
@@ -74,13 +106,25 @@ type TransportFrame struct {
 // frame timing is comparable to the thesis's hardware.
 const transportHeaderSize = 16
 
+// fragExtSize is the fragment header extension appended to the fixed
+// header on TransportFrag frames: msgseq(1) fragindex(1).
+const fragExtSize = 2
+
 // WireSize is the encoded frame length in bytes; it drives the bus
 // transmission-time model.
-func (f *TransportFrame) WireSize() int { return transportHeaderSize + len(f.Payload) }
+func (f *TransportFrame) WireSize() int {
+	n := transportHeaderSize + len(f.Payload)
+	if f.Kind == TransportFrag {
+		n += fragExtSize
+	}
+	return n
+}
 
 const (
 	flagConnOpen   = 1 << 0
 	flagAckPresent = 1 << 1
+	flagFragEnd    = 1 << 2
+	flagUrgent     = 1 << 3
 )
 
 // EncodeTransport serializes a transport frame.
@@ -103,9 +147,20 @@ func AppendTransport(dst []byte, f *TransportFrame) []byte {
 	if f.AckPresent {
 		flags |= flagAckPresent
 	}
+	if f.Kind == TransportFrag {
+		if f.FragEnd {
+			flags |= flagFragEnd
+		}
+		if f.Urgent {
+			flags |= flagUrgent
+		}
+	}
 	dst = append(dst, f.Seq, flags, f.AckSeq, byte(f.Err))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Payload)))
 	dst = append(dst, 0, 0, 0) // CRC/sync stand-in
+	if f.Kind == TransportFrag {
+		dst = append(dst, f.MsgSeq, f.FragIndex)
+	}
 	return append(dst, f.Payload...)
 }
 
@@ -140,20 +195,32 @@ func decodeTransport(b []byte, share bool) (*TransportFrame, error) {
 		Err:        ErrCode(b[8]),
 	}
 	switch f.Kind {
-	case TransportData, TransportAck, TransportNack, TransportDatagram:
+	case TransportData, TransportAck, TransportNack, TransportDatagram,
+		TransportFrag, TransportFragAck:
 	default:
 		return nil, fmt.Errorf("%w: transport kind %d", ErrUnknownKind, b[0])
 	}
+	hdr := transportHeaderSize
+	if f.Kind == TransportFrag {
+		hdr += fragExtSize
+		if len(b) < hdr {
+			return nil, ErrShortFrame
+		}
+		f.FragEnd = flags&flagFragEnd != 0
+		f.Urgent = flags&flagUrgent != 0
+		f.MsgSeq = b[transportHeaderSize]
+		f.FragIndex = b[transportHeaderSize+1]
+	}
 	n := binary.BigEndian.Uint32(b[9:13])
-	if uint32(len(b)-transportHeaderSize) != n {
+	if uint32(len(b)-hdr) != n {
 		return nil, ErrShortFrame
 	}
 	if n > 0 {
 		if share {
-			f.Payload = b[transportHeaderSize : transportHeaderSize+n : transportHeaderSize+n]
+			f.Payload = b[hdr : hdr+int(n) : hdr+int(n)]
 		} else {
 			f.Payload = make([]byte, n)
-			copy(f.Payload, b[transportHeaderSize:])
+			copy(f.Payload, b[hdr:])
 		}
 	}
 	return f, nil

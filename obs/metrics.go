@@ -51,6 +51,10 @@ type NodeCounters struct {
 	ConnOpens        uint64 `json:"conn_opens"`
 	ConnExpires      uint64 `json:"conn_expires"`
 	ConnCloses       uint64 `json:"conn_closes"`
+	// Windowed-transport machinery (Config.Window > 1; zero otherwise).
+	WindowFills     uint64 `json:"window_fills,omitempty"`
+	CumulativeAcks  uint64 `json:"cumulative_acks,omitempty"`
+	FragRetransmits uint64 `json:"frag_retransmits,omitempty"`
 }
 
 // HistSummary is the exported digest of one primitive's latency histogram,
@@ -194,6 +198,12 @@ func (r *Registry) ObserveTransport(ev deltat.Event) {
 		nc.ConnExpires++
 	case deltat.EvConnClose:
 		nc.ConnCloses++
+	case deltat.EvWindowFill:
+		nc.WindowFills++
+	case deltat.EvCumAck:
+		nc.CumulativeAcks++
+	case deltat.EvFragRetransmit:
+		nc.FragRetransmits++
 	}
 }
 

@@ -35,6 +35,9 @@ type BusCounters struct {
 	Retransmissions   uint64            `json:"retransmissions"`
 	PiggybackedAcks   uint64            `json:"piggybacked_acks"`
 	PeerDeadTimeouts  uint64            `json:"peer_dead_timeouts"`
+	WindowFills       uint64            `json:"window_fills,omitempty"`
+	CumulativeAcks    uint64            `json:"cumulative_acks,omitempty"`
+	FragRetransmits   uint64            `json:"frag_retransmits,omitempty"`
 	BytesSent         uint64            `json:"bytes_sent"`
 	ByKind            map[string]uint64 `json:"frames_by_kind,omitempty"`
 }
@@ -51,6 +54,9 @@ func BusCountersFrom(st bus.Stats) *BusCounters {
 		Retransmissions:   st.Retransmissions,
 		PiggybackedAcks:   st.PiggybackedAcks,
 		PeerDeadTimeouts:  st.PeerDeadTimeouts,
+		WindowFills:       st.WindowFills,
+		CumulativeAcks:    st.CumulativeAcks,
+		FragRetransmits:   st.FragmentRetransmits,
 		BytesSent:         st.BytesSent,
 	}
 	if len(st.ByKind) > 0 {

@@ -189,7 +189,8 @@ func (t *Tracer) Observe(ev core.ObsEvent) {
 func (t *Tracer) ObserveTransport(ev deltat.Event) {
 	t.seen(ev.Node, ev.At)
 	switch ev.Kind {
-	case deltat.EvAckTx, deltat.EvAckRx, deltat.EvPiggybackAck, deltat.EvConnOpen:
+	case deltat.EvAckTx, deltat.EvAckRx, deltat.EvPiggybackAck, deltat.EvConnOpen,
+		deltat.EvCumAck:
 		if !t.cfg.Wire {
 			return
 		}

@@ -189,6 +189,16 @@ func WithPipelined(on bool) Option {
 	return optionFunc(func(o *options) { o.nodeCfg.Pipelined = on })
 }
 
+// WithTransportWindow sets the Delta-t transport's sliding-window depth in
+// messages (DESIGN.md §11). Values <= 1 keep the paper-faithful
+// alternating-bit stop-and-wait transport, bit-identical to the default;
+// values > 1 enable fragmentation and pipelining of reliable messages for
+// bulk throughput. Order with care: WithNodeConfig replaces the whole node
+// configuration, including this field.
+func WithTransportWindow(w int) Option {
+	return optionFunc(func(o *options) { o.nodeCfg.Transport.Window = w })
+}
+
 // WithNodeConfig replaces the whole per-node configuration.
 func WithNodeConfig(cfg Config) Option {
 	return optionFunc(func(o *options) { o.nodeCfg = cfg })

@@ -1,6 +1,7 @@
 package sweep_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -68,6 +69,101 @@ func TestMetamorphicTraceHashes(t *testing.T) {
 				t.Errorf("run %d: %s hash %s != %s hash %s",
 					j, modes[i].name, hashes[i][j], modes[0].name, hashes[0][j])
 			}
+		}
+	}
+}
+
+// TestWindowOneTraceGoldens pins the transport's backward-compatibility
+// contract (DESIGN.md §11): with the sliding window off — the default, or
+// Window set to 1 explicitly — every run's trace hash is byte-identical to
+// the goldens recorded before the windowed engine existed. A stop-and-wait
+// node must emit not one different frame, draw not one extra random
+// number. If this test fails, the windowed code has leaked into the
+// Window<=1 path; do not re-record the goldens without understanding why.
+func TestWindowOneTraceGoldens(t *testing.T) {
+	goldens := map[string]map[string]string{
+		"fileserver": {
+			"fileserver/n5/seed1/plan0":  "5a0d06540198eaf5",
+			"fileserver/n5/seed1/plan11": "80f41cc8ebac6f28",
+			"fileserver/n5/seed7/plan0":  "5a0d06540198eaf5",
+			"fileserver/n5/seed7/plan11": "5cd8168e8279b84d",
+		},
+		"philosophers": {
+			"philosophers/n5/seed1/plan0":  "3f79fe6237fac123",
+			"philosophers/n5/seed1/plan11": "3f79fe6237fac123",
+			"philosophers/n5/seed7/plan0":  "3f79fe6237fac123",
+			"philosophers/n5/seed7/plan11": "3f79fe6237fac123",
+		},
+	}
+	for scenario, want := range goldens {
+		for _, window := range []int{0, 1} {
+			scenario, window := scenario, window
+			t.Run(fmt.Sprintf("%s/w%d", scenario, window), func(t *testing.T) {
+				spec := sweep.Spec{
+					Scenario:  scenario,
+					Seeds:     []int64{1, 7},
+					PlanSeeds: []int64{0, 11},
+					Nodes:     []int{5},
+					Horizon:   2 * time.Second,
+					Window:    window,
+				}
+				rep, err := sweep.Run(spec, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rep.Runs) != len(want) {
+					t.Fatalf("%d runs, want %d", len(rep.Runs), len(want))
+				}
+				for _, r := range rep.Runs {
+					if r.Err != "" {
+						t.Fatalf("run %v failed: %s", r.Key, r.Err)
+					}
+					if g := want[r.Key.String()]; r.TraceHash != g {
+						t.Errorf("%v: trace hash %s, golden %s — the stop-and-wait wire has changed",
+							r.Key, r.TraceHash, g)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWindowedSweepDeterminism: a windowed sweep is not expected to match
+// the stop-and-wait goldens — it is expected to be exactly as deterministic.
+// Same spec, same hashes, sequential or parallel, with the faults invariant
+// checkers armed and silent throughout (chaos columns included).
+func TestWindowedSweepDeterminism(t *testing.T) {
+	spec := sweep.Spec{
+		Scenario:   "fileserver",
+		Seeds:      []int64{1, 7},
+		PlanSeeds:  []int64{0, 11},
+		Nodes:      []int{5},
+		Horizon:    2 * time.Second,
+		Window:     4,
+		Instrument: true,
+		Checks:     true,
+	}
+	seq, err := sweep.Run(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sweep.Run(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range seq.Runs {
+		if seq.Runs[j].Err != "" {
+			t.Fatalf("run %v failed: %s", seq.Runs[j].Key, seq.Runs[j].Err)
+		}
+		if v := seq.Runs[j].Violations; len(v) > 0 {
+			t.Errorf("run %v: invariant violations under window=4: %v", seq.Runs[j].Key, v)
+		}
+		if seq.Runs[j].TraceHash != par.Runs[j].TraceHash {
+			t.Errorf("run %v: sequential hash %s != parallel hash %s",
+				seq.Runs[j].Key, seq.Runs[j].TraceHash, par.Runs[j].TraceHash)
+		}
+		if seq.Runs[j].FramesSent == 0 {
+			t.Errorf("run %v sent no frames", seq.Runs[j].Key)
 		}
 	}
 }

@@ -49,6 +49,11 @@ type Spec struct {
 	// Checks arms the faults invariant checkers on every run; violations
 	// land in RunResult.Violations.
 	Checks bool `json:"checks,omitempty"`
+	// Window sets the transport's sliding-window depth on every node
+	// (deltat.Config.Window, DESIGN.md §11). Zero or one is the
+	// paper-faithful stop-and-wait transport; the metamorphic battery pins
+	// that Window<=1 sweeps hash identically to pre-window builds.
+	Window int `json:"window,omitempty"`
 }
 
 // RunKey identifies one cell of the matrix. Report order is the key order:
@@ -240,6 +245,9 @@ func Run(spec Spec, workers int) (*Report, error) {
 func runOne(spec Spec, key RunKey) RunResult {
 	sc := scenarios[key.Scenario]
 	opts := []soda.Option{soda.WithSeed(key.Seed)}
+	if spec.Window > 1 {
+		opts = append(opts, soda.WithTransportWindow(spec.Window))
+	}
 	if key.PlanSeed != 0 {
 		mids := make([]faults.MID, key.Nodes)
 		for i := range mids {
