@@ -9,11 +9,14 @@
 //	sodabench -table modcmp        # the SODA vs *MOD comparison (E3)
 //	sodabench -table deltat        # the Delta-t situations figure (E4)
 //	sodabench -table window        # the sliding-window sweep (DESIGN.md §11)
+//	sodabench -table lossywindow   # loss x window x recovery-mode sweep (DESIGN.md §12)
 //	sodabench -ops 100             # more operations per cell
 //	sodabench -profile BENCH_table61.json   # machine-readable run profile
 //	sodabench -table none -profile f.json   # profile only, no tables
 //	sodabench -table none -window BENCH_window.json       # write the window artifact
 //	sodabench -table none -windowcheck BENCH_window.json  # regression-gate against it
+//	sodabench -table none -lossywindow BENCH_lossywindow.json       # write the lossy artifact
+//	sodabench -table none -lossycheck BENCH_lossywindow.json        # robustness-gate against it
 //
 // All times are virtual milliseconds from the calibrated simulation; the
 // shapes — who wins, by what factor, where the crossovers fall — are the
@@ -30,11 +33,13 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: performance, breakdown, modcmp, deltat, window, all, none")
+	table := flag.String("table", "all", "table to print: performance, breakdown, modcmp, deltat, window, lossywindow, all, none")
 	ops := flag.Int("ops", 50, "measured operations per cell")
 	profile := flag.String("profile", "", "write the Table 6.1 scenario's machine-readable run profile (JSON) to this file")
 	windowOut := flag.String("window", "", "write the sliding-window sweep artifact (BENCH_window.json format) to this file")
 	windowCheck := flag.String("windowcheck", "", "re-measure the window sweep and regression-gate it against this artifact")
+	lossyOut := flag.String("lossywindow", "", "write the lossy-window sweep artifact (BENCH_lossywindow.json format) to this file")
+	lossyCheck := flag.String("lossycheck", "", "re-measure the lossy-window sweep and robustness-gate it against this artifact")
 	flag.Parse()
 
 	switch *table {
@@ -48,6 +53,8 @@ func main() {
 		printDeltaT()
 	case "window":
 		printWindow(*ops)
+	case "lossywindow":
+		printLossyWindow()
 	case "all":
 		printPerformance(*ops)
 		fmt.Println()
@@ -58,6 +65,8 @@ func main() {
 		printDeltaT()
 		fmt.Println()
 		printWindow(*ops)
+		fmt.Println()
+		printLossyWindow()
 	case "none":
 		// Profile-only mode (CI bench-smoke).
 	default:
@@ -79,6 +88,18 @@ func main() {
 	}
 	if *windowCheck != "" {
 		if err := checkWindow(*windowCheck, *ops); err != nil {
+			fmt.Fprintf(os.Stderr, "sodabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *lossyOut != "" {
+		if err := writeLossyWindow(*lossyOut); err != nil {
+			fmt.Fprintf(os.Stderr, "sodabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *lossyCheck != "" {
+		if err := checkLossyWindow(*lossyCheck); err != nil {
 			fmt.Fprintf(os.Stderr, "sodabench: %v\n", err)
 			os.Exit(1)
 		}
@@ -234,6 +255,83 @@ func checkWindow(path string, ops int) error {
 	}
 	fmt.Printf("window sweep check ok: window=1 %d us/op (baseline %d), window=4 speedup %.2fx\n",
 		w1.PerOpUS, w1want.PerOpUS, w4.SpeedupVsW1)
+	return nil
+}
+
+func printLossyWindow() {
+	s := bench.MeasureLossyWindow(0, 0, nil, nil)
+	fmt.Printf("Lossy Bulk Transfer (DESIGN.md §12; %d-byte messages, %d per cell, virtual time)\n",
+		s.Bytes, s.Ops)
+	fmt.Printf("  %-6s %-8s %-10s %10s %9s %7s %8s %8s %7s\n",
+		"Loss", "Window", "Mode", "ms/op", "vs clean", "resub", "fragrtx", "selrtx", "windec")
+	for _, r := range s.Rows {
+		fmt.Printf("  %-6s %-8d %-10s %10.1f %8.2fx %7d %8d %8d %7d\n",
+			fmt.Sprintf("%d%%", r.LossPct), r.Window, r.Mode,
+			float64(r.PerOpUS)/1000, r.SlowdownVsClean,
+			r.Resubmits, r.FragRetransmits, r.SelectiveRetransmits, r.WindowDecreases)
+	}
+}
+
+// writeLossyWindow regenerates the BENCH_lossywindow.json artifact.
+func writeLossyWindow(path string) error {
+	s := bench.MeasureLossyWindow(0, 0, nil, nil)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("lossy-window sweep: %s written (%d ops per cell)\n", path, s.Ops)
+	return nil
+}
+
+// checkLossyWindow re-measures the lossy sweep at the artifact's own batch
+// shape and enforces the robustness gates (LossySweep.Check): selective
+// repeat must degrade gracefully where go-back-N collapses, and a clean
+// wire must stay mode-identical. Used by the CI lossy-window-bench job.
+func checkLossyWindow(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	want, err := bench.ReadLossySweep(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	got := bench.MeasureLossyWindow(want.Bytes, want.Ops, nil, nil)
+	if errs := got.Check(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "sodabench: lossy-window gate: %v\n", e)
+		}
+		return fmt.Errorf("%d lossy-window robustness gate(s) failed", len(errs))
+	}
+	// Determinism cross-check against the committed artifact: virtual
+	// time is a pure function of the seed, so any drift is a real
+	// transport change and the artifact must be regenerated consciously.
+	for i := range got.Rows {
+		g := got.Rows[i]
+		w := want.Row(g.LossPct, g.Window, g.Mode)
+		if w == nil {
+			return fmt.Errorf("%s: missing row loss=%d%% window=%d mode=%s (regenerate the artifact)",
+				path, g.LossPct, g.Window, g.Mode)
+		}
+		if w.PerOpUS != g.PerOpUS {
+			return fmt.Errorf("row loss=%d%% window=%d mode=%s: measured %d us/op, artifact says %d us/op (deterministic virtual time — if the transport change is intentional, regenerate %s)",
+				g.LossPct, g.Window, g.Mode, g.PerOpUS, w.PerOpUS, path)
+		}
+	}
+	sel := got.Row(15, 8, "selective")
+	gbn := got.Row(15, 8, "gobackn")
+	if sel != nil && gbn != nil {
+		fmt.Printf("lossy-window check ok: at 15%% loss w=8 selective %.2fx vs clean, gobackn %.2fx\n",
+			sel.SlowdownVsClean, gbn.SlowdownVsClean)
+	}
 	return nil
 }
 

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMeasureLossyWindowShape runs a miniature lossy sweep and checks the
+// structural invariants of the artifact: window 1 is measured once per
+// loss rate as "stopwait", deeper windows once per recovery mode, every
+// 0% row is its own slowdown baseline, and loss only ever costs time.
+func TestMeasureLossyWindowShape(t *testing.T) {
+	s := MeasureLossyWindow(3000, 8, []int{1, 4}, []int{0, 15})
+	if s.Bytes != 3000 || s.Ops != 8 {
+		t.Fatalf("sweep header wrong: %+v", s)
+	}
+	// 2 stopwait rows + 2 modes x 2 losses for window 4.
+	if len(s.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(s.Rows))
+	}
+	for _, mode := range []string{"stopwait", "selective", "gobackn"} {
+		w := 4
+		if mode == "stopwait" {
+			w = 1
+		}
+		clean, lossy := s.Row(0, w, mode), s.Row(15, w, mode)
+		if clean == nil || lossy == nil {
+			t.Fatalf("missing %s rows: %+v", mode, s.Rows)
+		}
+		if clean.SlowdownVsClean != 1 {
+			t.Errorf("%s 0%% row slowdown %.2f, want 1", mode, clean.SlowdownVsClean)
+		}
+		if lossy.PerOpUS < clean.PerOpUS || lossy.SlowdownVsClean < 1 {
+			t.Errorf("%s got faster under loss: %+v vs %+v", mode, lossy, clean)
+		}
+	}
+	if s.Row(0, 1, "selective") != nil {
+		t.Fatal("window 1 must be measured as stopwait, not per recovery mode")
+	}
+	sel, gbn := s.Row(0, 4, "selective"), s.Row(0, 4, "gobackn")
+	if sel.PerOpUS != gbn.PerOpUS {
+		t.Errorf("0%% loss rows diverge across modes: %d vs %d us", sel.PerOpUS, gbn.PerOpUS)
+	}
+	if lossySel := s.Row(15, 4, "selective"); lossySel.SackBlocksSent == 0 {
+		t.Error("selective cell under loss sent no SACK blocks")
+	}
+	if lossyGbn := s.Row(15, 4, "gobackn"); lossyGbn.SelectiveRetransmits != 0 {
+		t.Error("go-back-N cell counted selective retransmits")
+	}
+	if s.Row(15, 8, "selective") != nil {
+		t.Fatal("Row found a cell that was never measured")
+	}
+}
+
+// TestLossySweepRoundTrip: Write → ReadLossySweep is the identity on the
+// BENCH_lossywindow.json format.
+func TestLossySweepRoundTrip(t *testing.T) {
+	s := MeasureLossyWindow(2100, 5, []int{1, 2}, []int{0, 30})
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLossySweep(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(s.Rows) || back.Description != s.Description || back.Seed != s.Seed {
+		t.Fatalf("round trip changed the sweep: %+v", back)
+	}
+	for i := range s.Rows {
+		if back.Rows[i] != s.Rows[i] {
+			t.Fatalf("row %d changed: %+v vs %+v", i, back.Rows[i], s.Rows[i])
+		}
+	}
+}
+
+// TestLossySweepCheckViolations pins each gate in Check against doctored
+// artifacts, so the CI job actually fails when a claim breaks.
+func TestLossySweepCheckViolations(t *testing.T) {
+	mk := func() LossySweep {
+		return LossySweep{Rows: []LossyRow{
+			{LossPct: 0, Window: 8, Mode: "selective", PerOpUS: 100, SlowdownVsClean: 1},
+			{LossPct: 0, Window: 8, Mode: "gobackn", PerOpUS: 100, SlowdownVsClean: 1},
+			{LossPct: 15, Window: 8, Mode: "selective", PerOpUS: 150, SlowdownVsClean: 1.5},
+			{LossPct: 15, Window: 8, Mode: "gobackn", PerOpUS: 700, SlowdownVsClean: 7},
+			{LossPct: 30, Window: 8, Mode: "selective", PerOpUS: 250, SlowdownVsClean: 2.5},
+			{LossPct: 30, Window: 8, Mode: "gobackn", PerOpUS: 1100, SlowdownVsClean: 11},
+		}}
+	}
+	if errs := mk().Check(); len(errs) != 0 {
+		t.Fatalf("healthy sweep failed its own gates: %v", errs)
+	}
+	cases := []struct {
+		name   string
+		doctor func(*LossySweep)
+	}{
+		{"selective degraded past 2x at 15%", func(s *LossySweep) {
+			s.Row(15, 8, "selective").SlowdownVsClean = 2.6
+		}},
+		{"gobackn failed to collapse", func(s *LossySweep) {
+			s.Row(15, 8, "gobackn").SlowdownVsClean = 1.4
+		}},
+		{"30% mode ratio collapsed", func(s *LossySweep) {
+			s.Row(30, 8, "gobackn").PerOpUS = 300
+		}},
+		{"0% rows diverged across modes", func(s *LossySweep) {
+			s.Row(0, 8, "gobackn").PerOpUS = 101
+		}},
+		{"missing row", func(s *LossySweep) {
+			s.Rows = s.Rows[:len(s.Rows)-1]
+		}},
+	}
+	for _, tc := range cases {
+		s := mk()
+		tc.doctor(&s)
+		if errs := s.Check(); len(errs) == 0 {
+			t.Errorf("%s: Check reported no violation", tc.name)
+		}
+	}
+}
+
+// TestLossySweepDefaultGates is the acceptance pin: the standard sweep at
+// its committed scale must pass every Check gate — selective repeat within
+// 2x of lossless at 15% loss, the go-back-N collapse, and 0%-loss
+// wire-identity across modes.
+func TestLossySweepDefaultGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full default sweep in -short mode")
+	}
+	s := MeasureLossyWindow(0, 0, nil, nil)
+	for _, err := range s.Check() {
+		t.Error(err)
+	}
+}

@@ -85,10 +85,25 @@ type Stats struct {
 	// standalone FRAGACK frames and piggybacks on reverse FRAGs alike.
 	CumulativeAcks uint64
 	// FragmentRetransmits counts FRAG frames re-sent by the windowed
-	// transport's go-back-N recovery (first transmissions not counted).
+	// transport's recovery, go-back-N and selective repeat alike (first
+	// transmissions not counted).
 	FragmentRetransmits uint64
-	BytesSent           uint64
-	ByKind              map[frame.TransportKind]uint64
+	// SelectiveRetransmits counts the subset of FragmentRetransmits that
+	// were hole-targeted re-sends under selective repeat (SACKed
+	// successors withheld): timer-driven hole rounds and fast
+	// retransmits. Always zero under go-back-N.
+	SelectiveRetransmits uint64
+	// SackBlocksSent counts contiguous SACK blocks carried on outgoing
+	// FRAGACK frames (one bitmap may report several blocks).
+	SackBlocksSent uint64
+	// WindowIncreases and WindowDecreases count AIMD congestion-window
+	// moves: additive +1 growth after a clean window of completions, and
+	// multiplicative halving on a recovery-timer fire. Always zero under
+	// go-back-N or at window<=1.
+	WindowIncreases uint64
+	WindowDecreases uint64
+	BytesSent       uint64
+	ByKind          map[frame.TransportKind]uint64
 }
 
 // FaultAction is a fault model's disposition of one per-receiver delivery.
@@ -260,9 +275,23 @@ func (i *Iface) CountWindowFill() { i.bus.stats.WindowFills++ }
 // (standalone FRAGACK or piggybacked on a reverse FRAG frame).
 func (i *Iface) CountCumulativeAck() { i.bus.stats.CumulativeAcks++ }
 
-// CountFragmentRetransmit records a FRAG frame re-sent by go-back-N
-// recovery.
+// CountFragmentRetransmit records a FRAG frame re-sent by windowed-mode
+// recovery (either strategy).
 func (i *Iface) CountFragmentRetransmit() { i.bus.stats.FragmentRetransmits++ }
+
+// CountSelectiveRetransmit records a hole-targeted FRAG re-send under
+// selective repeat (counted in addition to CountFragmentRetransmit).
+func (i *Iface) CountSelectiveRetransmit() { i.bus.stats.SelectiveRetransmits++ }
+
+// CountSackBlocks records the contiguous SACK blocks carried on one
+// outgoing FRAGACK frame.
+func (i *Iface) CountSackBlocks(n int) { i.bus.stats.SackBlocksSent += uint64(n) }
+
+// CountWindowIncrease records one AIMD additive window increase.
+func (i *Iface) CountWindowIncrease() { i.bus.stats.WindowIncreases++ }
+
+// CountWindowDecrease records one AIMD multiplicative window decrease.
+func (i *Iface) CountWindowDecrease() { i.bus.stats.WindowDecreases++ }
 
 // Down disconnects the interface (a crashed node hears nothing). Frames in
 // flight toward it are discarded at delivery time.

@@ -1,0 +1,45 @@
+package bus
+
+import (
+	"testing"
+
+	"soda/internal/sim"
+)
+
+// TestRecoveryCounters pins the windowed-recovery stat hooks the transport
+// calls into (DESIGN.md §12): selective retransmits, SACK blocks, and the
+// AIMD window moves, alongside the interface identity accessor.
+func TestRecoveryCounters(t *testing.T) {
+	k := sim.New(1)
+	b := New(k, DefaultConfig())
+	i, err := b.Attach(3, func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.MID() != 3 {
+		t.Fatalf("MID() = %d, want 3", i.MID())
+	}
+	i.CountFragmentRetransmit()
+	i.CountSelectiveRetransmit()
+	i.CountSackBlocks(2)
+	i.CountSackBlocks(1)
+	i.CountWindowIncrease()
+	i.CountWindowIncrease()
+	i.CountWindowDecrease()
+	st := b.Stats()
+	if st.FragmentRetransmits != 1 || st.SelectiveRetransmits != 1 {
+		t.Errorf("retransmit counters = %d/%d, want 1/1",
+			st.FragmentRetransmits, st.SelectiveRetransmits)
+	}
+	if st.SackBlocksSent != 3 {
+		t.Errorf("SackBlocksSent = %d, want 3", st.SackBlocksSent)
+	}
+	if st.WindowIncreases != 2 || st.WindowDecreases != 1 {
+		t.Errorf("AIMD counters = %d/%d, want 2/1", st.WindowIncreases, st.WindowDecreases)
+	}
+	b.ResetStats()
+	if got := b.Stats(); got.SelectiveRetransmits != 0 || got.SackBlocksSent != 0 ||
+		got.WindowIncreases != 0 || got.WindowDecreases != 0 {
+		t.Errorf("ResetStats left recovery counters: %+v", got)
+	}
+}

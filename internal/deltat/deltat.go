@@ -164,6 +164,22 @@ const (
 	// EvFragRetransmit: go-back-N recovery re-sent a FRAG frame; Seq is
 	// its fragment sequence, Attempt the retransmission round.
 	EvFragRetransmit
+	// EvSelectiveRetransmit: selective-repeat recovery re-sent one
+	// unacknowledged hole while withholding SACKed successors; Seq is the
+	// fragment sequence, Attempt the recovery round (1 for a
+	// fast retransmit triggered by duplicate cumulative acks).
+	EvSelectiveRetransmit
+	// EvSackTx: a cumulative fragment acknowledgement carried a SACK
+	// bitmap reporting out-of-order fragments; Seq is the cumulative
+	// point, Attempt the number of contiguous SACK blocks.
+	EvSackTx
+	// EvWindowIncrease: the AIMD controller grew the congestion window
+	// after a clean window's worth of completions; Attempt is the new
+	// cwnd (always <= the operator's Config.Window ceiling).
+	EvWindowIncrease
+	// EvWindowDecrease: the AIMD controller halved the congestion window
+	// on a recovery-timer fire; Attempt is the new cwnd.
+	EvWindowDecrease
 )
 
 func (k EventKind) String() string {
@@ -192,6 +208,14 @@ func (k EventKind) String() string {
 		return "CUM_ACK"
 	case EvFragRetransmit:
 		return "FRAG_RETRANSMIT"
+	case EvSelectiveRetransmit:
+		return "SEL_RETRANSMIT"
+	case EvSackTx:
+		return "SACK_TX"
+	case EvWindowIncrease:
+		return "WINDOW_INC"
+	case EvWindowDecrease:
+		return "WINDOW_DEC"
 	default:
 		return "EV(?)"
 	}
@@ -214,6 +238,30 @@ type Event struct {
 	// Attempt is the transmission count for EvRetransmit (2 = first
 	// retransmission).
 	Attempt int
+}
+
+// RecoveryMode selects how the windowed engine (Config.Window > 1)
+// recovers lost fragments.
+type RecoveryMode uint8
+
+const (
+	// RecoverySelective is the default: the receiver buffers out-of-order
+	// fragments and reports them in SACK bitmaps, the sender retransmits
+	// only the holes (fast-retransmit on duplicate cumulative acks, timer
+	// otherwise), and an AIMD controller adapts the effective window
+	// below the operator's Config.Window ceiling.
+	RecoverySelective RecoveryMode = iota
+	// RecoveryGoBackN is the legacy engine: strict in-order acceptance,
+	// cumulative acks only, full-pipeline retransmission on every
+	// recovery-timer fire, fixed window.
+	RecoveryGoBackN
+)
+
+func (m RecoveryMode) String() string {
+	if m == RecoveryGoBackN {
+		return "gobackn"
+	}
+	return "selective"
 }
 
 // Config sets protocol timing.
@@ -245,6 +293,12 @@ type Config struct {
 	// FragSize caps the payload bytes of one FRAG frame in windowed
 	// mode; <= 0 means DefaultFragSize. Window=1 never fragments.
 	FragSize int
+	// Recovery selects the windowed engine's loss-recovery strategy. The
+	// zero value is RecoverySelective (SACK + AIMD, DESIGN.md §12);
+	// RecoveryGoBackN keeps the PR-5 cumulative-only engine with a fixed
+	// window, retained as the baseline the lossywindow benchmark compares
+	// against. Window<=1 ignores this field entirely.
+	Recovery RecoveryMode
 	Costs    Costs
 	// Observer, when non-nil, receives the endpoint's protocol event
 	// stream (see Event). It must never influence protocol behavior; the
@@ -376,6 +430,13 @@ type Endpoint struct {
 	// stop-and-wait path carries no trace of it. See window.go.
 	wout map[frame.MID]*wsend
 	win  map[frame.MID]*wrecv
+	// wquiet holds per-peer reconnect quiet deadlines set by wPeerDead:
+	// after declaring a peer dead the sender restarts its sequence space,
+	// which is only safe once the peer's receive record has lapsed — and
+	// that record lapses on ConnLifetime of *silence* (§5.2.2). Sending
+	// immediately would keep the stale record alive with frames it can
+	// only reject, a permanent desync. Consumed lazily by wsendFor.
+	wquiet map[frame.MID]sim.Time
 	// recvReadyAt serializes windowed receive charges: the processor
 	// finishes frames in arrival order, so a small fragment's (cheaper)
 	// charge cannot complete before a larger fragment that arrived first —
@@ -390,6 +451,12 @@ type Endpoint struct {
 
 // windowed reports whether the sliding-window engine is in effect.
 func (e *Endpoint) windowed() bool { return e.cfg.Window > 1 }
+
+// selective reports whether the windowed engine runs selective-repeat
+// recovery (the default) rather than legacy go-back-N.
+func (e *Endpoint) selective() bool {
+	return e.windowed() && e.cfg.Recovery != RecoveryGoBackN
+}
 
 // New attaches a transport endpoint for mid to the bus.
 func New(k *sim.Kernel, b *bus.Bus, mid frame.MID, cfg Config, hooks Hooks) (*Endpoint, error) {
@@ -610,7 +677,8 @@ func (e *Endpoint) Quiescent() bool {
 	}
 	for _, src := range sortediter.Keys(e.win) {
 		wr := e.win[src]
-		if wr.delivering || wr.busyWait || wr.ackPending || wr.asmOpen || len(wr.buffered) > 0 {
+		if wr.delivering || wr.busyWait || wr.ackPending || wr.asmOpen ||
+			len(wr.buffered) > 0 || len(wr.ooo) > 0 {
 			return false
 		}
 	}

@@ -17,13 +17,27 @@
 // numbers; correctness requires the outstanding span to stay below half the
 // space, which maxInflightFrags and maxWindowMessages guarantee.
 //
-// Loss recovery is go-back-N: the receiver only accepts the next in-order
-// frame sequence, and the sender's single per-destination timer re-sends
-// every unacknowledged fragment. Message completion is signalled separately
-// by a TransportAck carrying the message sequence (and any reply payload),
-// exactly like the stop-and-wait path — so a lost completion ack is
-// recovered by the §5.2.3 cached-reply replay when a duplicate of the
-// message's final fragment arrives.
+// Loss recovery comes in two modes (Config.Recovery, DESIGN.md §12):
+//
+//   - RecoverySelective (default): the receiver buffers out-of-order
+//     fragments in a bounded per-peer map and reports them to the sender in
+//     a SACK bitmap riding every standalone FRAGACK; the sender retransmits
+//     only the holes — on the recovery timer, or early via fast-retransmit
+//     when fastRetransmitDupAcks duplicate cumulative acks arrive. An AIMD
+//     controller sizes the effective message window (cwnd): it starts at the
+//     operator's Config.Window ceiling (the LAN's capacity is known, so the
+//     search runs downward from evidence of loss rather than upward from 1),
+//     halves on every recovery-timer fire, and regrows by one message per
+//     clean window's worth of completions, never exceeding the ceiling.
+//   - RecoveryGoBackN (legacy): the receiver only accepts the next in-order
+//     frame sequence, and the sender's single per-destination timer re-sends
+//     every unacknowledged fragment.
+//
+// In both modes message completion is signalled separately by a TransportAck
+// carrying the message sequence (and any reply payload), exactly like the
+// stop-and-wait path — so a lost completion ack is recovered by the §5.2.3
+// cached-reply replay when a duplicate of the message's final fragment
+// arrives.
 //
 // Window=1 configurations never reach this file: every entry point is gated
 // on Endpoint.windowed(), keeping the default path bit-identical to the
@@ -57,6 +71,20 @@ const (
 	// duplicate replay: twice the window, so a reply outlives every
 	// message the sender can still be probing for.
 	replyCacheCap = 2 * maxWindowMessages
+	// sackSpan is how many sequence numbers past cum+1 the SACK bitmap
+	// covers (64 bits; cum+1 is by definition the first hole and needs no
+	// bit). Because maxInflightFrags == sackSpan, a compliant sender's
+	// whole outstanding span is always representable.
+	sackSpan = 64
+	// maxOOOFrags bounds the per-peer out-of-order reassembly buffer in
+	// selective mode. A compliant sender can have at most sackSpan-1
+	// fragments beyond the first hole outstanding, so eviction only ever
+	// fires against non-compliant (or wildly delayed) traffic.
+	maxOOOFrags = maxInflightFrags
+	// fastRetransmitDupAcks is K: after this many consecutive standalone
+	// cumulative acks with no progress, the sender retransmits the holes
+	// without waiting for the recovery timer.
+	fastRetransmitDupAcks = 3
 )
 
 // seqLE reports a <= b in uint8 serial-number order, valid while the live
@@ -86,6 +114,18 @@ type wfrag struct {
 	seq uint8
 	msg *wmsg
 	idx int
+	// sacked marks a fragment the receiver reported holding out of order
+	// (selective mode). A sacked fragment is skipped by hole
+	// retransmission but is NOT released — only the cumulative ack frees
+	// it, so a receiver-side eviction can never strand the transfer
+	// (anti-renege: the marks are cleared after two consecutive timer
+	// fires without progress).
+	sacked bool
+	// wireAt is when this fragment's latest copy finishes leaving the
+	// wire. While wireAt is in the future the copy is still in our own
+	// egress queue, so an unanswered fragment is not evidence of loss —
+	// recovery skips it rather than stacking duplicates behind it.
+	wireAt sim.Time
 }
 
 // wsend is the per-destination windowed send state.
@@ -114,6 +154,29 @@ type wsend struct {
 	attempts   int
 	timerGen   int
 	armed      bool
+	// probeWireAt is when the last §5.2.3 completion probe finishes
+	// leaving the wire; a new probe is pointless (and pure egress spam)
+	// while the previous one is still queued behind the stream.
+	probeWireAt sim.Time
+	// quietUntil is the reconnect quiet deadline inherited from wquiet:
+	// no frame may leave before it (readyAt/lineFreeAt are seeded to it)
+	// and the recovery timer must not burn attempts retransmitting into
+	// the enforced silence.
+	quietUntil sim.Time
+
+	// AIMD congestion state (selective mode only; see the package doc).
+	// cwnd is the adaptive message window, always in [1, Endpoint.window()];
+	// cleanAcks counts message completions since the last loss signal
+	// toward the next additive increase.
+	cwnd      int
+	cleanAcks int
+	// Duplicate-cumulative-ack tracking for fast retransmit: dupAcks
+	// counts consecutive standalone FRAGACKs repeating cumulative point
+	// dupCum with no progress. Piggybacked acks never count — a busy
+	// reverse direction repeats its cum on every FRAG without implying
+	// loss — and any progress resets the run.
+	dupCum  uint8
+	dupAcks int
 }
 
 // sendable returns the message whose fragment should transmit next: the one
@@ -171,6 +234,18 @@ type winMsg struct {
 	urgent  bool
 }
 
+// oooFrag is one fragment received ahead of the cumulative point and held
+// for reassembly once the hole fills (selective mode). The payload is copied
+// out of the shared bus buffer at buffering time — the drain happens on a
+// later event, past the buffer's lifetime.
+type oooFrag struct {
+	msgSeq  uint8
+	idx     uint8
+	end     bool
+	urgent  bool
+	payload []byte
+}
+
 // wrecv is the per-peer windowed receive state.
 type wrecv struct {
 	valid     bool
@@ -188,6 +263,12 @@ type wrecv struct {
 	buffered map[uint8]*winMsg // reassembled, not yet delivered
 	skipped  map[uint8]bool    // delivered ahead of order during busyWait
 
+	// Out-of-order fragments keyed by frame sequence (selective mode;
+	// always empty under go-back-N). Bounded by maxOOOFrags with
+	// deterministic farthest-first eviction; drained into the contiguous
+	// assembly stream as the cumulative point advances.
+	ooo map[uint8]oooFrag
+
 	delivering bool // one upper-layer verdict outstanding at a time
 	busyWait   bool // head message busy-refused; urgent may overtake
 
@@ -199,13 +280,22 @@ type wrecv struct {
 	ackGen     int
 }
 
-// window is the clamped message-window depth.
+// window is the clamped message-window depth — the operator's ceiling.
 func (e *Endpoint) window() int {
 	w := e.cfg.Window
 	if w > maxWindowMessages {
 		w = maxWindowMessages
 	}
 	return w
+}
+
+// wLimit is the admission limit actually in force: the AIMD cwnd under
+// selective repeat, the fixed operator window under go-back-N.
+func (e *Endpoint) wLimit(ws *wsend) int {
+	if e.selective() {
+		return ws.cwnd
+	}
+	return e.window()
 }
 
 // wFragSize is the effective fragment payload cap for a message of n bytes.
@@ -223,7 +313,20 @@ func (e *Endpoint) wFragSize(n int) int {
 func (e *Endpoint) wsendFor(dst frame.MID) *wsend {
 	ws := e.wout[dst]
 	if ws == nil {
-		ws = &wsend{}
+		// cwnd opens at the operator ceiling: on the known-capacity LAN the
+		// AIMD search runs downward from loss evidence, so a clean link is
+		// wire-identical to the fixed-window engine.
+		ws = &wsend{cwnd: e.window()}
+		if q, ok := e.wquiet[dst]; ok {
+			// Reconnect after a peer-dead verdict: hold the first frame
+			// until the peer's receive record has provably lapsed. Seeding
+			// the CPU/line serializers is enough — every transmission is
+			// scheduled behind them.
+			delete(e.wquiet, dst)
+			if q > e.k.Now() {
+				ws.readyAt, ws.lineFreeAt, ws.quietUntil = q, q, q
+			}
+		}
 		if e.wout == nil {
 			e.wout = make(map[frame.MID]*wsend)
 		}
@@ -294,7 +397,7 @@ func (e *Endpoint) wPump(dst frame.MID, ws *wsend) {
 			if len(ws.queue) == 0 {
 				break
 			}
-			if len(ws.inflight) >= e.window() {
+			if len(ws.inflight) >= e.wLimit(ws) {
 				if !ws.stalled {
 					ws.stalled = true
 					e.iface.CountWindowFill()
@@ -313,7 +416,14 @@ func (e *Endpoint) wPump(dst frame.MID, ws *wsend) {
 				m.frags = 1 // empty payload still takes one fragment
 			}
 			if len(ws.inflight) == 0 && len(ws.frames) == 0 {
-				ws.deadline = e.k.Now() + e.cfg.DeadAfter()
+				// The no-response clock starts when the first frame can
+				// actually leave: a reconnect quiet period (ws.readyAt in
+				// the future) must not count against the peer.
+				base := e.k.Now()
+				if ws.readyAt > base {
+					base = ws.readyAt
+				}
+				ws.deadline = base + e.cfg.DeadAfter()
 				ws.interval = e.cfg.RetransInterval
 				ws.attempts = 0
 			}
@@ -331,7 +441,7 @@ func (e *Endpoint) wPump(dst frame.MID, ws *wsend) {
 			m.lastSeq = seq
 		}
 		ws.frames = append(ws.frames, wfrag{seq: seq, msg: m, idx: idx})
-		e.wTransmitFrag(dst, ws, m, idx, seq)
+		ws.frames[len(ws.frames)-1].wireAt = e.wTransmitFrag(dst, ws, m, idx, seq)
 	}
 	e.wArm(dst, ws)
 }
@@ -339,8 +449,9 @@ func (e *Endpoint) wPump(dst frame.MID, ws *wsend) {
 // wTransmitFrag charges the send cost and schedules fragment idx of m onto
 // the bus, serialized behind earlier fragment charges (ws.readyAt). The
 // transmission is skipped if the message completes or parks before the
-// processing delay elapses.
-func (e *Endpoint) wTransmitFrag(dst frame.MID, ws *wsend, m *wmsg, idx int, seq uint8) {
+// processing delay elapses. Returns when this copy finishes leaving the
+// wire, for the caller to record as the fragment's wireAt.
+func (e *Endpoint) wTransmitFrag(dst frame.MID, ws *wsend, m *wmsg, idx int, seq uint8) sim.Time {
 	start := idx * m.fragSz
 	end := start + m.fragSz
 	if end > len(m.payload) {
@@ -393,6 +504,7 @@ func (e *Endpoint) wTransmitFrag(dst frame.MID, ws *wsend, m *wmsg, idx int, seq
 		}
 		e.transmit(f)
 	})
+	return ws.lineFreeAt
 }
 
 // wArm starts the per-destination go-back-N recovery timer if it is not
@@ -421,6 +533,23 @@ func (e *Endpoint) wArm(dst frame.MID, ws *wsend) {
 		guard = max
 	}
 	wait := ws.interval + guard
+	if len(ws.frames) > 0 {
+		if drain := ws.frames[0].wireAt; drain > e.k.Now() {
+			// The oldest outstanding fragment is still in our egress
+			// queue; firing earlier would find nothing actionable (see
+			// wRetransmit's in-egress check). Wait for the line plus one
+			// retry interval for the answer to start back.
+			if w := time.Duration(drain-e.k.Now()) + ws.interval; w > wait {
+				wait = w
+			}
+		}
+	}
+	if at := ws.quietUntil; at > e.k.Now() {
+		// Frames held by the reconnect quiet period have not reached the
+		// wire; retrying before they could possibly be answered only
+		// duplicates the backlog into the enforced silence.
+		wait += time.Duration(at - e.k.Now())
+	}
 	if e.cfg.RetransJitter > 0 {
 		wait += time.Duration(e.k.Rand().Int63n(int64(e.cfg.RetransJitter) + 1))
 	}
@@ -434,6 +563,26 @@ func (e *Endpoint) wArm(dst frame.MID, ws *wsend) {
 			return
 		}
 		if e.k.Now() >= ws.deadline {
+			busy := ws.readyAt
+			if ws.lineFreeAt > busy {
+				busy = ws.lineFreeAt
+			}
+			if busy > e.k.Now() {
+				// The silence is our own doing: a deep window's recovery
+				// round serializes through the CPU and the single
+				// transmitter for longer than DeadAfter, so frames the
+				// peer could answer (including §5.2.3 probes) have not
+				// all left yet. The no-response verdict only counts from
+				// the moment the last of them is on the wire — and piling
+				// another round onto the backlog would just deepen it.
+				// This cannot defer death forever: each recovery round
+				// adds at most wireTime(outstanding) to the backlog while
+				// the timer waits interval + 3*wireTime(outstanding), so
+				// a truly dead peer's backlog drains and the clock fires.
+				ws.deadline = busy + e.cfg.DeadAfter()
+				e.wArm(dst, ws)
+				return
+			}
 			e.wPeerDead(dst, ws)
 			return
 		}
@@ -451,12 +600,24 @@ func (e *Endpoint) wCancelTimer(ws *wsend) {
 	ws.attempts = 0
 }
 
-// wRetransmit is one go-back-N recovery round: re-send every unacknowledged
-// fragment in frame-sequence order. When every fragment is acknowledged but
-// a message completion is missing, probe with the oldest incomplete
-// message's final fragment — the duplicate triggers the receiver's
-// cached-reply replay (§5.2.3).
+// wRetransmit is one recovery round. Go-back-N re-sends every unacknowledged
+// fragment in frame-sequence order; selective repeat halves the AIMD window
+// (the timer fire is the loss evidence), then re-sends only the holes —
+// fragments the receiver has not reported via SACK. When every fragment is
+// acknowledged but a message completion is missing, both modes probe with
+// the oldest incomplete message's final fragment — the duplicate triggers
+// the receiver's cached-reply replay (§5.2.3).
 func (e *Endpoint) wRetransmit(dst frame.MID, ws *wsend) {
+	if len(ws.frames) > 0 && ws.frames[0].wireAt > e.k.Now() {
+		// The oldest outstanding fragment's latest copy is still in our
+		// egress queue (a deep window serializes for longer than the
+		// timer's capped guard). Its silence proves nothing, and a
+		// recovery round would only stack duplicates behind it — wait
+		// for the line instead. Not counted as an attempt: no evidence,
+		// no backoff, no AIMD decrease.
+		e.wArm(dst, ws)
+		return
+	}
 	e.totals.RetransTimer += e.cfg.Costs.RetransTimer
 	ws.attempts++
 	if e.cfg.RetransBackoff > 1 {
@@ -468,24 +629,98 @@ func (e *Endpoint) wRetransmit(dst frame.MID, ws *wsend) {
 			ws.interval = max
 		}
 	}
+	if e.selective() {
+		e.wShrinkWindow(dst, ws)
+	}
 	if len(ws.frames) > 0 {
-		for _, fr := range ws.frames {
-			e.iface.CountFragmentRetransmit()
-			e.emit(EvFragRetransmit, dst, fr.seq, ws.attempts+1)
-			e.wTransmitFrag(dst, ws, fr.msg, fr.idx, fr.seq)
-		}
-	} else {
-		for _, m := range ws.inflight {
-			if m.parked || m.next < m.frags {
-				continue
+		if e.selective() {
+			if ws.attempts >= 2 {
+				// Anti-renege: two timer fires with no cumulative progress
+				// means the SACK picture may be stale (or the receiver
+				// evicted); distrust it and re-send everything unacked.
+				for i := range ws.frames {
+					ws.frames[i].sacked = false
+				}
 			}
-			e.iface.CountFragmentRetransmit()
-			e.emit(EvFragRetransmit, dst, m.lastSeq, ws.attempts+1)
-			e.wTransmitFrag(dst, ws, m, m.frags-1, m.lastSeq)
-			break
+			sent := false
+			for i := range ws.frames {
+				if ws.frames[i].sacked || ws.frames[i].wireAt > e.k.Now() {
+					continue
+				}
+				e.wResendFrag(dst, ws, i, ws.attempts+1)
+				sent = true
+			}
+			if !sent {
+				// Everything outstanding is sacked yet cum never advanced:
+				// the receiver's acks are being lost. Re-send the oldest
+				// fragment; its duplicate provokes a fresh (high) cum ack.
+				e.wResendFrag(dst, ws, 0, ws.attempts+1)
+			}
+		} else {
+			for i := range ws.frames {
+				if ws.frames[i].wireAt > e.k.Now() {
+					continue
+				}
+				fr := ws.frames[i]
+				e.iface.CountFragmentRetransmit()
+				e.emit(EvFragRetransmit, dst, fr.seq, ws.attempts+1)
+				ws.frames[i].wireAt = e.wTransmitFrag(dst, ws, fr.msg, fr.idx, fr.seq)
+			}
 		}
 	}
+	e.wProbeStarved(dst, ws)
 	e.wArm(dst, ws)
+}
+
+// wProbeStarved re-sends the final fragment of the oldest unparked message
+// that is fully transmitted and wholly frame-acknowledged yet still missing
+// its completion ack — the duplicate provokes the receiver's cached-reply
+// replay (§5.2.3) or an ErrReplyLost verdict. This must run even while
+// younger messages have frames outstanding: the frame loops above only
+// touch ws.frames, so on a busy pipeline a message whose completion ack
+// was lost would otherwise never be probed — it starves behind the stream
+// until the sender declares a live, acking peer dead. One probe per
+// recovery round drains multiple stuck messages one at a time.
+func (e *Endpoint) wProbeStarved(dst frame.MID, ws *wsend) {
+	if ws.probeWireAt > e.k.Now() {
+		return // the previous probe has not even left the wire yet
+	}
+	framed := make(map[*wmsg]bool, len(ws.frames))
+	for _, fr := range ws.frames {
+		framed[fr.msg] = true
+	}
+	for _, m := range ws.inflight {
+		if m.parked || m.next < m.frags || framed[m] {
+			continue
+		}
+		e.iface.CountFragmentRetransmit()
+		e.emit(EvFragRetransmit, dst, m.lastSeq, ws.attempts+1)
+		ws.probeWireAt = e.wTransmitFrag(dst, ws, m, m.frags-1, m.lastSeq)
+		return
+	}
+}
+
+// wResendFrag re-sends the hole at ws.frames[i] under selective repeat,
+// counted both as a fragment retransmission (the shared recovery metric) and
+// as a selective retransmission (the holes-only refinement).
+func (e *Endpoint) wResendFrag(dst frame.MID, ws *wsend, i int, round int) {
+	fr := ws.frames[i]
+	e.iface.CountFragmentRetransmit()
+	e.iface.CountSelectiveRetransmit()
+	e.emit(EvSelectiveRetransmit, dst, fr.seq, round)
+	ws.frames[i].wireAt = e.wTransmitFrag(dst, ws, fr.msg, fr.idx, fr.seq)
+}
+
+// wShrinkWindow applies the AIMD multiplicative decrease (floor 1) and
+// resets the additive-increase credit.
+func (e *Endpoint) wShrinkWindow(dst frame.MID, ws *wsend) {
+	ws.cleanAcks = 0
+	if ws.cwnd <= 1 {
+		return
+	}
+	ws.cwnd /= 2
+	e.iface.CountWindowDecrease()
+	e.emit(EvWindowDecrease, dst, 0, ws.cwnd)
 }
 
 // wPeerDead fails every inflight and queued message and discards both sides
@@ -501,6 +736,15 @@ func (e *Endpoint) wPeerDead(dst frame.MID, ws *wsend) {
 	e.emit(EvConnClose, dst, 0, 0)
 	delete(e.wout, dst)
 	delete(e.win, dst)
+	// Quiet period before any reconnect: the peer may be alive (loss, not
+	// death) with a receive record that only ConnLifetime of silence can
+	// clear; restarting the sequence space into that record would desync
+	// forever. The RetransInterval pad keeps the expiry comparison strict
+	// even against frames still on the wire.
+	if e.wquiet == nil {
+		e.wquiet = make(map[frame.MID]sim.Time)
+	}
+	e.wquiet[dst] = e.k.Now() + e.cfg.ConnLifetime() + e.cfg.RetransInterval
 	for _, m := range failed {
 		m.done = true
 		m.parkGen++
@@ -521,43 +765,157 @@ func (e *Endpoint) wDropFrames(ws *wsend, m *wmsg) {
 	ws.frames = kept
 }
 
-// wProcess dispatches one received frame in windowed mode. Any frame heard
-// proves the peer alive and restarts the no-response clock (§5.2.2).
+// wProcess dispatches one received frame in windowed mode. While fragments
+// are unacknowledged, any frame heard proves the peer alive and restarts the
+// no-response clock (§5.2.2). In the pure-probe state (every fragment
+// cumulatively acknowledged, only message completions missing) a bare frame
+// is NOT proof of progress: a receiver whose record expired mid-connection
+// answers probes with cumulative acks forever but can never complete the
+// message, so only a completion, a NACK, or a busy signal — handled in their
+// dispatch paths below — restarts the clock. This mirrors stop-and-wait,
+// where a duplicate of an unanswerable frame earns silence and the sender's
+// death clock runs out.
 func (e *Endpoint) wProcess(f *frame.TransportFrame) {
-	if ws := e.wout[f.Src]; ws != nil && ws.outstanding() {
-		ws.deadline = e.k.Now() + e.cfg.DeadAfter()
+	if ws := e.wout[f.Src]; ws != nil && len(ws.frames) > 0 && !e.wQuiet(ws) {
+		// Monotone refresh only: a reconnect sets the deadline past the
+		// quiet period, and a straggler frame must never pull it back
+		// below the first moment the new connection can transmit.
+		if d := e.k.Now() + e.cfg.DeadAfter(); d > ws.deadline {
+			ws.deadline = d
+		}
 	}
 	switch f.Kind {
 	case frame.TransportFrag:
 		e.wHandleFrag(f.Src, f)
-	case frame.TransportFragAck:
-		e.wHandleCumAck(f.Src, f.Seq)
-	case frame.TransportAck:
-		e.wHandleMsgAck(f.Src, f)
-	case frame.TransportNack:
-		e.wHandleNack(f.Src, f)
+	case frame.TransportFragAck, frame.TransportAck, frame.TransportNack:
+		// Acknowledgement traffic arriving inside the reconnect quiet
+		// period is addressed to the DEAD connection: nothing of the new
+		// sequence space has reached the wire, so there is nothing these
+		// frames could legitimately acknowledge. Applying them would
+		// alias the old generation's cumulative point onto the new
+		// space — silently releasing fragments that were never sent.
+		if e.wQuiet(e.wout[f.Src]) {
+			return
+		}
+		switch f.Kind {
+		case frame.TransportFragAck:
+			e.wHandleFragAck(f.Src, f)
+		case frame.TransportAck:
+			e.wHandleMsgAck(f.Src, f)
+		case frame.TransportNack:
+			e.wHandleNack(f.Src, f)
+		}
 	}
 	// TransportData toward a windowed endpoint would mean a mixed-mode
 	// network, which is unsupported; such frames fall through and drop.
 }
 
-// wHandleCumAck releases every fragment covered by a cumulative frame
-// acknowledgement and lets admission and transmission resume.
-func (e *Endpoint) wHandleCumAck(src frame.MID, cum uint8) {
-	ws := e.wout[src]
-	if ws == nil {
-		return
-	}
+// wQuiet reports whether the outbound connection toward a peer is inside
+// its reconnect quiet period: no frame of the restarted sequence space has
+// left yet, so inbound acknowledgements can only belong to the previous,
+// dead connection.
+func (e *Endpoint) wQuiet(ws *wsend) bool {
+	return ws != nil && e.k.Now() < ws.quietUntil
+}
+
+// wAckAdvance releases every fragment covered by the cumulative point and
+// reports whether anything was released. It has no timing side effects: a
+// no-progress ack must leave the send state — including the wsend.readyAt
+// virtual-time serializer — completely untouched, or every duplicate ack
+// would charge phantom CPU time (the spurious-retransmit cliff the
+// regression test in window_test.go pins).
+func (e *Endpoint) wAckAdvance(ws *wsend, cum uint8) bool {
 	progress := false
 	for len(ws.frames) > 0 && seqLE(ws.frames[0].seq, cum) {
 		ws.frames = ws.frames[1:]
 		progress = true
 	}
-	if !progress {
-		return
+	return progress
+}
+
+// wHandleCumAck applies a cumulative frame acknowledgement (standalone or
+// piggybacked) and, on progress, lets admission and transmission resume.
+// Reports whether the cumulative point advanced.
+func (e *Endpoint) wHandleCumAck(src frame.MID, cum uint8) bool {
+	ws := e.wout[src]
+	if ws == nil || e.wQuiet(ws) {
+		// The quiet guard covers piggybacked acks riding inbound FRAGs;
+		// standalone acknowledgement frames are dropped in wProcess.
+		return false
 	}
+	if !e.wAckAdvance(ws, cum) {
+		return false
+	}
+	ws.dupAcks = 0
 	e.wCancelTimer(ws)
 	e.wPump(src, ws)
+	return true
+}
+
+// wHandleFragAck processes a standalone FRAGACK: cumulative release, SACK
+// marking, and — selective mode only — duplicate-ack counting toward fast
+// retransmit. Only standalone acks count as duplicates: they are the
+// receiver's explicit "still stuck at cum" signal, whereas piggybacked acks
+// repeat cum on every reverse fragment as a matter of course.
+func (e *Endpoint) wHandleFragAck(src frame.MID, f *frame.TransportFrame) {
+	ws := e.wout[src]
+	if ws == nil {
+		return
+	}
+	if e.selective() && f.SackBits != 0 {
+		for i := range ws.frames {
+			d := ws.frames[i].seq - (f.Seq + 2)
+			if d < sackSpan && f.SackBits&(1<<d) != 0 {
+				ws.frames[i].sacked = true
+			}
+		}
+	}
+	if e.wHandleCumAck(src, f.Seq) {
+		return
+	}
+	if !e.selective() || len(ws.frames) == 0 {
+		return
+	}
+	if ws.dupAcks > 0 && ws.dupCum == f.Seq {
+		ws.dupAcks++
+	} else {
+		ws.dupCum = f.Seq
+		ws.dupAcks = 1
+	}
+	if ws.dupAcks < fastRetransmitDupAcks {
+		return
+	}
+	ws.dupAcks = 0
+	// Fast retransmit: re-send the holes below the highest SACKed
+	// fragment — those are provably lost, not merely late, because the
+	// receiver holds their successors. Without SACK evidence (duplicate
+	// data can also produce dup acks) fall back to the oldest fragment.
+	hi := -1
+	for i, fr := range ws.frames {
+		if fr.sacked {
+			hi = i
+		}
+	}
+	resent := false
+	if hi >= 0 {
+		for i := range ws.frames[:hi] {
+			if !ws.frames[i].sacked && ws.frames[i].wireAt <= e.k.Now() {
+				e.wResendFrag(src, ws, i, 1)
+				resent = true
+			}
+		}
+	}
+	if !resent && ws.frames[0].wireAt <= e.k.Now() {
+		e.wResendFrag(src, ws, 0, 1)
+	}
+	// No multiplicative decrease here: on this wire loss is random, not
+	// congestive, so a dup-ack-repaired hole says nothing the window
+	// size could fix — only the slower recovery-timer path (pipeline
+	// actually stalled for a full drain + interval) shrinks cwnd.
+	// The retransmission deserves a fresh round trip before the timer
+	// can fire and trigger a full recovery round.
+	e.wCancelTimer(ws)
+	e.wArm(src, ws)
 }
 
 // wHandleMsgAck completes the acknowledged message: its fragments are
@@ -575,8 +933,23 @@ func (e *Endpoint) wHandleMsgAck(src frame.MID, f *frame.TransportFrame) {
 	if m == nil {
 		return // duplicate ack of an already-completed message
 	}
+	// A completion is real progress — it restarts the no-response clock
+	// even in the probe state, where wProcess deliberately does not.
+	ws.deadline = e.k.Now() + e.cfg.DeadAfter()
 	e.wDropFrames(ws, m)
 	e.emit(EvAckRx, src, f.Seq, 0)
+	if e.selective() && ws.cwnd < e.window() {
+		// Additive increase: one window's worth of clean completions —
+		// roughly one loss-free round trip — earns one more message of
+		// cwnd, never past the operator's ceiling.
+		ws.cleanAcks++
+		if ws.cleanAcks >= ws.cwnd {
+			ws.cleanAcks = 0
+			ws.cwnd++
+			e.iface.CountWindowIncrease()
+			e.emit(EvWindowIncrease, src, 0, ws.cwnd)
+		}
+	}
 	if m.cb != nil {
 		m.cb(Result{Kind: ResultAcked, Reply: f.Payload})
 	}
@@ -630,6 +1003,10 @@ func (e *Endpoint) wHandleNack(src frame.MID, f *frame.TransportFrame) {
 	if m == nil {
 		return
 	}
+	// An error NACK is a definitive (if negative) answer: progress for the
+	// no-response clock, letting the probe loop drain multiple stuck
+	// messages one per round without tripping peer-dead.
+	ws.deadline = e.k.Now() + e.cfg.DeadAfter()
 	e.wDropFrames(ws, m)
 	if m.cb != nil {
 		m.cb(Result{Kind: ResultError, Err: f.Err})
@@ -638,11 +1015,14 @@ func (e *Endpoint) wHandleNack(src frame.MID, f *frame.TransportFrame) {
 	e.wPump(src, ws)
 }
 
-// wHandleFrag is the receive side: strict in-order frame acceptance
-// (go-back-N), single-buffer reassembly, duplicate replay from the reply
-// cache, and buffering of completed messages for in-order delivery. The
-// payload is always copied out of the shared bus buffer — delivery happens
-// on a later event, past the buffer's lifetime.
+// wHandleFrag is the receive side: frame acceptance against the cumulative
+// point, reassembly of the contiguous stream, duplicate replay from the
+// reply cache, and buffering of completed messages for in-order delivery.
+// Go-back-N drops anything out of order; selective repeat banks it in the
+// bounded per-peer ooo buffer and answers with a SACK so the sender learns
+// the exact holes. Payloads are always copied out of the shared bus buffer —
+// delivery (and ooo draining) happens on a later event, past the buffer's
+// lifetime.
 func (e *Endpoint) wHandleFrag(src frame.MID, f *frame.TransportFrame) {
 	if f.AckPresent {
 		e.wHandleCumAck(src, f.AckSeq)
@@ -672,24 +1052,64 @@ func (e *Endpoint) wHandleFrag(src frame.MID, f *frame.TransportFrame) {
 					e.wReplay(src, f.MsgSeq, cr)
 					return
 				}
+				if wr.skipped[f.MsgSeq] || seqLT(f.MsgSeq, wr.next) {
+					// The message was consumed but its cached reply is
+					// gone — the record expired and was re-adopted, or
+					// the cache was evicted. No probe can ever be
+					// answered; tell the sender so instead of dup-acking
+					// it into a livelock.
+					e.wSendMsgNack(src, f.MsgSeq, frame.ErrReplyLost)
+					return
+				}
 			}
-			e.wScheduleCumAck(src, wr)
+			if e.selective() {
+				// A duplicate means the sender is retransmitting blind;
+				// answer immediately (with SACK state) rather than
+				// waiting out the piggyback delay.
+				e.wSendFragAck(src, wr)
+			} else {
+				e.wScheduleCumAck(src, wr)
+			}
 			return
 		default:
-			// Gap: go-back-N receivers drop out-of-order fragments; the
-			// cumulative ack tells the sender where to resume.
-			e.wScheduleCumAck(src, wr)
+			if e.selective() {
+				e.wBufferOOO(src, wr, f)
+			} else {
+				// Gap: go-back-N receivers drop out-of-order fragments;
+				// the cumulative ack tells the sender where to resume.
+				e.wScheduleCumAck(src, wr)
+			}
 			return
 		}
 	}
-	if wr.asmOpen && (wr.asmSeq != f.MsgSeq || wr.asmIdx != int(f.FragIndex)) {
+	e.wAcceptStream(src, wr, f.MsgSeq, f.FragIndex, f.FragEnd, f.Urgent, f.Payload)
+	if e.selective() {
+		// The hole just filled; drain every now-contiguous banked
+		// fragment into the assembly stream, in sequence order.
+		for {
+			of, ok := wr.ooo[wr.cum+1]
+			if !ok {
+				break
+			}
+			delete(wr.ooo, wr.cum+1)
+			wr.cum++
+			e.wAcceptStream(src, wr, of.msgSeq, of.idx, of.end, of.urgent, of.payload)
+		}
+	}
+}
+
+// wAcceptStream advances the contiguous reassembly stream by one fragment
+// that is now in order (fresh off the wire, or drained from the ooo buffer)
+// and already accounted for in wr.cum.
+func (e *Endpoint) wAcceptStream(src frame.MID, wr *wrecv, msgSeq, fragIdx uint8, end, urgent bool, payload []byte) {
+	if wr.asmOpen && (wr.asmSeq != msgSeq || wr.asmIdx != int(fragIdx)) {
 		// The sender restarted the message (busy retry) or moved on;
 		// whatever was accumulating is void.
 		wr.asmOpen = false
 		wr.asm = nil
 	}
 	if !wr.asmOpen {
-		if f.FragIndex != 0 {
+		if fragIdx != 0 {
 			// Mid-message fragment with no open assembly: the stream
 			// position is consumed but the content is unusable; the
 			// sender recovers at the message level (probe → replay or
@@ -698,35 +1118,110 @@ func (e *Endpoint) wHandleFrag(src frame.MID, f *frame.TransportFrame) {
 			return
 		}
 		wr.asmOpen = true
-		wr.asmSeq = f.MsgSeq
+		wr.asmSeq = msgSeq
 		wr.asmIdx = 0
 		wr.asm = nil
 	}
 	wr.asmIdx++
-	if !f.FragEnd {
-		wr.asm = append(wr.asm, f.Payload...)
+	if !end {
+		wr.asm = append(wr.asm, payload...)
 		e.wScheduleCumAck(src, wr)
 		return
 	}
 	wr.asmOpen = false
-	payload := append(wr.asm, f.Payload...) // copies out of the bus buffer
+	full := append(wr.asm, payload...) // copies out of the bus buffer
 	wr.asm = nil
-	if cr, ok := wr.cache[f.MsgSeq]; ok {
+	if cr, ok := wr.cache[msgSeq]; ok {
 		// A full re-delivery of an answered message (busy retry whose
 		// first delivery was consumed, with the answer lost): replay.
-		e.wReplay(src, f.MsgSeq, cr)
+		e.wReplay(src, msgSeq, cr)
 		return
 	}
-	if wr.skipped[f.MsgSeq] || seqLT(f.MsgSeq, wr.next) {
+	if wr.skipped[msgSeq] || seqLT(msgSeq, wr.next) {
 		e.wScheduleCumAck(src, wr)
 		return // stale incarnation of an already-consumed message
 	}
 	if wr.buffered == nil {
 		wr.buffered = make(map[uint8]*winMsg)
 	}
-	wr.buffered[f.MsgSeq] = &winMsg{payload: payload, urgent: f.Urgent}
+	wr.buffered[msgSeq] = &winMsg{payload: full, urgent: urgent}
 	e.wScheduleCumAck(src, wr)
 	e.wTryDeliver(src, wr)
+}
+
+// wBufferOOO banks an out-of-order fragment for later draining (selective
+// mode) and answers with an immediate SACK-bearing duplicate ack — the
+// sender's fast-retransmit signal. Beyond-horizon fragments (impossible
+// from a compliant sender) are dropped like go-back-N. The buffer is
+// bounded by maxOOOFrags; when full, the fragment farthest ahead of the
+// cumulative point is the one discarded (deterministic, and the safest
+// choice: far fragments are the last the drain could ever use, and the
+// sender's un-released frames re-send them if the SACK never covers them).
+func (e *Endpoint) wBufferOOO(src frame.MID, wr *wrecv, f *frame.TransportFrame) {
+	dist := f.Seq - wr.cum
+	if dist < 2 || dist >= 2+sackSpan {
+		e.wScheduleCumAck(src, wr)
+		return
+	}
+	if _, ok := wr.ooo[f.Seq]; !ok {
+		drop := false
+		if len(wr.ooo) >= maxOOOFrags {
+			worstSeq, worstDist := f.Seq, dist
+			for _, seq := range sortediter.Keys(wr.ooo) {
+				if d := seq - wr.cum; d > worstDist {
+					worstSeq, worstDist = seq, d
+				}
+			}
+			if worstSeq == f.Seq {
+				drop = true
+			} else {
+				delete(wr.ooo, worstSeq)
+			}
+		}
+		if !drop {
+			if wr.ooo == nil {
+				wr.ooo = make(map[uint8]oooFrag)
+			}
+			wr.ooo[f.Seq] = oooFrag{
+				msgSeq:  f.MsgSeq,
+				idx:     f.FragIndex,
+				end:     f.FragEnd,
+				urgent:  f.Urgent,
+				payload: append([]byte(nil), f.Payload...),
+			}
+		}
+	}
+	e.wSendFragAck(src, wr)
+}
+
+// sackBits builds the SACK bitmap over the ooo buffer: bit i set means
+// frame sequence cum+2+i is banked (cum+1 is the hole by definition).
+func (wr *wrecv) sackBits() uint64 {
+	if len(wr.ooo) == 0 {
+		return 0
+	}
+	var bits uint64
+	for _, seq := range sortediter.Keys(wr.ooo) {
+		if d := seq - wr.cum; d >= 2 && d < 2+sackSpan {
+			bits |= 1 << (d - 2)
+		}
+	}
+	return bits
+}
+
+// sackBlockCount counts the contiguous runs of set bits — the "SACK blocks"
+// the stats layer reports.
+func sackBlockCount(bits uint64) int {
+	n := 0
+	prev := false
+	for i := 0; i < sackSpan; i++ {
+		cur := bits&(1<<i) != 0
+		if cur && !prev {
+			n++
+		}
+		prev = cur
+	}
+	return n
 }
 
 // wTryDeliver hands the next deliverable buffered message to the upper
@@ -962,15 +1457,48 @@ func (e *Endpoint) wScheduleCumAck(src frame.MID, wr *wrecv) {
 			if epoch != e.epoch {
 				return
 			}
-			e.iface.CountCumulativeAck()
-			e.emit(EvCumAck, src, wr.cum, 0)
-			e.transmit(&frame.TransportFrame{
-				Kind:     frame.TransportFragAck,
-				Src:      e.mid,
-				Dst:      src,
-				Seq:      wr.cum,
-				ConnOpen: true,
-			})
+			e.wTransmitFragAck(src, wr)
 		})
+	})
+}
+
+// wSendFragAck transmits a standalone FRAGACK immediately (after the send
+// charge), superseding any delayed ack pending. Selective receivers use it
+// for every duplicate and out-of-order arrival: the prompt, SACK-bearing
+// answer is what drives the sender's hole picture and its duplicate-ack
+// fast-retransmit counter.
+func (e *Endpoint) wSendFragAck(src frame.MID, wr *wrecv) {
+	wr.ackPending = false
+	wr.ackGen++
+	d := e.chargeSend(false, 0)
+	epoch := e.epoch
+	e.k.After(d, func() {
+		if epoch != e.epoch || e.win[src] != wr || !wr.valid {
+			return
+		}
+		e.wTransmitFragAck(src, wr)
+	})
+}
+
+// wTransmitFragAck builds and transmits the standalone FRAGACK from the
+// receiver's current state: cumulative point plus — selective mode — the
+// SACK bitmap over the ooo buffer (zero bitmap encodes as a plain
+// cumulative ack, so the go-back-N wire is byte-identical to PR-5).
+func (e *Endpoint) wTransmitFragAck(src frame.MID, wr *wrecv) {
+	bits := wr.sackBits()
+	e.iface.CountCumulativeAck()
+	e.emit(EvCumAck, src, wr.cum, 0)
+	if bits != 0 {
+		blocks := sackBlockCount(bits)
+		e.iface.CountSackBlocks(blocks)
+		e.emit(EvSackTx, src, wr.cum, blocks)
+	}
+	e.transmit(&frame.TransportFrame{
+		Kind:     frame.TransportFragAck,
+		Src:      e.mid,
+		Dst:      src,
+		Seq:      wr.cum,
+		SackBits: bits,
+		ConnOpen: true,
 	})
 }

@@ -15,6 +15,12 @@ import (
 // classic stop-and-wait endpoints, so the battery below runs the same
 // properties against both engines.
 func newWindowRig(t *testing.T, seed int64, window int, mids []frame.MID, hooks map[frame.MID]Hooks) *rig {
+	return newWindowRigCfg(t, seed, window, nil, mids, hooks)
+}
+
+// newWindowRigCfg is newWindowRig with a config hook, for tests that pin the
+// recovery mode or install an observer.
+func newWindowRigCfg(t *testing.T, seed int64, window int, mut func(*Config), mids []frame.MID, hooks map[frame.MID]Hooks) *rig {
 	t.Helper()
 	k := sim.New(seed)
 	k.SetEventLimit(4_000_000)
@@ -22,6 +28,9 @@ func newWindowRig(t *testing.T, seed int64, window int, mids []frame.MID, hooks 
 	r := &rig{k: k, b: b, eps: make(map[frame.MID]*Endpoint)}
 	cfg := DefaultConfig()
 	cfg.Window = window
+	if mut != nil {
+		mut(&cfg)
+	}
 	for _, mid := range mids {
 		h, ok := hooks[mid]
 		if !ok {
@@ -92,7 +101,7 @@ type windowPropOutcome struct {
 // DESIGN.md §11): every message is acked, delivered exactly once, in
 // order, with intact content — and after the kernel drains, both
 // endpoints are fully quiescent (no timers armed, no buffered state).
-func runWindowProperty(t *testing.T, seed int64, window int) windowPropOutcome {
+func runWindowProperty(t *testing.T, seed int64, window int, mode RecoveryMode) windowPropOutcome {
 	t.Helper()
 	const perDir = 12
 	var got12, got21 [][]byte
@@ -106,7 +115,24 @@ func runWindowProperty(t *testing.T, seed int64, window int) windowPropOutcome {
 			return Decision{Verdict: VerdictAck}
 		}},
 	}
-	r := newWindowRig(t, seed, window, []frame.MID{1, 2}, hooks)
+	// The observer doubles as the AIMD invariant monitor: every window
+	// adaptation event must report a cwnd inside [1, ceiling], and no such
+	// event may ever fire under go-back-N (or stop-and-wait).
+	mut := func(cfg *Config) {
+		cfg.Recovery = mode
+		cfg.Observer = func(ev Event) {
+			switch ev.Kind {
+			case EvWindowIncrease, EvWindowDecrease:
+				if mode != RecoverySelective || window <= 1 {
+					t.Errorf("%v event under mode %v window %d", ev.Kind, mode, window)
+				}
+				if ev.Attempt < 1 || ev.Attempt > window {
+					t.Errorf("%v reports cwnd %d outside [1, %d]", ev.Kind, ev.Attempt, window)
+				}
+			}
+		}
+	}
+	r := newWindowRigCfg(t, seed, window, mut, []frame.MID{1, 2}, hooks)
 	// The schedule stays hostile for most of the send phase, then goes
 	// clean so the tail can drain. The thesis guarantee (§3.3) assumes "a
 	// packet retransmitted enough times will eventually arrive"; a wire
@@ -177,26 +203,38 @@ func runWindowProperty(t *testing.T, seed int64, window int) windowPropOutcome {
 }
 
 // TestWindowPropertyBattery is the transport conformance battery: 8 seeded
-// loss/duplicate/corrupt schedules × window depths {1, 2, 4, 8} — 32 runs —
-// each asserting exactly-once in-order intact delivery, full acking, and
-// post-drain quiescence. Every cell also runs twice and must produce an
-// identical (frames, final-time) fingerprint: the fault schedule and the
-// transport's reaction to it are pure functions of the seed.
+// loss/duplicate/corrupt schedules × window depths {1, 2, 4, 8} × both
+// recovery modes for the windowed depths — each cell asserting exactly-once
+// in-order intact delivery, full acking, post-drain quiescence, and (via the
+// observer) that the AIMD cwnd never leaves [1, ceiling]. Every cell also
+// runs twice and must produce an identical (frames, final-time) fingerprint:
+// the fault schedule and the transport's reaction to it are pure functions
+// of the seed.
 func TestWindowPropertyBattery(t *testing.T) {
 	seeds := []int64{1, 2, 3, 5, 7, 11, 13, 17}
 	for _, window := range []int{1, 2, 4, 8} {
-		for _, seed := range seeds {
-			window, seed := window, seed
-			t.Run(fmt.Sprintf("w%d/seed%d", window, seed), func(t *testing.T) {
-				first := runWindowProperty(t, seed, window)
-				again := runWindowProperty(t, seed, window)
-				if first != again {
-					t.Fatalf("nondeterministic: %+v vs %+v", first, again)
+		modes := []RecoveryMode{RecoverySelective}
+		if window > 1 {
+			modes = []RecoveryMode{RecoverySelective, RecoveryGoBackN}
+		}
+		for _, mode := range modes {
+			for _, seed := range seeds {
+				window, mode, seed := window, mode, seed
+				name := fmt.Sprintf("w%d/seed%d", window, seed)
+				if window > 1 {
+					name = fmt.Sprintf("w%d/%s/seed%d", window, mode, seed)
 				}
-				if first.frames == 0 {
-					t.Fatal("no frames sent")
-				}
-			})
+				t.Run(name, func(t *testing.T) {
+					first := runWindowProperty(t, seed, window, mode)
+					again := runWindowProperty(t, seed, window, mode)
+					if first != again {
+						t.Fatalf("nondeterministic: %+v vs %+v", first, again)
+					}
+					if first.frames == 0 {
+						t.Fatal("no frames sent")
+					}
+				})
+			}
 		}
 	}
 }

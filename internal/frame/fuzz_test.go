@@ -118,6 +118,63 @@ func capturedWindowFrames(tb testing.TB) [][]byte {
 	return raws
 }
 
+// capturedSackFrames captures a selective-repeat exchange on a brutally
+// lossy wire (30%), where the receiver's out-of-order buffer fills and
+// every standalone FRAGACK carries a SACK bitmap of the holes. The corpus
+// this yields — FRAGACKs with nonzero SackBits, selective retransmissions,
+// completion probes — is the DESIGN.md §12 wire vocabulary that the clean
+// and go-back-N rigs can never produce.
+func capturedSackFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	k := sim.New(11)
+	cfg := bus.DefaultConfig()
+	cfg.LossProb = 0.3
+	b := bus.New(k, cfg)
+
+	var raws [][]byte
+	b.AddDeliveryTap(func(e bus.DeliveryEvent) {
+		raws = append(raws, append([]byte(nil), e.Raw...))
+	})
+
+	dcfg := deltat.DefaultConfig()
+	dcfg.Window = 8
+	dcfg.Recovery = deltat.RecoverySelective
+	mk := func(mid frame.MID) *deltat.Endpoint {
+		ep, err := deltat.New(k, b, mid, dcfg, deltat.Hooks{
+			OnData: func(frame.MID, []byte) deltat.Decision {
+				return deltat.Decision{Verdict: deltat.VerdictAck, Reply: []byte("ok")}
+			},
+		})
+		if err != nil {
+			tb.Fatalf("deltat.New(%d): %v", mid, err)
+		}
+		return ep
+	}
+	ep1 := mk(1)
+	mk(2)
+
+	for i := 0; i < 8; i++ {
+		p := make([]byte, 4000)
+		for j := range p {
+			p[j] = byte(i*31 + j)
+		}
+		var cb func(deltat.Result)
+		cb = func(r deltat.Result) {
+			if r.Kind != deltat.ResultAcked {
+				ep1.Send(2, p, nil, cb) // survive a mid-run death verdict
+			}
+		}
+		ep1.Send(2, p, nil, cb)
+	}
+	if err := k.Run(); err != nil {
+		tb.Fatalf("sack capture run: %v", err)
+	}
+	if len(raws) == 0 {
+		tb.Fatal("sack capture rig produced no frames")
+	}
+	return raws
+}
+
 // seedMessages is one instance of every kernel message type, with and
 // without payload data.
 func seedMessages() []frame.Message {
@@ -185,6 +242,9 @@ func FuzzTransportRoundTrip(f *testing.F) {
 		f.Add(raw)
 	}
 	for _, raw := range capturedWindowFrames(f) {
+		f.Add(raw)
+	}
+	for _, raw := range capturedSackFrames(f) {
 		f.Add(raw)
 	}
 	f.Add(frame.EncodeTransport(&frame.TransportFrame{
@@ -305,5 +365,48 @@ func TestCapturedWindowCorpusDecodes(t *testing.T) {
 	}
 	if ends == 0 || urgents == 0 || piggy == 0 {
 		t.Fatalf("fragment vocabulary incomplete: FragEnd=%d Urgent=%d AckPresent=%d", ends, urgents, piggy)
+	}
+}
+
+// TestCapturedSackCorpusDecodes pins the selective-repeat capture rig:
+// every tapped frame decodes canonically, and the traffic exhibits the
+// recovery vocabulary the fuzzer needs as seeds — standalone FRAGACKs
+// carrying nonzero SACK bitmaps, and fragment retransmissions (the same
+// frame sequence delivered more than once). If the 30%-loss exchange stops
+// producing SACKs, the seeds have gone stale and this fails loudly.
+func TestCapturedSackCorpusDecodes(t *testing.T) {
+	kinds := map[frame.TransportKind]int{}
+	sacks := 0
+	fragSeqSeen := map[uint8]int{}
+	retrans := 0
+	for _, raw := range capturedSackFrames(t) {
+		tf, err := frame.DecodeTransport(raw)
+		if err != nil {
+			t.Fatalf("captured frame does not decode: %v", err)
+		}
+		if enc := frame.EncodeTransport(tf); !bytes.Equal(enc, raw) {
+			t.Fatalf("captured %s is not canonical: re-encode differs", tf.Kind)
+		}
+		kinds[tf.Kind]++
+		switch tf.Kind {
+		case frame.TransportFragAck:
+			if tf.SackBits != 0 {
+				sacks++
+			}
+		case frame.TransportFrag:
+			fragSeqSeen[tf.Seq]++
+			if fragSeqSeen[tf.Seq] > 1 {
+				retrans++
+			}
+		}
+	}
+	if kinds[frame.TransportFrag] == 0 || kinds[frame.TransportFragAck] == 0 {
+		t.Fatalf("sack capture missing fragment traffic: %v", kinds)
+	}
+	if sacks == 0 {
+		t.Fatal("no SACK-bearing FRAGACK captured: the selective-repeat seeds are stale")
+	}
+	if retrans == 0 {
+		t.Fatal("no fragment retransmission captured at 30% loss")
 	}
 }

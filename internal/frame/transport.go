@@ -40,7 +40,10 @@ const (
 	// acknowledgement: Seq is the highest frame sequence number received
 	// in order. It advances the sender's window but completes no message
 	// (message completion is signalled by TransportAck on the message
-	// sequence number). Window=1 never emits this kind.
+	// sequence number). Under selective repeat it may additionally carry
+	// a SACK bitmap (SackBits) reporting fragments received out of order
+	// beyond the cumulative point, so the sender retransmits only the
+	// holes. Window=1 never emits this kind.
 	TransportFragAck
 )
 
@@ -97,6 +100,16 @@ type TransportFrame struct {
 	FragEnd   bool
 	Urgent    bool
 
+	// SackBits is the selective-acknowledgement bitmap, meaningful only
+	// for TransportFragAck (zero and unencoded for every other kind, and
+	// for plain cumulative FRAGACKs). Bit i set means frame sequence
+	// Seq+2+i has been received out of order; Seq+1 is by definition the
+	// first hole, so it never needs a bit. The bitmap spans 64 sequence
+	// numbers — exactly the transport's maximum fragment inflight — and
+	// is appended to the header only when nonzero (flagSack), keeping old
+	// cumulative-only FRAGACKs byte-identical on the wire.
+	SackBits uint64
+
 	Payload []byte
 }
 
@@ -110,12 +123,20 @@ const transportHeaderSize = 16
 // header on TransportFrag frames: msgseq(1) fragindex(1).
 const fragExtSize = 2
 
+// sackExtSize is the selective-acknowledgement extension appended to the
+// fixed header on TransportFragAck frames whose SackBits are nonzero:
+// a big-endian 64-bit bitmap.
+const sackExtSize = 8
+
 // WireSize is the encoded frame length in bytes; it drives the bus
 // transmission-time model.
 func (f *TransportFrame) WireSize() int {
 	n := transportHeaderSize + len(f.Payload)
 	if f.Kind == TransportFrag {
 		n += fragExtSize
+	}
+	if f.Kind == TransportFragAck && f.SackBits != 0 {
+		n += sackExtSize
 	}
 	return n
 }
@@ -125,6 +146,7 @@ const (
 	flagAckPresent = 1 << 1
 	flagFragEnd    = 1 << 2
 	flagUrgent     = 1 << 3
+	flagSack       = 1 << 4
 )
 
 // EncodeTransport serializes a transport frame.
@@ -155,11 +177,18 @@ func AppendTransport(dst []byte, f *TransportFrame) []byte {
 			flags |= flagUrgent
 		}
 	}
+	sack := f.Kind == TransportFragAck && f.SackBits != 0
+	if sack {
+		flags |= flagSack
+	}
 	dst = append(dst, f.Seq, flags, f.AckSeq, byte(f.Err))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Payload)))
 	dst = append(dst, 0, 0, 0) // CRC/sync stand-in
 	if f.Kind == TransportFrag {
 		dst = append(dst, f.MsgSeq, f.FragIndex)
+	}
+	if sack {
+		dst = binary.BigEndian.AppendUint64(dst, f.SackBits)
 	}
 	return append(dst, f.Payload...)
 }
@@ -210,6 +239,22 @@ func decodeTransport(b []byte, share bool) (*TransportFrame, error) {
 		f.Urgent = flags&flagUrgent != 0
 		f.MsgSeq = b[transportHeaderSize]
 		f.FragIndex = b[transportHeaderSize+1]
+	}
+	if flags&flagSack != 0 {
+		// The SACK extension is canonical: only FRAGACKs carry it, and
+		// only with a nonzero bitmap (a zero bitmap encodes as a plain
+		// cumulative ack with the flag clear).
+		if f.Kind != TransportFragAck {
+			return nil, fmt.Errorf("%w: sack flag on %s frame", ErrUnknownKind, f.Kind)
+		}
+		if len(b) < hdr+sackExtSize {
+			return nil, ErrShortFrame
+		}
+		f.SackBits = binary.BigEndian.Uint64(b[hdr : hdr+sackExtSize])
+		if f.SackBits == 0 {
+			return nil, fmt.Errorf("%w: sack flag with empty bitmap", ErrUnknownKind)
+		}
+		hdr += sackExtSize
 	}
 	n := binary.BigEndian.Uint32(b[9:13])
 	if uint32(len(b)-hdr) != n {

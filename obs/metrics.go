@@ -55,6 +55,11 @@ type NodeCounters struct {
 	WindowFills     uint64 `json:"window_fills,omitempty"`
 	CumulativeAcks  uint64 `json:"cumulative_acks,omitempty"`
 	FragRetransmits uint64 `json:"frag_retransmits,omitempty"`
+	// Selective-repeat machinery (RecoverySelective only; DESIGN.md §12).
+	SelectiveRetransmits uint64 `json:"selective_retransmits,omitempty"`
+	SackAcks             uint64 `json:"sack_acks,omitempty"`
+	WindowIncreases      uint64 `json:"window_increases,omitempty"`
+	WindowDecreases      uint64 `json:"window_decreases,omitempty"`
 }
 
 // HistSummary is the exported digest of one primitive's latency histogram,
@@ -204,6 +209,15 @@ func (r *Registry) ObserveTransport(ev deltat.Event) {
 		nc.CumulativeAcks++
 	case deltat.EvFragRetransmit:
 		nc.FragRetransmits++
+	case deltat.EvSelectiveRetransmit:
+		nc.FragRetransmits++
+		nc.SelectiveRetransmits++
+	case deltat.EvSackTx:
+		nc.SackAcks++
+	case deltat.EvWindowIncrease:
+		nc.WindowIncreases++
+	case deltat.EvWindowDecrease:
+		nc.WindowDecreases++
 	}
 }
 

@@ -184,13 +184,15 @@ func (t *Tracer) Observe(ev core.ObsEvent) {
 }
 
 // ObserveTransport consumes one transport observer event. Protocol-recovery
-// events (retransmit, busy retry, peer-dead, record expiry/close) are always
-// recorded; per-frame acknowledgement traffic only under TraceConfig.Wire.
+// events (retransmit — selective included, window adaptation, busy retry,
+// peer-dead, record expiry/close) are always recorded; per-frame
+// acknowledgement traffic (SACK-bearing acks included) only under
+// TraceConfig.Wire.
 func (t *Tracer) ObserveTransport(ev deltat.Event) {
 	t.seen(ev.Node, ev.At)
 	switch ev.Kind {
 	case deltat.EvAckTx, deltat.EvAckRx, deltat.EvPiggybackAck, deltat.EvConnOpen,
-		deltat.EvCumAck:
+		deltat.EvCumAck, deltat.EvSackTx:
 		if !t.cfg.Wire {
 			return
 		}

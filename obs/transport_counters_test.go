@@ -1,0 +1,55 @@
+// Internal tests for the transport-event fan-in: the selective-repeat
+// counters added in DESIGN.md §12 and the tracer's wire-noise filtering
+// are driven directly, without standing up a full network.
+package obs
+
+import (
+	"testing"
+
+	"soda/internal/deltat"
+)
+
+func TestRegistryTransportRecoveryCounters(t *testing.T) {
+	r := NewRegistry()
+	evs := []deltat.EventKind{
+		deltat.EvSelectiveRetransmit, deltat.EvSelectiveRetransmit,
+		deltat.EvSackTx,
+		deltat.EvWindowIncrease,
+		deltat.EvWindowDecrease, deltat.EvWindowDecrease,
+	}
+	for _, k := range evs {
+		r.ObserveTransport(deltat.Event{Kind: k, Node: 4, Peer: 5})
+	}
+	nc := r.Node(4)
+	// A selective retransmit is still a fragment retransmit: the generic
+	// counter must include the hole-targeted re-sends.
+	if nc.FragRetransmits != 2 || nc.SelectiveRetransmits != 2 {
+		t.Errorf("retransmit counters = %d/%d, want 2/2",
+			nc.FragRetransmits, nc.SelectiveRetransmits)
+	}
+	if nc.SackAcks != 1 {
+		t.Errorf("SackAcks = %d, want 1", nc.SackAcks)
+	}
+	if nc.WindowIncreases != 1 || nc.WindowDecreases != 2 {
+		t.Errorf("AIMD counters = %d/%d, want 1/2", nc.WindowIncreases, nc.WindowDecreases)
+	}
+}
+
+func TestTracerSackIsWireTraffic(t *testing.T) {
+	ev := deltat.Event{Kind: deltat.EvSackTx, Node: 2, Peer: 1, Seq: 7, Attempt: 2}
+	quiet := NewTracer()
+	quiet.ObserveTransport(ev)
+	if n := len(quiet.instants); n != 0 {
+		t.Errorf("SACK ack recorded %d instants without TraceConfig.Wire", n)
+	}
+	wire := NewTracerWith(TraceConfig{Wire: true})
+	wire.ObserveTransport(ev)
+	// Recovery events stay unconditional even on a quiet tracer.
+	quiet.ObserveTransport(deltat.Event{Kind: deltat.EvSelectiveRetransmit, Node: 2, Peer: 1})
+	if len(wire.instants) != 1 || wire.instants[0].name != "SACK_TX" {
+		t.Errorf("wire tracer instants = %+v, want one SACK_TX", wire.instants)
+	}
+	if len(quiet.instants) != 1 || quiet.instants[0].name != "SEL_RETRANSMIT" {
+		t.Errorf("quiet tracer instants = %+v, want one SEL_RETRANSMIT", quiet.instants)
+	}
+}

@@ -199,6 +199,23 @@ func WithTransportWindow(w int) Option {
 	return optionFunc(func(o *options) { o.nodeCfg.Transport.Window = w })
 }
 
+// Recovery modes for WithTransportRecovery (DESIGN.md §12). Selective is
+// the default: SACK-driven hole repair with an AIMD congestion window.
+// GoBackN restores the original discard-and-replay recovery.
+const (
+	RecoverySelective = deltat.RecoverySelective
+	RecoveryGoBackN   = deltat.RecoveryGoBackN
+)
+
+// WithTransportRecovery selects the windowed transport's loss-recovery
+// strategy (DESIGN.md §12). Only meaningful with WithTransportWindow > 1;
+// the stop-and-wait transport has no fragments to recover. Order with
+// care: WithNodeConfig replaces the whole node configuration, including
+// this field.
+func WithTransportRecovery(m deltat.RecoveryMode) Option {
+	return optionFunc(func(o *options) { o.nodeCfg.Transport.Recovery = m })
+}
+
 // WithNodeConfig replaces the whole per-node configuration.
 func WithNodeConfig(cfg Config) Option {
 	return optionFunc(func(o *options) { o.nodeCfg = cfg })

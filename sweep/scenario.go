@@ -66,6 +66,65 @@ var scenarios = map[string]Scenario{
 			}
 		},
 	},
+	// bulktransfer: a bulk sink on node 1, with n-1 clients streaming
+	// multi-fragment EXCHANGEs at it (4000-byte puts, 4000-byte replies —
+	// four FRAG frames each way at the default fragment size). This is the
+	// workload that actually exercises the DESIGN.md §12 windowed
+	// transport under the sweep's fault plans: loss and partition faults
+	// land mid-message, so selective repeat, SACK recovery, and the AIMD
+	// window all run hot. Clients stop at 3/4 of the horizon so the
+	// network drains before the cutoff.
+	"bulktransfer": {
+		MinNodes: 2,
+		Build: func(nw *soda.Network, nodes int, horizon time.Duration) {
+			bulkPattern := soda.WellKnownPattern(0o6223)
+			reply := make([]byte, 4000)
+			for i := range reply {
+				reply[i] = byte(i)
+			}
+			nw.Register("bulksink", soda.Program{
+				Init: func(c *soda.Client, _ soda.MID) {
+					if err := c.Advertise(bulkPattern); err != nil {
+						panic(err)
+					}
+				},
+				Handler: func(c *soda.Client, ev soda.Event) {
+					if ev.Kind != soda.EventRequestArrival || ev.Pattern != bulkPattern {
+						return
+					}
+					c.AcceptCurrentExchange(soda.OK, reply[:ev.GetSize], ev.PutSize)
+				},
+			})
+			nw.Register("bulkclient", soda.Program{
+				Task: func(c *soda.Client) {
+					put := make([]byte, 4000)
+					for i := range put {
+						put[i] = byte(0x51 + i)
+					}
+					stop := horizon * 3 / 4
+					for c.Now() < stop {
+						srv, ok := c.Discover(bulkPattern)
+						if !ok {
+							c.Hold(200 * time.Millisecond)
+							continue
+						}
+						res := c.BExchange(srv, soda.OK, put, len(reply))
+						if res.Status != soda.StatusSuccess {
+							c.Hold(100 * time.Millisecond)
+							continue
+						}
+						c.Hold(20 * time.Millisecond)
+					}
+				},
+			})
+			nw.MustAddNode(1)
+			nw.MustBoot(1, "bulksink")
+			for mid := soda.MID(2); int(mid) <= nodes; mid++ {
+				nw.MustAddNode(mid)
+				nw.MustBoot(mid, "bulkclient")
+			}
+		},
+	},
 	// philosophers: the §4.4 dining ring — timeserver on node 1, a ring
 	// of n-1 philosophers on nodes 2..n. The ring never stops on its own,
 	// so every client is killed at 7/8 of the horizon to drain.

@@ -54,6 +54,11 @@ type Spec struct {
 	// paper-faithful stop-and-wait transport; the metamorphic battery pins
 	// that Window<=1 sweeps hash identically to pre-window builds.
 	Window int `json:"window,omitempty"`
+	// Recovery selects the windowed transport's loss-recovery strategy
+	// (DESIGN.md §12): "" or "selective" for selective repeat with SACK
+	// and the AIMD window, "gobackn" for the legacy full-window resend.
+	// Only meaningful with Window > 1.
+	Recovery string `json:"recovery,omitempty"`
 }
 
 // RunKey identifies one cell of the matrix. Report order is the key order:
@@ -200,6 +205,11 @@ func (s Spec) Keys() ([]RunKey, error) {
 	if s.Horizon <= 0 {
 		return nil, fmt.Errorf("sweep: horizon must be positive")
 	}
+	switch s.Recovery {
+	case "", "selective", "gobackn":
+	default:
+		return nil, fmt.Errorf("sweep: unknown recovery mode %q (want selective or gobackn)", s.Recovery)
+	}
 	planSeeds := s.PlanSeeds
 	if len(planSeeds) == 0 {
 		planSeeds = []int64{0}
@@ -247,6 +257,9 @@ func runOne(spec Spec, key RunKey) RunResult {
 	opts := []soda.Option{soda.WithSeed(key.Seed)}
 	if spec.Window > 1 {
 		opts = append(opts, soda.WithTransportWindow(spec.Window))
+		if spec.Recovery == "gobackn" {
+			opts = append(opts, soda.WithTransportRecovery(soda.RecoveryGoBackN))
+		}
 	}
 	if key.PlanSeed != 0 {
 		mids := make([]faults.MID, key.Nodes)
