@@ -40,6 +40,8 @@ func main() {
 	windowCheck := flag.String("windowcheck", "", "re-measure the window sweep and regression-gate it against this artifact")
 	lossyOut := flag.String("lossywindow", "", "write the lossy-window sweep artifact (BENCH_lossywindow.json format) to this file")
 	lossyCheck := flag.String("lossycheck", "", "re-measure the lossy-window sweep and robustness-gate it against this artifact")
+	scaleOut := flag.String("scale", "", "write the internetwork scaling-curve artifact (BENCH_scale.json format) to this file")
+	scaleCheck := flag.Bool("scalecheck", false, "gate the measured scaling curve: 10k-node boot completes, the DISCOVER cache wins at n>=512, cross-segment RTT stays within the pinned ratio")
 	flag.Parse()
 
 	switch *table {
@@ -55,6 +57,10 @@ func main() {
 		printWindow(*ops)
 	case "lossywindow":
 		printLossyWindow()
+	case "scale":
+		// The 10k-node rows make this the most expensive table; it runs
+		// only on request, never under -table all.
+		bench.PrintScaleCurve(os.Stdout, measuredScale())
 	case "all":
 		printPerformance(*ops)
 		fmt.Println()
@@ -104,6 +110,45 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *scaleOut != "" {
+		if err := writeScale(*scaleOut, measuredScale()); err != nil {
+			fmt.Fprintf(os.Stderr, "sodabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *scaleCheck {
+		if err := bench.CheckScaleCurve(measuredScale()); err != nil {
+			fmt.Fprintf(os.Stderr, "sodabench: scale gate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("scale gate: ok (boot completes at 10k nodes, DISCOVER cache wins at n>=512, RTT ratio within bound)")
+	}
+}
+
+// scaleMemo measures the scaling curve at most once per invocation, so
+// -table scale, -scale and -scalecheck share one (expensive) measurement.
+var scaleMemo *bench.ScaleCurve
+
+func measuredScale() bench.ScaleCurve {
+	if scaleMemo == nil {
+		c := bench.MeasureScaleCurve(nil)
+		scaleMemo = &c
+	}
+	return *scaleMemo
+}
+
+// writeScale records the BENCH_scale.json artifact.
+func writeScale(path string, c bench.ScaleCurve) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.Write(f); err != nil {
+		return err
+	}
+	fmt.Printf("scale curve: %s written (%d rows)\n", path, len(c.Rows))
+	return nil
 }
 
 // writeProfile re-runs the Table 6.1 SIGNAL breakdown scenario with the

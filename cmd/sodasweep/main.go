@@ -38,6 +38,7 @@ func main() {
 	instrument := flag.Bool("instrument", false, "attach tracer+metrics and embed per-run profiles")
 	check := flag.Bool("check", true, "arm the invariant checkers; violations exit non-zero")
 	window := flag.Int("window", 0, "transport sliding-window depth on every node (<=1 = stop-and-wait)")
+	segments := flag.Int("segments", 0, "star-internetwork segment count (<=1 = single shared bus)")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	benchOut := flag.String("bench", "", "write a BENCH_sweep.json throughput artifact here")
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 		Instrument: *instrument,
 		Checks:     *check,
 		Window:     *window,
+		Segments:   *segments,
 	}
 	for s := int64(1); s <= int64(*seeds); s++ {
 		spec.Seeds = append(spec.Seeds, s)

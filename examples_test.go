@@ -2,15 +2,29 @@
 // exit. The examples double as executable documentation, so a refactor that
 // silently breaks one is a doc regression even when the library tests stay
 // green. Each example is deterministic (seeded simulation), so a clean exit
-// is a meaningful, reproducible signal, not a flaky one.
+// is a meaningful, reproducible signal, not a flaky one — and the full
+// stdout is pinned by FNV-64a hash, so a scheduler or bus change that
+// perturbs event ordering fails here before it ships.
 package soda_test
 
 import (
+	"hash/fnv"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"testing"
 )
+
+// exampleOutputHashes pins the FNV-64a hash of each example's stdout.
+// Recorded with the hierarchical timer-wheel scheduler; any intentional
+// ordering change must re-record these (go run ./examples/<name> | hash).
+var exampleOutputHashes = map[string]uint64{
+	"fileservice":  0xebae949dfc532f93,
+	"network":      0x6b2655dda5cb6b55,
+	"philosophers": 0xb1caa3b9715a6bfa,
+	"quickstart":   0x9da2f0c176fa17d2,
+	"rendezvous":   0x56e21ea2b2abf5f8,
+}
 
 func TestExamplesRunClean(t *testing.T) {
 	if testing.Short() {
@@ -36,6 +50,15 @@ func TestExamplesRunClean(t *testing.T) {
 			}
 			if len(out) == 0 {
 				t.Fatalf("example %s produced no output", name)
+			}
+			want, pinned := exampleOutputHashes[name]
+			if !pinned {
+				t.Fatalf("example %s has no pinned output hash; record it in exampleOutputHashes", name)
+			}
+			h := fnv.New64a()
+			h.Write(out)
+			if got := h.Sum64(); got != want {
+				t.Fatalf("example %s output hash = %#x, want %#x — event ordering changed; if intentional, re-record the hash\n%s", name, got, want, out)
 			}
 		})
 	}

@@ -51,6 +51,14 @@ const (
 	// Reboot rejoins Node at Start (after the Delta-t quiet period) and,
 	// if Program is set, boots it there.
 	Reboot Kind = "reboot"
+	// GatewayCrash takes the gateway indexed by Gateway off every segment
+	// it bridges at Start: frames inside its store-and-forward delay are
+	// lost, exactly as a router losing power mid-forward. Only meaningful
+	// on a network built with soda.WithTopology.
+	GatewayCrash Kind = "gatewaycrash"
+	// GatewayReboot reattaches a crashed gateway at Start; its DISCOVER
+	// cache restarts cold.
+	GatewayReboot Kind = "gatewayreboot"
 )
 
 // Duration is a time.Duration that marshals to JSON as a string ("150ms",
@@ -112,6 +120,14 @@ type Event struct {
 	// Node/Program parameterize crash and reboot events.
 	Node    MID    `json:"node,omitempty"`
 	Program string `json:"program,omitempty"`
+	// Segment scopes a window event to one bus segment of a
+	// soda.WithTopology network; nil applies to every segment. A
+	// single-segment network is segment 0, so {"segment": 0} plans also
+	// work without a topology.
+	Segment *int `json:"segment,omitempty"`
+	// Gateway is the gateway index targeted by gatewaycrash and
+	// gatewayreboot events.
+	Gateway int `json:"gateway,omitempty"`
 }
 
 // matchLink reports whether the event applies to the src->dst link.
@@ -179,8 +195,15 @@ func (p *Plan) Validate() error {
 			if e.Node == 0 {
 				return fail("need a target node")
 			}
+		case GatewayCrash, GatewayReboot:
+			if e.Gateway < 0 {
+				return fail("gateway index %d negative", e.Gateway)
+			}
 		default:
 			return fail("unknown kind")
+		}
+		if e.Segment != nil && *e.Segment < 0 {
+			return fail("segment %d negative", *e.Segment)
 		}
 	}
 	return nil

@@ -266,3 +266,84 @@ func TestCheckerDeliveryTap(t *testing.T) {
 		t.Fatalf("Frames() = %d, %d; want 2, 1", total, corrupted)
 	}
 }
+
+// recordingGateways is a GatewayControl that records scheduled calls.
+type recordingGateways struct{ calls []string }
+
+func (r *recordingGateways) CrashGateway(i int)  { r.calls = append(r.calls, "crash") }
+func (r *recordingGateways) RebootGateway(i int) { r.calls = append(r.calls, "reboot") }
+
+// TestArmGatewaysSchedules pins that gateway events fire on the simulation
+// clock in plan order and that node Arm ignores them.
+func TestArmGatewaysSchedules(t *testing.T) {
+	k := sim.New(1)
+	inj, err := NewInjector(k, Plan{Events: []Event{
+		{Kind: GatewayCrash, Start: d(time.Second), Gateway: 0},
+		{Kind: GatewayReboot, Start: d(3 * time.Second), Gateway: 0},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingGateways{}
+	inj.ArmGateways(rec)
+	if err := k.RunUntil(sim.Time(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.calls) != 1 || rec.calls[0] != "crash" {
+		t.Fatalf("calls at t=2s: %v, want [crash]", rec.calls)
+	}
+	if err := k.RunUntil(sim.Time(4 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.calls) != 2 || rec.calls[1] != "reboot" {
+		t.Fatalf("calls at t=4s: %v, want [crash reboot]", rec.calls)
+	}
+}
+
+// TestForSegmentScopesWindows pins the segment filter: a Loss window with
+// Segment set drops only on that segment's FaultModel view; a bare Judge
+// call is segment 0.
+func TestForSegmentScopesWindows(t *testing.T) {
+	k := sim.New(1)
+	seg := 1
+	inj, err := NewInjector(k, Plan{Events: []Event{
+		{Kind: Loss, Start: d(time.Second), Stop: d(10 * time.Second), Prob: 1, Segment: &seg},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(2 * time.Second)
+	if act := inj.ForSegment(1).Judge(now, 1, 2, nil); !act.Drop {
+		t.Error("targeted segment did not drop")
+	}
+	if act := inj.ForSegment(0).Judge(now, 1, 2, nil); act.Drop {
+		t.Error("untargeted segment dropped")
+	}
+	if act := inj.Judge(now, 1, 2, nil); act.Drop {
+		t.Error("bare Judge (segment 0) dropped a segment-1 window")
+	}
+	if act := inj.ForSegment(1).Judge(sim.Time(11*time.Second), 1, 2, nil); act.Drop {
+		t.Error("window dropped after its stop time")
+	}
+}
+
+// TestValidateGatewayAndSegmentEvents covers the gateway/segment arms of
+// Plan.Validate.
+func TestValidateGatewayAndSegmentEvents(t *testing.T) {
+	good := Plan{Events: []Event{
+		{Kind: GatewayCrash, Start: d(time.Second), Gateway: 1},
+		{Kind: GatewayReboot, Start: d(2 * time.Second), Gateway: 1},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid gateway plan rejected: %v", err)
+	}
+	badGW := Plan{Events: []Event{{Kind: GatewayCrash, Gateway: -1}}}
+	if err := badGW.Validate(); err == nil {
+		t.Error("negative gateway index accepted")
+	}
+	neg := -1
+	badSeg := Plan{Events: []Event{{Kind: Loss, Prob: 0.5, Segment: &neg}}}
+	if err := badSeg.Validate(); err == nil {
+		t.Error("negative segment accepted")
+	}
+}

@@ -18,13 +18,24 @@ type NodeControl interface {
 	Reboot(mid MID, program string)
 }
 
+// GatewayControl performs scheduled gateway crash and reboot events on a
+// segmented topology. The internet layer implements it; a single-segment
+// network has no gateways, so its plans simply never arm these events.
+type GatewayControl interface {
+	// CrashGateway takes gateway i off every segment it bridges.
+	CrashGateway(i int)
+	// RebootGateway reattaches gateway i.
+	RebootGateway(i int)
+}
+
 // Injector executes a Plan: it is the bus's FaultModel for the plan's
 // window events, and schedules the plan's crash/reboot events on the
-// simulation clock via Arm.
+// simulation clock via Arm (nodes) and ArmGateways (gateways).
 type Injector struct {
 	k       *sim.Kernel
 	windows []Event
 	sched   []Event
+	gwSched []Event
 }
 
 // NewInjector validates the plan and splits it into window and scheduled
@@ -38,6 +49,8 @@ func NewInjector(k *sim.Kernel, p Plan) (*Injector, error) {
 		switch e.Kind {
 		case Crash, Reboot:
 			inj.sched = append(inj.sched, e)
+		case GatewayCrash, GatewayReboot:
+			inj.gwSched = append(inj.gwSched, e)
 		default:
 			inj.windows = append(inj.windows, e)
 		}
@@ -62,15 +75,53 @@ func (inj *Injector) Arm(ctl NodeControl) {
 	}
 }
 
+// ArmGateways schedules the plan's gateway crash and reboot events. Call
+// once, before the run, on topologies that have gateways.
+func (inj *Injector) ArmGateways(ctl GatewayControl) {
+	for _, e := range inj.gwSched {
+		e := e
+		inj.k.At(e.Start.D(), func() {
+			switch e.Kind {
+			case GatewayCrash:
+				ctl.CrashGateway(e.Gateway)
+			case GatewayReboot:
+				ctl.RebootGateway(e.Gateway)
+			}
+		})
+	}
+}
+
 // Judge implements bus.FaultModel: every active window event contributes
 // to the frame's fate; a drop from any event wins. All randomness comes
 // from the simulation kernel, keeping runs reproducible from the seed.
+// A bare Injector judges as segment 0; use ForSegment on topologies.
 func (inj *Injector) Judge(now sim.Time, src, dst MID, raw []byte) bus.FaultAction {
+	return inj.judge(0, now, src, dst)
+}
+
+// ForSegment returns a bus.FaultModel view of the plan scoped to segment s:
+// window events with a Segment field only apply on their segment, so a plan
+// can mud one segment of an internetwork while the rest stay clean.
+func (inj *Injector) ForSegment(s int) bus.FaultModel { return segmentModel{inj: inj, seg: s} }
+
+type segmentModel struct {
+	inj *Injector
+	seg int
+}
+
+func (m segmentModel) Judge(now sim.Time, src, dst MID, raw []byte) bus.FaultAction {
+	return m.inj.judge(m.seg, now, src, dst)
+}
+
+func (inj *Injector) judge(seg int, now sim.Time, src, dst MID) bus.FaultAction {
 	var act bus.FaultAction
 	rng := inj.k.Rand()
 	for i := range inj.windows {
 		e := &inj.windows[i]
 		if !e.active(now) {
+			continue
+		}
+		if e.Segment != nil && *e.Segment != seg {
 			continue
 		}
 		switch e.Kind {

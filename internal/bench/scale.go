@@ -1,0 +1,293 @@
+// Scaling-curve measurement: the internetwork experiment of DESIGN.md §13.
+// For each node count the same discovery-heavy workload runs twice — once
+// on a single flat bus, once on a gateway-segmented star — and the row
+// records boot-to-first-service time, DISCOVER convergence (servers found
+// within one discover window), and the REQUEST round trip to a far server.
+// The flat network's per-MID reply stagger (§5.3) overruns the discover
+// window as MIDs grow, so the per-segment DISCOVER proxy cache wins the
+// convergence column at scale; the gateway hops cost a bounded RTT factor
+// in exchange. cmd/sodabench -table scale prints the curve and -scale
+// writes it as the BENCH_scale.json artifact CI regenerates and gates.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"soda"
+)
+
+// DefaultScaleNodes is the node-count axis of the standard scaling curve.
+var DefaultScaleNodes = []int{8, 64, 512, 4096, 10000}
+
+// ScaleSegmentSize is the target number of nodes per bus segment in the
+// segmented half of each row (the curve picks max(2, ceil(n/size))
+// segments).
+const ScaleSegmentSize = 256
+
+// scaleServers bounds the number of advertising servers per row.
+const scaleServers = 32
+
+// MaxScaleRTTRatio is the pinned ceiling on the segmented cross-segment
+// REQUEST round trip relative to the flat bus: store-and-forward hops may
+// cost up to this factor, never more. CheckScaleCurve gates on it.
+const MaxScaleRTTRatio = 5.0
+
+// ScaleCell is one network mode (flat or segmented) of one row. All times
+// are deterministic virtual microseconds; -1 marks a phase that did not
+// complete.
+type ScaleCell struct {
+	// BootUS is boot-to-first-service: virtual time from network start
+	// until the driver's first DISCOVER returned a server.
+	BootUS int64 `json:"boot_us"`
+	// Discovered is how many of the row's servers one full discover
+	// window collected; DiscoverUS is that window's virtual duration.
+	// Together they are the convergence measure: the window length is
+	// fixed, so whoever hears more servers in it converges faster.
+	Discovered int   `json:"discovered"`
+	DiscoverUS int64 `json:"discover_us"`
+	// RTTUS is the best-of-three blocking EXCHANGE round trip against the
+	// highest-MID discovered server (on the segmented network that is
+	// always a cross-segment path from the asker's segment).
+	RTTUS int64 `json:"rtt_us"`
+	// FramesSent totals bus transmissions over the whole run (every
+	// segment summed); the broadcast-suppression win shows up here.
+	FramesSent uint64 `json:"frames_sent"`
+	// Gateway-layer counters; zero on the flat bus.
+	ProxyReplies    uint64 `json:"proxy_replies,omitempty"`
+	FramesForwarded uint64 `json:"frames_forwarded,omitempty"`
+}
+
+// ScaleRow is one node count of the curve.
+type ScaleRow struct {
+	Nodes    int       `json:"nodes"`
+	Segments int       `json:"segments"`
+	Servers  int       `json:"servers"`
+	Flat     ScaleCell `json:"flat"`
+	Seg      ScaleCell `json:"segmented"`
+}
+
+// ScaleCurve is the machine-readable scaling record (the BENCH_scale.json
+// format). Deterministic virtual time only: the artifact diffs cleanly and
+// CI can gate regenerated numbers exactly.
+type ScaleCurve struct {
+	Description string     `json:"description"`
+	Command     string     `json:"command"`
+	Rows        []ScaleRow `json:"rows"`
+}
+
+// scaleSegments picks the segmented half's segment count for n nodes.
+func scaleSegments(n int) int {
+	s := (n + ScaleSegmentSize - 1) / ScaleSegmentSize
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+// scaleServerMIDs spreads the advertising servers across the MID space
+// 1..n-1 (MID n is the asker), so on the segmented network most of them
+// are remote to the asker and on the flat network their reply stagger
+// spans the whole MID range.
+func scaleServerMIDs(n int) []soda.MID {
+	k := scaleServers
+	if n-1 < k {
+		k = n - 1
+	}
+	mids := make([]soda.MID, 0, k)
+	seen := soda.MID(0)
+	for i := 0; i < k; i++ {
+		mid := soda.MID(1 + i*(n-1)/k)
+		if mid <= seen { // collisions only when n-1 is near k
+			mid = seen + 1
+		}
+		seen = mid
+		mids = append(mids, mid)
+	}
+	return mids
+}
+
+// measureScaleCell runs the workload once; segments <= 1 means the flat
+// bus.
+func measureScaleCell(n, segments int) ScaleCell {
+	opts := []soda.Option{soda.WithSeed(1)}
+	if segments > 1 {
+		topo := soda.StarTopology(segments)
+		segSize := (n + segments - 1) / segments
+		topo.Locate = func(mid soda.MID) int { return (int(mid) - 1) / segSize }
+		opts = append(opts, soda.WithTopology(topo))
+	}
+	nw := soda.NewNetwork(opts...)
+
+	pattern := soda.WellKnownPattern(0o1513)
+	servers := scaleServerMIDs(n)
+	isServer := make([]bool, n+1)
+	for _, mid := range servers {
+		isServer[mid] = true
+	}
+	asker := soda.MID(n)
+
+	nw.Register("srv", soda.Program{
+		Init: func(c *soda.Client, _ soda.MID) {
+			if err := c.Advertise(pattern); err != nil {
+				panic(err)
+			}
+		},
+		Handler: func(c *soda.Client, ev soda.Event) {
+			if ev.Kind == soda.EventRequestArrival && ev.Pattern == pattern {
+				c.AcceptCurrentExchange(soda.OK, []byte("pong"), ev.PutSize)
+			}
+		},
+	})
+	// Bystanders idle through the measurement so every DISCOVER broadcast
+	// pays the full per-receiver delivery cost of an n-node bus.
+	nw.Register("idle", soda.Program{
+		Task: func(c *soda.Client) { c.Hold(time.Second) },
+	})
+
+	cell := ScaleCell{BootUS: -1, DiscoverUS: -1, RTTUS: -1}
+	nw.Register("driver", soda.Program{
+		Task: func(c *soda.Client) {
+			// Boot-to-first-service: one DISCOVER from network start.
+			if _, ok := c.Discover(pattern); !ok {
+				return
+			}
+			cell.BootUS = int64(c.Now() / time.Microsecond)
+			// Convergence: one full discover window, counted.
+			start := c.Now()
+			found := c.DiscoverAll(pattern, len(servers))
+			cell.DiscoverUS = int64((c.Now() - start) / time.Microsecond)
+			cell.Discovered = len(found)
+			if len(found) == 0 {
+				return
+			}
+			// Far-server round trip: the highest-MID server heard. On the
+			// segmented star the asker is alone on the last segment, so
+			// this is always a cross-segment path.
+			target := found[0]
+			for _, mid := range found {
+				if mid > target {
+					target = mid
+				}
+			}
+			sig := soda.ServerSig{MID: target, Pattern: pattern}
+			best := time.Duration(-1)
+			for i := 0; i < 3; i++ {
+				s := c.Now()
+				if res := c.BExchange(sig, soda.OK, []byte("ping"), 16); res.Status != soda.StatusSuccess {
+					return
+				}
+				if d := c.Now() - s; best < 0 || d < best {
+					best = d
+				}
+			}
+			cell.RTTUS = int64(best / time.Microsecond)
+		},
+	})
+
+	for mid := soda.MID(1); int(mid) <= n; mid++ {
+		nw.MustAddNode(mid)
+		switch {
+		case mid == asker:
+			nw.MustBoot(mid, "driver")
+		case isServer[mid]:
+			nw.MustBoot(mid, "srv")
+		default:
+			nw.MustBoot(mid, "idle")
+		}
+	}
+	if err := nw.Run(2 * time.Second); err != nil {
+		return ScaleCell{BootUS: -1, DiscoverUS: -1, RTTUS: -1}
+	}
+	st := nw.Stats()
+	cell.FramesSent = st.FramesSent
+	is := nw.InternetStats()
+	cell.ProxyReplies = is.ProxyReplies
+	cell.FramesForwarded = is.FramesForwarded
+	return cell
+}
+
+// MeasureScaleRow runs both halves of one node count.
+func MeasureScaleRow(n int) ScaleRow {
+	row := ScaleRow{Nodes: n, Segments: scaleSegments(n), Servers: len(scaleServerMIDs(n))}
+	row.Flat = measureScaleCell(n, 1)
+	row.Seg = measureScaleCell(n, row.Segments)
+	return row
+}
+
+// MeasureScaleCurve runs the whole curve.
+func MeasureScaleCurve(nodes []int) ScaleCurve {
+	if len(nodes) == 0 {
+		nodes = DefaultScaleNodes
+	}
+	curve := ScaleCurve{
+		Description: "Flat bus vs gateway-segmented star (DESIGN.md §13) across node counts: boot-to-first-service, servers discovered in one 40ms discover window, and best-of-3 cross-segment EXCHANGE RTT. The flat network's per-MID reply stagger overruns the window as MIDs grow; the segmented network's DISCOVER proxy cache answers from the gateway directory instead. Deterministic virtual time: CI regenerates this file and gates on it exactly.",
+		Command:     "go run ./cmd/sodabench -table scale",
+	}
+	for _, n := range nodes {
+		curve.Rows = append(curve.Rows, MeasureScaleRow(n))
+	}
+	return curve
+}
+
+// CheckScaleCurve gates the acceptance properties of a measured curve:
+// every phase of every row completed (the 10k-node boot included), the
+// DISCOVER proxy cache beats the flat broadcast at n >= 512, and the
+// cross-segment RTT stays within MaxScaleRTTRatio of the flat bus.
+func CheckScaleCurve(c ScaleCurve) error {
+	if len(c.Rows) == 0 {
+		return fmt.Errorf("scale curve has no rows")
+	}
+	maxNodes := 0
+	for _, r := range c.Rows {
+		if r.Nodes > maxNodes {
+			maxNodes = r.Nodes
+		}
+		if r.Flat.BootUS < 0 || r.Seg.BootUS < 0 {
+			return fmt.Errorf("n=%d: boot did not complete (flat %d us, segmented %d us)", r.Nodes, r.Flat.BootUS, r.Seg.BootUS)
+		}
+		if r.Flat.RTTUS <= 0 || r.Seg.RTTUS <= 0 {
+			return fmt.Errorf("n=%d: RTT phase did not complete (flat %d us, segmented %d us)", r.Nodes, r.Flat.RTTUS, r.Seg.RTTUS)
+		}
+		if ratio := float64(r.Seg.RTTUS) / float64(r.Flat.RTTUS); ratio > MaxScaleRTTRatio {
+			return fmt.Errorf("n=%d: cross-segment RTT %d us is %.2fx the flat bus (%d us), ceiling %.1fx", r.Nodes, r.Seg.RTTUS, ratio, r.Flat.RTTUS, MaxScaleRTTRatio)
+		}
+		if r.Nodes >= 512 && r.Seg.Discovered <= r.Flat.Discovered {
+			return fmt.Errorf("n=%d: DISCOVER cache found %d/%d servers vs the flat broadcast's %d — the cache must win at this scale", r.Nodes, r.Seg.Discovered, r.Servers, r.Flat.Discovered)
+		}
+	}
+	if maxNodes < 10000 {
+		return fmt.Errorf("curve tops out at %d nodes; the 10000-node row is the gate", maxNodes)
+	}
+	return nil
+}
+
+// Write emits the curve as indented JSON (the BENCH_scale.json format).
+func (c ScaleCurve) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadScaleCurve parses a BENCH_scale.json artifact.
+func ReadScaleCurve(r io.Reader) (ScaleCurve, error) {
+	var c ScaleCurve
+	err := json.NewDecoder(r).Decode(&c)
+	return c, err
+}
+
+// PrintScaleCurve renders the curve as the human table -table scale shows.
+func PrintScaleCurve(w io.Writer, c ScaleCurve) {
+	fmt.Fprintln(w, "Internetwork scaling curve (flat bus vs segmented star, DESIGN.md §13)")
+	fmt.Fprintln(w, "nodes  segs  srv | boot us (flat/seg) | discovered (flat/seg) | rtt us (flat/seg) | frames (flat/seg)")
+	for _, r := range c.Rows {
+		fmt.Fprintf(w, "%5d  %4d  %3d | %9d %9d | %10d %10d | %8d %8d | %9d %9d\n",
+			r.Nodes, r.Segments, r.Servers,
+			r.Flat.BootUS, r.Seg.BootUS,
+			r.Flat.Discovered, r.Seg.Discovered,
+			r.Flat.RTTUS, r.Seg.RTTUS,
+			r.Flat.FramesSent, r.Seg.FramesSent)
+	}
+}

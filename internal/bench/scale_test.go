@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMeasureScaleRowSmall runs the smallest row end to end: both halves
+// must complete every phase and discover every server, deterministically.
+func TestMeasureScaleRowSmall(t *testing.T) {
+	row := MeasureScaleRow(8)
+	if row.Segments != 2 || row.Servers != 7 {
+		t.Fatalf("row shape = %+v, want 2 segments and 7 servers", row)
+	}
+	for _, cell := range []struct {
+		name string
+		c    ScaleCell
+	}{{"flat", row.Flat}, {"segmented", row.Seg}} {
+		if cell.c.BootUS <= 0 || cell.c.RTTUS <= 0 || cell.c.DiscoverUS <= 0 {
+			t.Errorf("%s: incomplete phases: %+v", cell.name, cell.c)
+		}
+		if cell.c.Discovered != 7 {
+			t.Errorf("%s: discovered %d/7 servers", cell.name, cell.c.Discovered)
+		}
+	}
+	if row.Seg.ProxyReplies == 0 {
+		t.Error("segmented half never engaged the DISCOVER proxy")
+	}
+	again := MeasureScaleRow(8)
+	if again != row {
+		t.Fatalf("scale row not deterministic:\n%+v\n%+v", row, again)
+	}
+}
+
+// TestCheckScaleCurve pins each gate of the acceptance check on synthetic
+// curves.
+func TestCheckScaleCurve(t *testing.T) {
+	good := func() ScaleCurve {
+		return ScaleCurve{Rows: []ScaleRow{
+			{Nodes: 512, Servers: 32,
+				Flat: ScaleCell{BootUS: 41500, Discovered: 3, RTTUS: 7900},
+				Seg:  ScaleCell{BootUS: 41500, Discovered: 17, RTTUS: 8700}},
+			{Nodes: 10000, Servers: 32,
+				Flat: ScaleCell{BootUS: 41500, Discovered: 1, RTTUS: 7900},
+				Seg:  ScaleCell{BootUS: 41500, Discovered: 32, RTTUS: 9500}},
+		}}
+	}
+	if err := CheckScaleCurve(good()); err != nil {
+		t.Fatalf("healthy curve rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*ScaleCurve)
+		want   string
+	}{
+		{"empty", func(c *ScaleCurve) { c.Rows = nil }, "no rows"},
+		{"boot dnf", func(c *ScaleCurve) { c.Rows[1].Seg.BootUS = -1 }, "boot"},
+		{"rtt dnf", func(c *ScaleCurve) { c.Rows[1].Seg.RTTUS = -1 }, "RTT"},
+		{"rtt ratio", func(c *ScaleCurve) { c.Rows[1].Seg.RTTUS = 7900 * 6 }, "ceiling"},
+		{"cache loses", func(c *ScaleCurve) { c.Rows[1].Seg.Discovered = 1 }, "cache"},
+		{"no 10k row", func(c *ScaleCurve) { c.Rows = c.Rows[:1] }, "10000"},
+	}
+	for _, tc := range cases {
+		c := good()
+		tc.mutate(&c)
+		err := CheckScaleCurve(c)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package bus
 
 import (
 	"fmt"
+	"reflect"
 	"time"
 
 	"soda/internal/frame"
@@ -76,6 +77,10 @@ type Stats struct {
 	// PeerDeadTimeouts counts sends abandoned after MPL+Δt of silence
 	// (the transport reported the destination dead).
 	PeerDeadTimeouts uint64
+	// PatternTableFull counts AdvertiseUnique calls rejected because a
+	// node's 256-slot pattern table was saturated (§5.4's flat directory is
+	// a hard scale wall; the counter makes saturation observable at scale).
+	PatternTableFull uint64
 	// WindowFills counts sends that had to queue because the sliding
 	// window (Config.Window messages) toward the destination was full —
 	// the windowed transport's analogue of stop-and-wait head-of-line
@@ -104,6 +109,29 @@ type Stats struct {
 	WindowDecreases uint64
 	BytesSent       uint64
 	ByKind          map[frame.TransportKind]uint64
+}
+
+// Add accumulates o into s: counters sum and ByKind merges. Reflection
+// walks the uint64 fields so the sum stays exhaustive as counters are
+// added — a hand-written list would silently omit new fields (the
+// aggregation analogue of the ResetStats whole-struct rule). Used to
+// total traffic across the segments of an internetwork.
+func (s *Stats) Add(o Stats) {
+	sv := reflect.ValueOf(s).Elem()
+	ov := reflect.ValueOf(o)
+	for i := 0; i < sv.NumField(); i++ {
+		if f := sv.Field(i); f.Kind() == reflect.Uint64 {
+			f.SetUint(f.Uint() + ov.Field(i).Uint())
+		}
+	}
+	if len(o.ByKind) > 0 {
+		if s.ByKind == nil {
+			s.ByKind = make(map[frame.TransportKind]uint64, len(o.ByKind))
+		}
+		for _, k := range sortediter.Keys(o.ByKind) {
+			s.ByKind[k] += o.ByKind[k]
+		}
+	}
 }
 
 // FaultAction is a fault model's disposition of one per-receiver delivery.
@@ -168,6 +196,9 @@ type Bus struct {
 	tap       func(TapEvent)
 	fault     FaultModel
 	dtaps     []func(DeliveryEvent)
+	// bridges are the interfaces attached via AttachBridge, kept in MID
+	// order so the delivery fan-out of unrouted unicasts is deterministic.
+	bridges []*Iface
 	// linkFloor is the earliest admissible delivery instant per (src, dst)
 	// link, maintained only while a fault model is installed: fault delays
 	// must not reorder a link (the alternating-bit transport assumes FIFO
@@ -251,6 +282,43 @@ func (b *Bus) Attach(mid frame.MID, recv func(raw []byte)) (*Iface, error) {
 	return i, nil
 }
 
+// AttachBridge connects a store-and-forward gateway to the bus. A bridge
+// interface hears every broadcast (like any attachment) and, in addition,
+// every unicast frame whose destination MID has no local attachment — the
+// frames that need routing to another segment. Plain attachments never see
+// such frames (the single-segment wire is unchanged when no bridge exists).
+func (b *Bus) AttachBridge(mid frame.MID, recv func(raw []byte)) (*Iface, error) {
+	i, err := b.Attach(mid, recv)
+	if err != nil {
+		return nil, err
+	}
+	pos := len(b.bridges)
+	for j, br := range b.bridges {
+		if br.mid > mid {
+			pos = j
+			break
+		}
+	}
+	b.bridges = append(b.bridges, nil)
+	copy(b.bridges[pos+1:], b.bridges[pos:])
+	b.bridges[pos] = i
+	return i, nil
+}
+
+// Detach disconnects the interface from the bus entirely: it stops hearing
+// frames and its MID becomes free for reuse. Frames already in flight toward
+// it are discarded at delivery time (the interface is marked down).
+func (i *Iface) Detach() {
+	delete(i.bus.ifaces, i.mid)
+	for idx, br := range i.bus.bridges {
+		if br == i {
+			i.bus.bridges = append(i.bus.bridges[:idx], i.bus.bridges[idx+1:]...)
+			break
+		}
+	}
+	i.up = false
+}
+
 // MID reports the interface's machine id.
 func (i *Iface) MID() frame.MID { return i.mid }
 
@@ -267,6 +335,10 @@ func (i *Iface) CountPiggybackedAck() { i.bus.stats.PiggybackedAcks++ }
 // CountPeerDeadTimeout records a send abandoned because the destination
 // stayed silent past the transport's death-detection bound.
 func (i *Iface) CountPeerDeadTimeout() { i.bus.stats.PeerDeadTimeouts++ }
+
+// CountPatternTableFull records an advertise rejected by a saturated
+// 256-slot pattern table on the owning node.
+func (i *Iface) CountPatternTableFull() { i.bus.stats.PatternTableFull++ }
 
 // CountWindowFill records a send queued behind a full sliding window.
 func (i *Iface) CountWindowFill() { i.bus.stats.WindowFills++ }
@@ -346,6 +418,15 @@ func (i *Iface) Send(dst frame.MID, raw []byte) {
 	}
 	if target, ok := b.ifaces[dst]; ok {
 		b.scheduleDelivery(i.mid, target, raw, deliverAt)
+		return
+	}
+	// The destination is not attached here. On a single-segment network the
+	// frame just dies on the wire; with bridges attached, each gateway hears
+	// it and may route it toward the destination's segment.
+	for _, br := range b.bridges {
+		if br != i {
+			b.scheduleDelivery(i.mid, br, raw, deliverAt)
+		}
 	}
 }
 

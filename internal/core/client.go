@@ -440,12 +440,25 @@ func (c *Client) GetUniqueID() frame.Pattern {
 	return c.node.GetUniqueID()
 }
 
+// PatternTableFullError reports that a node's 256-slot pattern table (the
+// §5.4 implementation restriction) had no free slot left for another unique
+// advertisement. Node identifies the saturated machine; the rejection is
+// also counted in bus.Stats.PatternTableFull so saturation is observable
+// across a whole network.
+type PatternTableFullError struct {
+	Node frame.MID
+}
+
+func (e *PatternTableFullError) Error() string {
+	return fmt.Sprintf("core: node %d pattern table full (256 slots)", e.Node)
+}
+
 // AdvertiseUnique mints unique patterns until one lands in a free slot of
 // the kernel's 8-bit-indexed pattern table, then advertises it. The §5.4
 // implementation restriction makes a colliding advertisement silently
 // overwrite the older entry; a careful server minting per-session entry
 // points (file descriptors, link ends) avoids clobbering its well-known
-// names this way.
+// names this way. A saturated table yields a *PatternTableFullError.
 func (c *Client) AdvertiseUnique() (frame.Pattern, error) {
 	c.checkKilled()
 	for i := 0; i < 256; i++ {
@@ -454,7 +467,8 @@ func (c *Client) AdvertiseUnique() (frame.Pattern, error) {
 			return p, c.node.Advertise(p)
 		}
 	}
-	return 0, fmt.Errorf("core: pattern table full (256 slots)")
+	c.node.ep.CountPatternTableFull()
+	return 0, &PatternTableFullError{Node: c.node.mid}
 }
 
 // --- Message-passing primitives (§3.3) ---

@@ -191,6 +191,9 @@ func (n *Node) Advertise(p frame.Pattern) error {
 		return fmt.Errorf("advertise %v: reserved patterns are bound to the kernel", p)
 	}
 	n.patterns[p.Slot()] = patternSlot{pat: p, active: true}
+	if n.cfg.Observer != nil {
+		n.observe(ObsEvent{Kind: ObsAdvertise, Pattern: p})
+	}
 	return nil
 }
 
@@ -205,6 +208,9 @@ func (n *Node) Unadvertise(p frame.Pattern) error {
 		return fmt.Errorf("unadvertise %v: not advertised", p)
 	}
 	s.active = false
+	if n.cfg.Observer != nil {
+		n.observe(ObsEvent{Kind: ObsUnadvertise, Pattern: p})
+	}
 	return nil
 }
 

@@ -35,6 +35,14 @@ const (
 	ObsDie
 	// ObsReboot: the node rejoined the network after a crash.
 	ObsReboot
+	// ObsAdvertise: a client pattern was bound to this node's handler;
+	// Pattern names it. With ObsUnadvertise, ObsCrash and ObsDie this is
+	// the feed a pattern directory (the internet layer's DISCOVER cache)
+	// needs to stay coherent.
+	ObsAdvertise
+	// ObsUnadvertise: a client pattern binding was removed; Pattern names
+	// it.
+	ObsUnadvertise
 )
 
 func (k ObsKind) String() string {
@@ -57,6 +65,10 @@ func (k ObsKind) String() string {
 		return "DIE"
 	case ObsReboot:
 		return "REBOOT"
+	case ObsAdvertise:
+		return "ADVERTISE"
+	case ObsUnadvertise:
+		return "UNADVERTISE"
 	default:
 		return "OBS(?)"
 	}
@@ -84,6 +96,9 @@ type ObsEvent struct {
 	Status Status
 	// Accept is the accept outcome (ObsAccept only).
 	Accept AcceptStatus
+	// Pattern is the client pattern concerned (ObsAdvertise and
+	// ObsUnadvertise only).
+	Pattern frame.Pattern
 }
 
 // observe emits ev on the node's observer, stamping time and place.

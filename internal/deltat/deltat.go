@@ -497,6 +497,11 @@ func (e *Endpoint) emit(kind EventKind, peer frame.MID, seq uint8, attempt int) 
 // Config returns the protocol configuration.
 func (e *Endpoint) Config() Config { return e.cfg }
 
+// CountPatternTableFull forwards a pattern-table saturation rejection to
+// the bus counters (bus.Stats.PatternTableFull). The kernel layer owns the
+// table but has no bus handle of its own; the endpoint lends its interface.
+func (e *Endpoint) CountPatternTableFull() { e.iface.CountPatternTableFull() }
+
 // Totals returns the accumulated cost buckets.
 func (e *Endpoint) Totals() CostTotals { return e.totals }
 

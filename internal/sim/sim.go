@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -68,7 +67,7 @@ func (h *eventHeap) Pop() any {
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  eventQueue
 	yield   chan struct{} // processes signal "I have yielded control"
 	rng     *rand.Rand
 	procs   int // live (started, not finished) processes
@@ -82,11 +81,17 @@ type Kernel struct {
 	free []*event
 }
 
-// New returns a Kernel whose random source is seeded deterministically.
-func New(seed int64) *Kernel {
+// New returns a Kernel whose random source is seeded deterministically. The
+// pending-event store is a hierarchical timer wheel (see wheel.go); its
+// event ordering is byte-identical to the reference binary heap, which
+// newWithQueue can substitute for differential testing.
+func New(seed int64) *Kernel { return newWithQueue(seed, newWheel()) }
+
+func newWithQueue(seed int64, q eventQueue) *Kernel {
 	return &Kernel{
-		yield: make(chan struct{}),
-		rng:   rand.New(rand.NewSource(seed)),
+		events: q,
+		yield:  make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -118,7 +123,7 @@ func (k *Kernel) At(t Time, fn func()) {
 	k.seq++
 	ev := k.newEvent()
 	ev.t, ev.seq, ev.fn = t, k.seq, fn
-	heap.Push(&k.events, ev)
+	k.events.push(ev)
 }
 
 // newEvent takes an event struct from the freelist, or allocates one.
@@ -153,12 +158,14 @@ func (k *Kernel) Run() error { return k.RunUntil(-1) }
 // deadline means "no deadline". Events at exactly the deadline still run.
 func (k *Kernel) RunUntil(deadline Time) error {
 	var processed uint64
-	for len(k.events) > 0 && !k.stopped {
-		if deadline >= 0 && k.events[0].t > deadline {
-			k.now = deadline
-			return nil
+	for k.events.len() > 0 && !k.stopped {
+		if deadline >= 0 {
+			if next, ok := k.events.peekTime(); ok && next > deadline {
+				k.now = deadline
+				return nil
+			}
 		}
-		ev := heap.Pop(&k.events).(*event)
+		ev := k.events.pop()
 		k.now = ev.t
 		processed++
 		if k.limit > 0 && processed > k.limit {
@@ -227,7 +234,7 @@ func (k *Kernel) scheduleProc(p *Proc, t Time) {
 	k.seq++
 	ev := k.newEvent()
 	ev.t, ev.seq, ev.proc = t, k.seq, p
-	heap.Push(&k.events, ev)
+	k.events.push(ev)
 }
 
 // Name reports the name given at Spawn, for traces and error messages.

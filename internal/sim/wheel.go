@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"container/heap"
+	"math/bits"
+)
+
+// eventQueue is the scheduler's pending-event store. Two implementations
+// exist: heapQueue (the original binary heap, kept as the reference ordering
+// for differential tests) and wheel (a hierarchical timer wheel, the
+// default). Both must yield the exact same total order — (t, seq) ascending —
+// or traces stop being reproducible across scheduler implementations.
+type eventQueue interface {
+	push(*event)
+	pop() *event
+	peekTime() (Time, bool)
+	len() int
+}
+
+// heapQueue adapts eventHeap to the eventQueue interface. O(log n) insert
+// and pop; the reference implementation.
+type heapQueue struct{ h eventHeap }
+
+func (q *heapQueue) push(ev *event) { heap.Push(&q.h, ev) }
+
+func (q *heapQueue) pop() *event { return heap.Pop(&q.h).(*event) }
+
+func (q *heapQueue) peekTime() (Time, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].t, true
+}
+
+func (q *heapQueue) len() int { return len(q.h) }
+
+const (
+	wheelSlotBits = 8
+	wheelSlots    = 1 << wheelSlotBits // 256 slots per level
+	wheelLevels   = 4
+	// wheelBaseShift sets the level-0 slot width to 2^16 ns ≈ 65.5µs: finer
+	// than the bus frame-transmission quantum, so a slot rarely holds more
+	// than a handful of events, while 4 levels of 256 slots still span
+	// 2^48 ns ≈ 78 hours of virtual time before the overflow list is needed.
+	wheelBaseShift = 16
+
+	wheelOccWords = wheelSlots / 64
+)
+
+// wheelShift is the bit position where level l's slot index starts.
+func wheelShift(l int) uint { return uint(wheelBaseShift + l*wheelSlotBits) }
+
+// wheel is a hierarchical timer wheel (calendar queue). Events land in the
+// lowest level whose slot resolution separates them from the current time;
+// as the clock reaches a higher-level slot its events cascade down. The slot
+// currently being drained is kept as a small (t, seq) min-heap ("bucket"),
+// which preserves the binary heap's exact total order — including FIFO
+// tie-breaks at equal timestamps — while making the common insert (a short
+// delta landing in level 0) an O(1) slice append instead of an O(log n)
+// sift. Each event cascades at most wheelLevels-1 times, so cost stays O(1)
+// amortized regardless of how many events are pending.
+type wheel struct {
+	cur       Time // start of the level-0 slot currently draining
+	bucketEnd Time // exclusive end of that slot; pushes below it join the bucket
+	bucket    eventHeap
+	levels    [wheelLevels][wheelSlots][]*event
+	occ       [wheelLevels][wheelOccWords]uint64 // per-level slot occupancy bitmaps
+	overflow  []*event                           // events beyond the top level's span
+	size      int
+}
+
+func newWheel() *wheel { return &wheel{} }
+
+func (w *wheel) len() int { return w.size }
+
+func (w *wheel) push(ev *event) {
+	w.size++
+	if ev.t < w.bucketEnd {
+		heap.Push(&w.bucket, ev)
+		return
+	}
+	w.place(ev)
+}
+
+// place files ev into the lowest level that shares its parent slot with the
+// current time. The kernel clamps event times to now, so ev.t >= w.cur and
+// the chosen slot is never one the wheel has already drained.
+func (w *wheel) place(ev *event) {
+	for l := 0; l < wheelLevels; l++ {
+		above := wheelShift(l + 1)
+		if ev.t>>above == w.cur>>above {
+			s := int(ev.t>>wheelShift(l)) & (wheelSlots - 1)
+			w.levels[l][s] = append(w.levels[l][s], ev)
+			w.occ[l][s>>6] |= 1 << (uint(s) & 63)
+			return
+		}
+	}
+	w.overflow = append(w.overflow, ev)
+}
+
+// takeSlot removes and returns slot s of level l, clearing its occupancy bit.
+func (w *wheel) takeSlot(l, s int) []*event {
+	evs := w.levels[l][s]
+	w.levels[l][s] = nil
+	w.occ[l][s>>6] &^= 1 << (uint(s) & 63)
+	return evs
+}
+
+// firstSlot finds the lowest-index occupied slot of level l. Occupied slots
+// are always in the future relative to cur (drained slots are cleared, and
+// place never files into the past), so within a level the lowest index is
+// the earliest slot.
+func (w *wheel) firstSlot(l int) (int, bool) {
+	for wi, word := range w.occ[l] {
+		if word != 0 {
+			return wi<<6 + bits.TrailingZeros64(word), true
+		}
+	}
+	return 0, false
+}
+
+// refill advances the wheel to the next occupied level-0 slot and loads it
+// into the bucket, cascading higher-level slots down as the clock crosses
+// them. Reports false when no events are pending anywhere.
+func (w *wheel) refill() bool {
+	if w.size == 0 {
+		return false
+	}
+	for {
+		if s, ok := w.firstSlot(0); ok {
+			evs := w.takeSlot(0, s)
+			base := w.cur &^ (Time(1)<<wheelShift(1) - 1)
+			start := base + Time(s)<<wheelShift(0)
+			w.cur = start
+			w.bucketEnd = start + Time(1)<<wheelShift(0)
+			w.bucket = append(w.bucket[:0], evs...)
+			heap.Init(&w.bucket)
+			return true
+		}
+		if w.cascade() {
+			continue
+		}
+		// Every level is empty; the remaining events sit past the top
+		// level's span. Jump the clock to the earliest of them and re-file:
+		// at least that one now lands in a level, so progress is guaranteed.
+		min := w.overflow[0].t
+		for _, ev := range w.overflow[1:] {
+			if ev.t < min {
+				min = ev.t
+			}
+		}
+		w.cur = min
+		evs := w.overflow
+		w.overflow = nil
+		for _, ev := range evs {
+			w.place(ev)
+		}
+	}
+}
+
+// cascade moves the earliest occupied slot of the lowest nonempty level
+// 1..N down one level (its events re-place relative to the slot's start
+// time). Reports false when levels 1..N are all empty.
+func (w *wheel) cascade() bool {
+	for l := 1; l < wheelLevels; l++ {
+		s, ok := w.firstSlot(l)
+		if !ok {
+			continue
+		}
+		evs := w.takeSlot(l, s)
+		base := w.cur &^ (Time(1)<<wheelShift(l+1) - 1)
+		w.cur = base + Time(s)<<wheelShift(l)
+		for _, ev := range evs {
+			w.place(ev)
+		}
+		return true
+	}
+	return false
+}
+
+func (w *wheel) pop() *event {
+	if w.bucket.Len() == 0 && !w.refill() {
+		return nil
+	}
+	w.size--
+	return heap.Pop(&w.bucket).(*event)
+}
+
+// peekTime reports the earliest pending event time. The bucket always holds
+// the global minimum: every event still filed in a level or the overflow
+// list is at or past bucketEnd.
+func (w *wheel) peekTime() (Time, bool) {
+	if w.bucket.Len() == 0 && !w.refill() {
+		return 0, false
+	}
+	return w.bucket[0].t, true
+}

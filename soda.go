@@ -49,6 +49,7 @@ import (
 	"soda/internal/core"
 	"soda/internal/deltat"
 	"soda/internal/frame"
+	"soda/internal/internet"
 	"soda/internal/sim"
 	"soda/obs"
 )
@@ -86,6 +87,14 @@ type (
 	Config = core.Config
 	// BusStats counts frames on the broadcast medium.
 	BusStats = bus.Stats
+	// Topology describes a segmented internetwork (see WithTopology).
+	Topology = internet.Topology
+	// GatewaySpec declares one gateway and the segments it bridges.
+	GatewaySpec = internet.GatewaySpec
+	// InternetStats counts gateway-layer work on a segmented network.
+	InternetStats = internet.Stats
+	// PatternTableFullError reports a saturated 256-slot pattern table.
+	PatternTableFullError = core.PatternTableFullError
 )
 
 // Re-exported constants and values.
@@ -119,6 +128,15 @@ var (
 
 // WellKnownPattern builds a published pattern from a 46-bit value.
 func WellKnownPattern(v uint64) Pattern { return frame.WellKnownPattern(v) }
+
+// StarTopology is a hub-and-spoke internetwork: segment 0 is the backbone
+// and one gateway bridges each other segment to it, so any cross-segment
+// path takes at most two gateway hops.
+func StarTopology(segments int) Topology { return internet.Star(segments) }
+
+// LineTopology is a chain internetwork: gateway i bridges segments i and
+// i+1 (the longest path crosses segments-1 gateways).
+func LineTopology(segments int) Topology { return internet.Line(segments) }
 
 // DefaultNodeConfig returns the per-node kernel configuration calibrated to
 // the thesis's implementation (§5.5); tweak and pass via WithNodeConfig.
@@ -166,6 +184,7 @@ type options struct {
 	invariants bool
 	tracer     *obs.Tracer
 	metrics    *obs.Registry
+	topo       *internet.Topology
 }
 
 type optionFunc func(*options)
@@ -214,6 +233,18 @@ const (
 // this field.
 func WithTransportRecovery(m deltat.RecoveryMode) Option {
 	return optionFunc(func(o *options) { o.nodeCfg.Transport.Recovery = m })
+}
+
+// WithTopology splits the network into t.Segments bus segments joined by
+// store-and-forward gateways (DESIGN.md §13). Nodes land on the segment
+// t.Locate maps them to; unicast frames cross segments through routed
+// gateway hops, broadcasts flood a spanning tree, and DISCOVER queries are
+// answered from the gateways' pattern directory unless t.NoDiscoverCache.
+// A topology of 0 or 1 segments is the default single shared bus, whose
+// wire behavior stays byte-identical to a network built without this
+// option.
+func WithTopology(t Topology) Option {
+	return optionFunc(func(o *options) { o.topo = &t })
 }
 
 // WithNodeConfig replaces the whole per-node configuration.
@@ -265,10 +296,15 @@ func WithMetrics(r *obs.Registry) Option {
 }
 
 // Network is a simulated SODA network: the virtual clock, the broadcast
-// bus, the program registry, and the set of nodes.
+// bus (or the bus segments of a WithTopology internetwork), the program
+// registry, and the set of nodes.
 type Network struct {
-	k       *sim.Kernel
-	b       *bus.Bus
+	k *sim.Kernel
+	// b is the single shared bus; nil when the network is segmented.
+	b *bus.Bus
+	// buses lists every bus segment ([b] on a single-segment network).
+	buses   []*bus.Bus
+	inet    *internet.Internet
 	reg     core.Registry
 	cfg     core.Config
 	nodes   map[MID]*core.Node
@@ -292,28 +328,50 @@ func NewNetwork(opts ...Option) *Network {
 	k.SetEventLimit(o.eventCap)
 	nw := &Network{
 		k:     k,
-		b:     bus.New(k, o.busCfg),
 		reg:   core.Registry{},
 		cfg:   o.nodeCfg,
 		nodes: make(map[MID]*core.Node),
 	}
+	if o.topo != nil && o.topo.Segments > 1 {
+		in, err := internet.New(k, o.busCfg, *o.topo)
+		if err != nil {
+			panic(fmt.Sprintf("soda: %v", err))
+		}
+		nw.inet = in
+		for s := 0; s < in.Segments(); s++ {
+			nw.buses = append(nw.buses, in.Bus(s))
+		}
+	} else {
+		nw.b = bus.New(k, o.busCfg)
+		nw.buses = []*bus.Bus{nw.b}
+	}
 	if o.invariants {
 		nw.checker = faults.NewChecker()
-		nw.b.AddDeliveryTap(nw.checker.ObserveDelivery)
+		for _, b := range nw.buses {
+			b.AddDeliveryTap(nw.checker.ObserveDelivery)
+		}
 	}
 	nw.tracer = o.tracer
 	nw.metrics = o.metrics
 	if nw.tracer != nil {
-		nw.b.AddDeliveryTap(nw.tracer.ObserveDelivery)
+		for _, b := range nw.buses {
+			b.AddDeliveryTap(nw.tracer.ObserveDelivery)
+		}
 	}
 
 	// Fan the single kernel observer hook out to every attached consumer.
 	// A user observer set via WithNodeConfig runs first (it predates the
 	// obs layer), then the invariant checker, tracer, and metrics. With no
 	// consumers the hook stays nil, so nodes build no events at all.
-	coreObs := make([]func(core.ObsEvent), 0, 4)
+	coreObs := make([]func(core.ObsEvent), 0, 5)
 	if nw.cfg.Observer != nil {
 		coreObs = append(coreObs, nw.cfg.Observer)
+	}
+	if nw.inet != nil {
+		// The internetwork's pattern directory follows the observer
+		// stream's advertise/crash events (the DISCOVER cache coherence
+		// contract, DESIGN.md §13).
+		coreObs = append(coreObs, nw.inet.Observe)
 	}
 	if nw.checker != nil {
 		coreObs = append(coreObs, nw.checker.Observe)
@@ -365,7 +423,14 @@ func NewNetwork(opts ...Option) *Network {
 		if err != nil {
 			panic(fmt.Sprintf("soda: %v", err))
 		}
-		nw.b.SetFaultModel(inj)
+		if nw.inet != nil {
+			for s, b := range nw.buses {
+				b.SetFaultModel(inj.ForSegment(s))
+			}
+			inj.ArmGateways(nw.inet)
+		} else {
+			nw.b.SetFaultModel(inj)
+		}
 		inj.Arm(nodeControl{nw})
 	}
 	return nw
@@ -421,9 +486,20 @@ func (nw *Network) Profile(scenario string) *obs.Profile {
 // Register adds a bootable program under name.
 func (nw *Network) Register(name string, prog Program) { nw.reg[name] = prog }
 
-// AddNode attaches a free SODA machine at mid.
+// AddNode attaches a free SODA machine at mid. On a segmented network the
+// node lands on the segment Topology.Locate maps it to.
 func (nw *Network) AddNode(mid MID) (*Node, error) {
-	n, err := core.NewNode(nw.k, nw.b, mid, nw.cfg, nw.reg)
+	b := nw.b
+	if nw.inet != nil {
+		if mid >= internet.GatewayMIDBase {
+			return nil, fmt.Errorf("soda: MID %d collides with the gateway range (>= %d)", mid, internet.GatewayMIDBase)
+		}
+		var err error
+		if b, err = nw.inet.BusFor(mid); err != nil {
+			return nil, err
+		}
+	}
+	n, err := core.NewNode(nw.k, b, mid, nw.cfg, nw.reg)
 	if err != nil {
 		return nil, err
 	}
@@ -476,27 +552,84 @@ func (nw *Network) Now() time.Duration { return nw.k.Now() }
 func (nw *Network) At(t time.Duration, fn func()) { nw.k.At(t, fn) }
 
 // Trace writes one line per frame transmission to w (nil disables): the
-// virtual timestamp, source, destination and transport kind. Intended for
-// debugging protocol flows; the output is deterministic.
+// virtual timestamp, source, destination and transport kind. On a
+// segmented network each line is prefixed with the segment it was heard
+// on (a relayed frame appears once per segment it crosses, with the
+// gateway as its wire-level source). Intended for debugging protocol
+// flows; the output is deterministic.
 func (nw *Network) Trace(w io.Writer) {
 	if w == nil {
-		nw.b.SetTap(nil)
+		for _, b := range nw.buses {
+			b.SetTap(nil)
+		}
 		return
 	}
-	nw.b.SetTap(func(e bus.TapEvent) {
+	line := func(prefix string, e bus.TapEvent) {
 		dst := fmt.Sprintf("%d", e.Dst)
 		if e.Dst == BroadcastMID {
 			dst = "broadcast"
 		}
-		fmt.Fprintf(w, "%12v  %3d -> %-9s %-6v %4dB\n", e.At, e.Src, dst, e.Kind, e.Size)
-	})
+		fmt.Fprintf(w, "%s%12v  %3d -> %-9s %-6v %4dB\n", prefix, e.At, e.Src, dst, e.Kind, e.Size)
+	}
+	if nw.inet == nil {
+		nw.b.SetTap(func(e bus.TapEvent) { line("", e) })
+		return
+	}
+	for s, b := range nw.buses {
+		prefix := fmt.Sprintf("s%d ", s)
+		b.SetTap(func(e bus.TapEvent) { line(prefix, e) })
+	}
 }
 
-// Stats returns the bus traffic counters.
-func (nw *Network) Stats() BusStats { return nw.b.Stats() }
+// Stats returns the bus traffic counters; on a segmented network, the sum
+// over every segment.
+func (nw *Network) Stats() BusStats {
+	if nw.inet == nil {
+		return nw.b.Stats()
+	}
+	var agg BusStats
+	for _, b := range nw.buses {
+		agg.Add(b.Stats())
+	}
+	return agg
+}
 
-// ResetStats zeroes the bus counters (measurement windows).
-func (nw *Network) ResetStats() { nw.b.ResetStats() }
+// ResetStats zeroes the bus counters — every segment's, and the gateway
+// layer's — for measurement windows.
+func (nw *Network) ResetStats() {
+	for _, b := range nw.buses {
+		b.ResetStats()
+	}
+	if nw.inet != nil {
+		nw.inet.ResetStats()
+	}
+}
+
+// Segments reports the number of bus segments (1 without WithTopology).
+func (nw *Network) Segments() int {
+	if nw.inet == nil {
+		return 1
+	}
+	return nw.inet.Segments()
+}
+
+// SegmentOf reports a node MID's home segment (always 0 without
+// WithTopology; -1 for MIDs the topology cannot locate).
+func (nw *Network) SegmentOf(mid MID) int {
+	if nw.inet == nil {
+		return 0
+	}
+	return nw.inet.SegmentOf(mid)
+}
+
+// InternetStats returns the gateway-layer counters (forwards, TTL drops,
+// DISCOVER cache traffic); zero without WithTopology.
+func (nw *Network) InternetStats() InternetStats {
+	if nw.inet == nil {
+		return InternetStats{}
+	}
+	return nw.inet.Stats()
+}
 
 // TransportConfig exposes the Delta-t parameters in effect (for tests that
 // reason about timing bounds).

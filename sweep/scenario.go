@@ -125,6 +125,55 @@ var scenarios = map[string]Scenario{
 			}
 		},
 	},
+	// internet: a discovery-heavy request workload built for segmented
+	// sweeps (Spec.Segments > 1, DESIGN.md §13): one echo service on node
+	// 1, with every other node looping DISCOVER + EXCHANGE against it. On
+	// a star topology node 1 lands on segment 1, so most clients' queries
+	// and requests cross gateways — the traffic the DISCOVER proxy cache
+	// and unicast routing exist for. Runs fine on a single bus too, which
+	// is the flat baseline the scaling curve compares against. Clients
+	// stop at 3/4 of the horizon so the network drains before the cutoff.
+	"internet": {
+		MinNodes: 2,
+		Build: func(nw *soda.Network, nodes int, horizon time.Duration) {
+			p := soda.WellKnownPattern(0o7131)
+			nw.Register("inetecho", soda.Program{
+				Init: func(c *soda.Client, _ soda.MID) {
+					if err := c.Advertise(p); err != nil {
+						panic(err)
+					}
+				},
+				Handler: func(c *soda.Client, ev soda.Event) {
+					if ev.Kind == soda.EventRequestArrival && ev.Pattern == p {
+						c.AcceptCurrentExchange(soda.OK, []byte("pong"), ev.PutSize)
+					}
+				},
+			})
+			nw.Register("inetclient", soda.Program{
+				Task: func(c *soda.Client) {
+					stop := horizon * 3 / 4
+					for c.Now() < stop {
+						srv, ok := c.Discover(p)
+						if !ok {
+							c.Hold(200 * time.Millisecond)
+							continue
+						}
+						if res := c.BExchange(srv, soda.OK, []byte("ping"), 16); res.Status != soda.StatusSuccess {
+							c.Hold(100 * time.Millisecond)
+							continue
+						}
+						c.Hold(75 * time.Millisecond)
+					}
+				},
+			})
+			nw.MustAddNode(1)
+			nw.MustBoot(1, "inetecho")
+			for mid := soda.MID(2); int(mid) <= nodes; mid++ {
+				nw.MustAddNode(mid)
+				nw.MustBoot(mid, "inetclient")
+			}
+		},
+	},
 	// philosophers: the §4.4 dining ring — timeserver on node 1, a ring
 	// of n-1 philosophers on nodes 2..n. The ring never stops on its own,
 	// so every client is killed at 7/8 of the horizon to drain.

@@ -59,6 +59,12 @@ type Spec struct {
 	// and the AIMD window, "gobackn" for the legacy full-window resend.
 	// Only meaningful with Window > 1.
 	Recovery string `json:"recovery,omitempty"`
+	// Segments splits every run's network into a star internetwork of this
+	// many gateway-joined bus segments (DESIGN.md §13); nodes land on
+	// segment mid % Segments. 0 or 1 is the classic single shared bus —
+	// the metamorphic battery pins that those sweeps hash identically to
+	// pre-topology builds.
+	Segments int `json:"segments,omitempty"`
 }
 
 // RunKey identifies one cell of the matrix. Report order is the key order:
@@ -210,6 +216,9 @@ func (s Spec) Keys() ([]RunKey, error) {
 	default:
 		return nil, fmt.Errorf("sweep: unknown recovery mode %q (want selective or gobackn)", s.Recovery)
 	}
+	if s.Segments < 0 {
+		return nil, fmt.Errorf("sweep: segments must be >= 0, got %d", s.Segments)
+	}
 	planSeeds := s.PlanSeeds
 	if len(planSeeds) == 0 {
 		planSeeds = []int64{0}
@@ -255,6 +264,9 @@ func Run(spec Spec, workers int) (*Report, error) {
 func runOne(spec Spec, key RunKey) RunResult {
 	sc := scenarios[key.Scenario]
 	opts := []soda.Option{soda.WithSeed(key.Seed)}
+	if spec.Segments > 1 {
+		opts = append(opts, soda.WithTopology(soda.StarTopology(spec.Segments)))
+	}
 	if spec.Window > 1 {
 		opts = append(opts, soda.WithTransportWindow(spec.Window))
 		if spec.Recovery == "gobackn" {

@@ -226,3 +226,48 @@ func TestBulkTransferRecoveryValidation(t *testing.T) {
 		t.Fatal("unknown recovery mode accepted")
 	}
 }
+
+// TestSegmentedSweepDeterministic runs the internet scenario on a
+// three-segment star and pins the engine's core guarantees there too:
+// worker count never changes a byte, every run completes, and the
+// invariant checkers stay clean across gateways.
+func TestSegmentedSweepDeterministic(t *testing.T) {
+	spec := sweep.Spec{
+		Scenario: "internet",
+		Seeds:    []int64{1, 2},
+		Nodes:    []int{6},
+		Horizon:  2 * time.Second,
+		Checks:   true,
+		Segments: 3,
+	}
+	seq, err := sweep.Run(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sweep.Run(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := seq.Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("segmented sweep depends on worker count")
+	}
+	if seq.Aggregate.Failed != 0 || seq.Aggregate.TotalViolations != 0 {
+		t.Fatalf("segmented sweep unhealthy: %+v", seq.Aggregate)
+	}
+	if seq.Aggregate.FramesSent.Min == 0 {
+		t.Fatal("a segmented run sent no frames; scenario inert")
+	}
+	// A negative segment count is a spec error, not a silent default.
+	bad := spec
+	bad.Segments = -1
+	if _, err := sweep.Run(bad, 1); err == nil {
+		t.Fatal("negative Segments accepted")
+	}
+}

@@ -1,0 +1,228 @@
+package soda_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"soda"
+	"soda/faults"
+)
+
+// TestCrossSegmentExchange runs a real client/server pair split across a
+// two-segment star: DISCOVER is answered by the gateway's pattern proxy,
+// and the blocking exchange crosses the gateway in both directions.
+func TestCrossSegmentExchange(t *testing.T) {
+	nw := soda.NewNetwork(soda.WithTopology(soda.StarTopology(2)))
+	nw.Register("echo", echo("remote"))
+	var status soda.Status
+	var got []byte
+	nw.Register("driver", soda.Program{
+		Task: func(c *soda.Client) {
+			srv, ok := c.Discover(pattern)
+			if !ok {
+				t.Error("cross-segment discover failed")
+				return
+			}
+			if srv.MID != 1 {
+				t.Errorf("discovered MID %d, want 1", srv.MID)
+			}
+			res := c.BExchange(srv, soda.OK, []byte("ping"), 16)
+			status = res.Status
+			got = res.Data
+		},
+	})
+	// mid 1 lands on segment 1, mid 2 on segment 0 (mid % segments).
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	if nw.SegmentOf(1) != 1 || nw.SegmentOf(2) != 0 {
+		t.Fatalf("segment placement = %d/%d, want 1/0", nw.SegmentOf(1), nw.SegmentOf(2))
+	}
+	nw.MustBoot(1, "echo")
+	nw.MustBoot(2, "driver")
+	if err := nw.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if status != soda.StatusSuccess {
+		t.Fatalf("exchange status = %v, want success", status)
+	}
+	if string(got) != "remote" {
+		t.Fatalf("exchange data = %q, want %q", got, "remote")
+	}
+	is := nw.InternetStats()
+	if is.ProxyReplies == 0 {
+		t.Error("DISCOVER was not answered by the gateway proxy")
+	}
+	if is.FramesForwarded == 0 {
+		t.Error("no unicast frames crossed the gateway")
+	}
+	if nw.Segments() != 2 {
+		t.Errorf("Segments() = %d, want 2", nw.Segments())
+	}
+	// The aggregated bus stats must see traffic from both segments: the
+	// exchange sent frames on segment 0 and on segment 1.
+	if st := nw.Stats(); st.FramesSent == 0 || st.FramesDelivered == 0 {
+		t.Errorf("aggregated stats empty: %+v", st)
+	}
+}
+
+// TestTopologyRejectsGatewayMIDs pins the MID carve-out: node ids at or
+// above the gateway base cannot be added on a segmented network.
+func TestTopologyRejectsGatewayMIDs(t *testing.T) {
+	nw := soda.NewNetwork(soda.WithTopology(soda.StarTopology(2)))
+	if _, err := nw.AddNode(0xFE00); err == nil {
+		t.Fatal("AddNode accepted a MID inside the gateway range")
+	}
+	if _, err := nw.AddNode(0xFDFF); err != nil {
+		t.Fatalf("AddNode rejected the last node MID: %v", err)
+	}
+}
+
+// TestSingleSegmentTopologyIsDefault checks that WithTopology of a single
+// segment produces the byte-identical trace of a network built without the
+// option — the "no internetwork" degenerate case.
+func TestSingleSegmentTopologyIsDefault(t *testing.T) {
+	run := func(opts ...soda.Option) string {
+		nw := soda.NewNetwork(opts...)
+		nw.Register("echo", echo("one"))
+		nw.Register("driver", soda.Program{
+			Task: func(c *soda.Client) {
+				srv, ok := c.Discover(pattern)
+				if !ok {
+					t.Error("discover failed")
+					return
+				}
+				c.BExchange(srv, soda.OK, []byte("x"), 16)
+			},
+		})
+		var buf bytes.Buffer
+		nw.Trace(&buf)
+		nw.MustAddNode(1)
+		nw.MustAddNode(2)
+		nw.MustBoot(1, "echo")
+		nw.MustBoot(2, "driver")
+		if err := nw.Run(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	plain := run()
+	topo := run(soda.WithTopology(soda.Topology{Segments: 1}))
+	if plain != topo {
+		t.Fatalf("single-segment topology trace diverges from the default:\n--- default ---\n%s--- topology ---\n%s", plain, topo)
+	}
+	if plain == "" {
+		t.Fatal("trace empty; comparison proved nothing")
+	}
+}
+
+// TestSegmentPartitionHeals muddies one segment of a star with a total
+// loss window: calls into the lossy segment fail while the window is open
+// and succeed again after it closes. The fault plan targets the segment,
+// so the client's own segment stays clean throughout.
+func TestSegmentPartitionHeals(t *testing.T) {
+	seg := 1
+	plan := faults.Plan{Events: []faults.Event{{
+		Kind:    faults.Loss,
+		Segment: &seg,
+		Prob:    1,
+		Start:   faults.Duration(2 * time.Second),
+		Stop:    faults.Duration(6 * time.Second),
+	}}}
+	nw := soda.NewNetwork(
+		soda.WithTopology(soda.StarTopology(2)),
+		soda.WithFaultPlan(plan),
+		soda.WithInvariantChecks(),
+	)
+	nw.Register("echo", echo("ok"))
+	var before, during, after soda.Status
+	nw.Register("driver", soda.Program{
+		Task: func(c *soda.Client) {
+			srv, ok := c.Discover(pattern)
+			if !ok {
+				t.Error("discover failed")
+				return
+			}
+			before = c.BExchange(srv, soda.OK, []byte("a"), 16).Status
+			c.Hold(2500*time.Millisecond - c.Now())
+			during = c.BExchange(srv, soda.OK, []byte("b"), 16).Status
+			if c.Now() < 7*time.Second {
+				c.Hold(7*time.Second - c.Now())
+			}
+			srv2, ok := c.Discover(pattern)
+			if !ok {
+				t.Error("rediscover after heal failed")
+				return
+			}
+			after = c.BExchange(srv2, soda.OK, []byte("c"), 16).Status
+		},
+	})
+	nw.MustAddNode(1) // segment 1: inside the loss window
+	nw.MustAddNode(2) // segment 0: stays clean
+	nw.MustBoot(1, "echo")
+	nw.MustBoot(2, "driver")
+	if err := nw.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if before != soda.StatusSuccess {
+		t.Errorf("pre-window call = %v, want success", before)
+	}
+	if during == soda.StatusSuccess {
+		t.Error("call into a fully lossy segment succeeded")
+	}
+	if after != soda.StatusSuccess {
+		t.Errorf("post-heal call = %v, want success", after)
+	}
+	if st := nw.Stats(); st.FramesLost == 0 {
+		t.Error("loss window inert; test proved nothing")
+	}
+}
+
+// TestGatewayCrashPartitions crashes the star's only gateway from a fault
+// plan: cross-segment traffic dies with it and resumes after the scheduled
+// reboot.
+func TestGatewayCrashPartitions(t *testing.T) {
+	plan := faults.Plan{Events: []faults.Event{
+		{Kind: faults.GatewayCrash, Gateway: 0, Start: faults.Duration(2 * time.Second)},
+		{Kind: faults.GatewayReboot, Gateway: 0, Start: faults.Duration(6 * time.Second)},
+	}}
+	nw := soda.NewNetwork(
+		soda.WithTopology(soda.StarTopology(2)),
+		soda.WithFaultPlan(plan),
+	)
+	nw.Register("echo", echo("ok"))
+	var during, after soda.Status
+	nw.Register("driver", soda.Program{
+		Task: func(c *soda.Client) {
+			srv, ok := c.Discover(pattern)
+			if !ok {
+				t.Error("discover failed")
+				return
+			}
+			c.Hold(2500*time.Millisecond - c.Now())
+			during = c.BExchange(srv, soda.OK, []byte("b"), 16).Status
+			if c.Now() < 7*time.Second {
+				c.Hold(7*time.Second - c.Now())
+			}
+			srv2, ok := c.Discover(pattern)
+			if !ok {
+				t.Error("rediscover after gateway reboot failed")
+				return
+			}
+			after = c.BExchange(srv2, soda.OK, []byte("c"), 16).Status
+		},
+	})
+	nw.MustAddNode(1)
+	nw.MustAddNode(2)
+	nw.MustBoot(1, "echo")
+	nw.MustBoot(2, "driver")
+	if err := nw.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if during == soda.StatusSuccess {
+		t.Error("call across a crashed gateway succeeded")
+	}
+	if after != soda.StatusSuccess {
+		t.Errorf("post-reboot call = %v, want success", after)
+	}
+}
