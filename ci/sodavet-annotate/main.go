@@ -1,0 +1,71 @@
+// Command sodavet-annotate turns `sodavet -json` output into GitHub
+// Actions workflow annotations, so findings show up inline on the PR diff:
+//
+//	go run ./cmd/sodavet -json ./... | go run ./ci/sodavet-annotate
+//
+// It reads the JSON diagnostic array from stdin, prints one
+// `::error file=...,line=...` command per finding (plus a plain-text copy
+// to stderr, because annotation commands are invisible outside Actions),
+// and exits 1 if there were any findings, 2 if the input is not valid
+// sodavet JSON (e.g. the producing sodavet run itself failed to load the
+// module). Paths are rewritten relative to the working directory, which is
+// what GitHub matches against the checked-out tree.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+type diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sodavet-annotate:", err)
+		os.Exit(2)
+	}
+	var diags []diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		fmt.Fprintf(os.Stderr, "sodavet-annotate: stdin is not sodavet -json output: %v\n", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		file := d.File
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", file, d.Line, d.Col, d.Analyzer, d.Message)
+		fmt.Printf("::error file=%s,line=%d,col=%d,title=sodavet/%s::%s\n",
+			escapeProp(file), d.Line, d.Col, escapeProp(d.Analyzer), escapeData(d.Message))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// escapeData escapes an annotation message per the workflow-command rules.
+func escapeData(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+// escapeProp escapes a workflow-command property value, which additionally
+// reserves ':' and ','.
+func escapeProp(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
+}

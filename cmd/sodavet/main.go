@@ -20,10 +20,13 @@ import (
 
 	"soda/lint"
 	"soda/lint/mapiterorder"
+	"soda/lint/noalloc"
 	"soda/lint/nogoroutine"
 	"soda/lint/norawrand"
 	"soda/lint/nowallclock"
 	"soda/lint/obszerocost"
+	"soda/lint/parcapture"
+	"soda/lint/segshare"
 	"soda/lint/statsreset"
 )
 
@@ -35,5 +38,8 @@ func main() {
 		mapiterorder.Analyzer,
 		obszerocost.Analyzer,
 		statsreset.Analyzer,
+		noalloc.Analyzer,
+		segshare.Analyzer,
+		parcapture.Analyzer,
 	}))
 }

@@ -48,6 +48,8 @@ var (
 )
 
 // issueRequest implements REQUEST (§3.3.1): non-blocking, returns a TID.
+//
+//lint:hotpath
 func (n *Node) issueRequest(dst frame.ServerSig, arg int32, put []byte, getSize int) (frame.TID, error) {
 	if dst.MID == n.mid {
 		return 0, ErrLocalRequest
@@ -56,21 +58,26 @@ func (n *Node) issueRequest(dst frame.ServerSig, arg int32, put []byte, getSize 
 		return 0, ErrTooManyRequests
 	}
 	tid := n.nextTID()
+	//lint:allow noalloc (counted: one outstanding-request record per REQUEST)
 	o := &outRequest{
-		tid:     tid,
-		dst:     dst,
-		arg:     arg,
+		tid: tid,
+		dst: dst,
+		arg: arg,
+		//lint:allow noalloc (counted: kernel-owned copy of the put buffer)
 		putData: append([]byte(nil), put...),
 		getSize: getSize,
 	}
+	//lint:allow noalloc (counted: outstanding map entry, deleted on completion)
 	n.outstanding[tid] = o
 	if n.cfg.Observer != nil {
 		n.observe(ObsEvent{Kind: ObsIssue, Sig: frame.RequesterSig{MID: n.mid, TID: tid}, Dst: dst})
 	}
 	if dst.MID == frame.BroadcastMID {
+		//lint:allow noalloc (cold: broadcast DISCOVER, not the request round trip)
 		n.startDiscover(o)
 		return tid, nil
 	}
+	//lint:allow noalloc (counted: one Request message per REQUEST)
 	msg := &frame.Request{
 		TID:     tid,
 		Pattern: dst.Pattern,
@@ -93,6 +100,7 @@ func (n *Node) issueRequest(dst frame.ServerSig, arg int32, put []byte, getSize 
 		retrans = frame.Encode(&stripped)
 	}
 	epoch := n.epoch
+	//lint:allow noalloc (counted: one send-completion closure per REQUEST)
 	cb := func(res deltat.Result) {
 		if epoch != n.epoch {
 			return
@@ -117,6 +125,7 @@ func (n *Node) requestSendDone(o *outRequest, res deltat.Result) {
 					// also the crossing-requests path, where the accept
 					// may carry reply data and ask for ours.
 					if acc.NeedData {
+						//lint:allow noalloc (cold: stale-exchange data re-supply)
 						n.ep.SendUrgent(o.dst.MID, frame.Encode(&frame.AcceptData{TID: o.tid, Data: o.putData}), nil, nil)
 					}
 					n.applyAccept(o, acc)
@@ -188,6 +197,7 @@ func (n *Node) scheduleProbe(o *outRequest) {
 	o.probeGen++
 	gen := o.probeGen
 	epoch := n.epoch
+	//lint:allow noalloc (counted: one probe-arm closure per delivered REQUEST)
 	n.k.After(n.cfg.ProbeInterval, func() {
 		if epoch != n.epoch || o.probeGen != gen {
 			return
@@ -195,6 +205,7 @@ func (n *Node) scheduleProbe(o *outRequest) {
 		if _, live := n.outstanding[o.tid]; !live {
 			return
 		}
+		//lint:allow noalloc (cold: probes fire only when the server is slow to accept)
 		n.ep.Send(o.dst.MID, frame.Encode(&frame.Probe{TID: o.tid}), nil, func(res deltat.Result) {
 			if epoch != n.epoch || o.probeGen != gen {
 				return
@@ -299,6 +310,8 @@ func (n *Node) onDatagram(src frame.MID, payload []byte) {
 
 // onData is the transport delivery hook: every reliable kernel message
 // lands here.
+//
+//lint:hotpath
 func (n *Node) onData(src frame.MID, payload []byte) deltat.Decision {
 	msg, err := frame.Decode(payload)
 	if err != nil {
@@ -332,6 +345,7 @@ func (n *Node) onRequest(src frame.MID, m *frame.Request) deltat.Decision {
 		return deltat.Decision{Verdict: deltat.VerdictError, Err: frame.ErrUnadvertised}
 	}
 	if m.Pattern.Reserved() {
+		//lint:allow noalloc (cold: reserved patterns serve LOAD/KILL, not the request round trip)
 		return n.onReservedRequest(src, m)
 	}
 	c := n.client
@@ -349,8 +363,10 @@ func (n *Node) onRequest(src frame.MID, m *frame.Request) deltat.Decision {
 		if n.cfg.Pipelined && n.heldIn == nil {
 			// Pipelined kernel: park the request in the input buffer
 			// for a short while instead of BUSY-NACKing (§5.2.3).
+			//lint:allow noalloc (cold: pipelined input buffering engages only when the handler is busy)
 			h := &heldInput{src: src, req: m}
 			n.heldIn = h
+			//lint:allow noalloc (cold: pipelined input buffering engages only when the handler is busy)
 			n.armPipelineExpiry(h)
 			return deltat.Decision{Verdict: deltat.VerdictHold, HoldTimeout: -1}
 		}
@@ -390,6 +406,7 @@ func (n *Node) releaseHeldInput() {
 // the client handler with the tag (§3.3.1, §6.11).
 func (n *Node) deliverRequest(src frame.MID, m *frame.Request) {
 	sig := frame.RequesterSig{MID: src, TID: m.TID}
+	//lint:allow noalloc (counted: one delivered-request record per REQUEST)
 	in := &inRequest{
 		sig:     sig,
 		pattern: m.Pattern,
@@ -399,6 +416,7 @@ func (n *Node) deliverRequest(src frame.MID, m *frame.Request) {
 		hasData: m.HasData,
 		data:    m.Data,
 	}
+	//lint:allow noalloc (counted: delivered map entry, deleted at accept/cancel)
 	n.delivered[sig] = in
 	if n.cfg.Observer != nil {
 		n.observe(ObsEvent{Kind: ObsArrival, Sig: sig, Dst: frame.ServerSig{MID: n.mid, Pattern: m.Pattern}})
@@ -422,6 +440,7 @@ func (n *Node) armAcceptWindow(in *inRequest) {
 	in.timeoutGen++
 	gen := in.timeoutGen
 	epoch := n.epoch
+	//lint:allow noalloc (counted: one accept-window timer closure per delivered REQUEST)
 	n.k.After(n.cfg.AcceptWindow, func() {
 		if epoch != n.epoch || in.timeoutGen != gen || in.acked || in.accepting {
 			return
@@ -457,7 +476,9 @@ func (n *Node) onAccept(src frame.MID, m *frame.Accept) deltat.Decision {
 		// is already kernel-owned, so the transfer survives a client
 		// death in the window (no epoch guard).
 		putData := o.putData
+		//lint:allow noalloc (cold: stale-exchange data re-supply)
 		n.k.After(0, func() {
+			//lint:allow noalloc (cold: stale-exchange data re-supply)
 			n.ep.SendResolvingHold(src, frame.Encode(&frame.AcceptData{TID: m.TID, Data: putData}), nil, nil)
 		})
 		n.applyAccept(o, m)
@@ -495,7 +516,8 @@ func (n *Node) onCancel(src frame.MID, m *frame.Cancel) deltat.Decision {
 	}
 	return deltat.Decision{
 		Verdict: deltat.VerdictAck,
-		Reply:   frame.Encode(&frame.CancelReply{TID: m.TID, OK: granted}),
+		//lint:allow noalloc (cold: CANCEL is exceptional traffic)
+		Reply: frame.Encode(&frame.CancelReply{TID: m.TID, OK: granted}),
 	}
 }
 
@@ -505,7 +527,8 @@ func (n *Node) onProbe(src frame.MID, m *frame.Probe) deltat.Decision {
 	_, alive := n.delivered[sig]
 	return deltat.Decision{
 		Verdict: deltat.VerdictAck,
-		Reply:   frame.Encode(&frame.ProbeReply{TID: m.TID, Alive: alive}),
+		//lint:allow noalloc (cold: probe replies answer slow-accept monitoring)
+		Reply: frame.Encode(&frame.ProbeReply{TID: m.TID, Alive: alive}),
 	}
 }
 
@@ -524,12 +547,15 @@ func (n *Node) maybeFinishAccept(in *inRequest) {
 
 // acceptRequest implements ACCEPT (§3.3.2): blocking, bounded, returning
 // the status, any received put data, and the transfer sizes.
+//
+//lint:hotpath
 func (n *Node) acceptRequest(p *sim.Proc, sig frame.RequesterSig, arg int32, getCap int, put []byte) (AcceptStatus, []byte, int, int) {
 	in, ok := n.delivered[sig]
 	if !ok || in.accepting {
 		// Unknown here (guessed, cancelled, or already accepted):
 		// forward to the requester's kernel, which adjudicates
 		// CANCELLED vs CRASHED from its TID window (§5.4).
+		//lint:allow noalloc (cold: orphan accepts answer guessed or cancelled signatures)
 		res := n.sendOrphanAccept(p, sig, arg, getCap)
 		if (n.client == nil || !n.client.dead) && n.cfg.Observer != nil {
 			n.observe(ObsEvent{Kind: ObsAccept, Sig: sig, Accept: res})
@@ -548,6 +574,7 @@ func (n *Node) acceptRequest(p *sim.Proc, sig frame.RequesterSig, arg int32, get
 		// acknowledgement — a PUT costs two packets (§5.2.3). The data
 		// is already local, so the server is not delayed at all.
 		in.acked = true
+		//lint:allow noalloc (counted: one Accept header on the PUT piggyback fast path)
 		reply := frame.Encode(&frame.Accept{TID: sig.TID, Arg: arg, GetSize: uint32(getCap)})
 		n.ep.ResolveHold(sig.MID, deltat.Decision{Verdict: deltat.VerdictAck, Reply: reply})
 		delete(n.delivered, sig)
@@ -557,6 +584,7 @@ func (n *Node) acceptRequest(p *sim.Proc, sig frame.RequesterSig, arg int32, get
 		return AcceptSuccess, in.data[:putN], putN, getN
 	}
 
+	//lint:allow noalloc (counted: one Accept message per accepted REQUEST)
 	msg := &frame.Accept{
 		TID:      sig.TID,
 		Arg:      arg,
@@ -567,6 +595,7 @@ func (n *Node) acceptRequest(p *sim.Proc, sig frame.RequesterSig, arg int32, get
 	payload := frame.Encode(msg)
 	in.needData = needD
 	epoch := n.epoch
+	//lint:allow noalloc (counted: one accept-completion closure per accepted REQUEST)
 	cb := func(res deltat.Result) {
 		if epoch != n.epoch {
 			return
@@ -604,6 +633,7 @@ func (n *Node) acceptRequest(p *sim.Proc, sig frame.RequesterSig, arg int32, get
 	}
 	if needD {
 		gen := in.timeoutGen
+		//lint:allow noalloc (cold: data re-fetch timeout arms only when put data was dropped)
 		n.k.After(n.cfg.AcceptDataTimeout, func() {
 			if epoch != n.epoch || in.timeoutGen != gen {
 				return

@@ -491,6 +491,7 @@ func (e *Endpoint) emit(kind EventKind, peer frame.MID, seq uint8, attempt int) 
 	if e.cfg.Observer == nil {
 		return
 	}
+	//lint:allow noalloc (observer: nil-guarded event emission, absent on measured runs)
 	e.cfg.Observer(Event{At: e.k.Now(), Kind: kind, Node: e.mid, Peer: peer, Seq: seq, Attempt: attempt})
 }
 
@@ -513,11 +514,15 @@ func (e *Endpoint) ResetTotals() { e.totals = CostTotals{} }
 // REQUEST retries, §5.2.3). cb receives exactly one Result unless the local
 // node crashes first. The windowed engine retransmits fragments verbatim,
 // so retrans is ignored when Config.Window > 1.
+//
+//lint:hotpath
 func (e *Endpoint) Send(dst frame.MID, payload, retrans []byte, cb func(Result)) {
 	if e.windowed() {
+		//lint:allow noalloc (cold: the windowed transport is opt-in; the measured path runs window=1)
 		e.wEnqueue(dst, payload, cb, false)
 		return
 	}
+	//lint:allow noalloc (counted: one sendReq per reliable message)
 	e.enqueue(dst, &sendReq{payload: payload, retrans: retrans, cb: cb})
 }
 
@@ -527,11 +532,15 @@ func (e *Endpoint) Send(dst frame.MID, payload, retrans []byte, cb func(Result))
 // reply goes out first. SODA's ACCEPT path requires this — a busy-retrying
 // REQUEST toward a peer must never block the reply that peer is waiting
 // for (§5.2.2).
+//
+//lint:hotpath
 func (e *Endpoint) SendUrgent(dst frame.MID, payload, retrans []byte, cb func(Result)) {
 	if e.windowed() {
+		//lint:allow noalloc (cold: the windowed transport is opt-in; the measured path runs window=1)
 		e.wEnqueue(dst, payload, cb, true)
 		return
 	}
+	//lint:allow noalloc (counted: one sendReq per reliable message)
 	e.enqueue(dst, &sendReq{payload: payload, retrans: retrans, cb: cb, urgent: true})
 }
 
@@ -543,6 +552,8 @@ func (e *Endpoint) SendUrgent(dst frame.MID, payload, retrans []byte, cb func(Re
 // earlier traffic occupies the outbox, the acknowledgement is released as a
 // plain ACK right away — the peer may be blocked waiting for it, and the
 // queued traffic may be blocked on the peer (§5.2.2's no-deadlock rule).
+//
+//lint:hotpath
 func (e *Endpoint) SendResolvingHold(dst frame.MID, payload, retrans []byte, cb func(Result)) bool {
 	if e.windowed() {
 		// Message acknowledgements bypass the window, so the hold is
@@ -558,6 +569,7 @@ func (e *Endpoint) SendResolvingHold(dst frame.MID, payload, retrans []byte, cb 
 		e.SendUrgent(dst, payload, retrans, cb)
 		return had
 	}
+	//lint:allow noalloc (counted: one sendReq per reliable message)
 	req := &sendReq{payload: payload, retrans: retrans, cb: cb}
 	h, ok := e.holds[dst]
 	if ok {
@@ -599,6 +611,8 @@ func (e *Endpoint) OutboxBusy(dst frame.MID) bool {
 // ResolveHold disposes of a held frame from src with an explicit verdict
 // (VerdictHold is invalid here). It reports false if no hold is pending —
 // the hold already auto-resolved.
+//
+//lint:hotpath
 func (e *Endpoint) ResolveHold(src frame.MID, dec Decision) bool {
 	h, ok := e.holds[src]
 	if !ok {
@@ -710,7 +724,9 @@ func (e *Endpoint) conn(peer frame.MID) *conn {
 	c, ok := e.conns[peer]
 	now := e.k.Now()
 	if !ok {
+		//lint:allow noalloc (steady-state: one connection record per peer, reused across transactions)
 		c = &conn{lastHeard: now}
+		//lint:allow noalloc (steady-state: map entry created once per peer)
 		e.conns[peer] = c
 		e.emit(EvConnOpen, peer, 0, 0)
 		return c
@@ -738,7 +754,9 @@ func (e *Endpoint) enqueue(dst frame.MID, req *sendReq) {
 	}
 	o, ok := e.out[dst]
 	if !ok {
+		//lint:allow noalloc (steady-state: one outbox per destination, reused across transactions)
 		o = &outbox{}
+		//lint:allow noalloc (steady-state: map entry created once per destination)
 		e.out[dst] = o
 	}
 	if req.urgent {
@@ -747,10 +765,12 @@ func (e *Endpoint) enqueue(dst frame.MID, req *sendReq) {
 		for pos < len(o.queue) && o.queue[pos].urgent {
 			pos++
 		}
+		//lint:allow noalloc (amortized: queue storage grows to peak depth, then reused)
 		o.queue = append(o.queue, nil)
 		copy(o.queue[pos+1:], o.queue[pos:])
 		o.queue[pos] = req
 	} else {
+		//lint:allow noalloc (amortized: queue storage grows to peak depth, then reused)
 		o.queue = append(o.queue, req)
 	}
 	e.startNext(dst, o)
@@ -779,6 +799,7 @@ func (e *Endpoint) transmitCur(dst frame.MID, o *outbox) {
 	o.sent = true
 	d := e.chargeSend(true, len(payload))
 	epoch := e.epoch
+	//lint:allow noalloc (counted: one transmit closure per DATA frame)
 	e.k.After(d, func() {
 		if epoch != e.epoch || o.cur != req {
 			return
@@ -794,6 +815,7 @@ func (e *Endpoint) transmitCur(dst frame.MID, o *outbox) {
 				delete(e.defAcks, dst)
 			}
 		}
+		//lint:allow noalloc (counted: one frame header per DATA transmission)
 		f := &frame.TransportFrame{
 			Kind:       frame.TransportData,
 			Src:        e.mid,
@@ -819,6 +841,7 @@ func (e *Endpoint) armRetransmit(dst frame.MID, o *outbox, req *sendReq, first b
 	gen := o.timerGen
 	wait := o.interval + e.wireTime(len(req.payload))*3
 	if e.cfg.RetransJitter > 0 {
+		//lint:allow noalloc (cold: retransmission jitter is off in the default config)
 		wait += time.Duration(e.k.Rand().Int63n(int64(e.cfg.RetransJitter) + 1))
 	}
 	if !first && e.cfg.RetransBackoff > 1 {
@@ -832,6 +855,7 @@ func (e *Endpoint) armRetransmit(dst frame.MID, o *outbox, req *sendReq, first b
 		}
 	}
 	epoch := e.epoch
+	//lint:allow noalloc (counted: one retransmission-timer closure per DATA frame)
 	e.k.After(wait, func() {
 		if epoch != e.epoch || o.timerGen != gen || o.cur != req {
 			return
@@ -850,6 +874,7 @@ func (e *Endpoint) armRetransmit(dst frame.MID, o *outbox, req *sendReq, first b
 // peerDead reports the destination dead: the current message and everything
 // queued behind it fail, and the connection record is discarded.
 func (e *Endpoint) peerDead(dst frame.MID, o *outbox) {
+	//lint:allow noalloc (cold: peer-death teardown)
 	failed := append([]*sendReq{o.cur}, o.queue...)
 	o.cur = nil
 	o.queue = nil
@@ -864,6 +889,7 @@ func (e *Endpoint) peerDead(dst frame.MID, o *outbox) {
 	delete(e.conns, dst)
 	for _, req := range failed {
 		if req != nil && req.cb != nil {
+			//lint:allow noalloc (cold: peer-death teardown)
 			req.cb(Result{Kind: ResultPeerDead})
 		}
 	}
@@ -889,6 +915,8 @@ func (e *Endpoint) transmit(f *frame.TransportFrame) {
 // shared decode aliases the payload into the bus's buffer, which is
 // immutable by contract; everything downstream either only reads it or
 // copies at the kernel-message decode (frame.Decode's reader.bytes).
+//
+//lint:hotpath
 func (e *Endpoint) receive(raw []byte) {
 	f, err := frame.DecodeTransportShared(raw)
 	if err != nil {
@@ -915,6 +943,7 @@ func (e *Endpoint) receive(raw []byte) {
 		d = time.Duration(done - now)
 	}
 	epoch := e.epoch
+	//lint:allow noalloc (counted: one deferred-process closure per received frame)
 	e.k.After(d, func() {
 		if epoch != e.epoch {
 			return
@@ -927,11 +956,13 @@ func (e *Endpoint) process(f *frame.TransportFrame) {
 	e.totals.FramesRecv++
 	if f.Kind == frame.TransportDatagram {
 		if e.hooks.OnDatagram != nil {
+			//lint:allow noalloc (cold: datagrams serve DISCOVER, not the request round trip)
 			e.hooks.OnDatagram(f.Src, f.Payload)
 		}
 		return
 	}
 	if e.windowed() {
+		//lint:allow noalloc (cold: the windowed transport is opt-in; the measured path runs window=1)
 		e.wProcess(f)
 		return
 	}
@@ -972,6 +1003,7 @@ func (e *Endpoint) handleAck(src frame.MID, seq uint8, reply []byte) {
 	e.emit(EvAckRx, src, seq, o.attempts)
 	c.sendSeq ^= 1
 	if req.cb != nil {
+		//lint:allow noalloc (indirect: send-completion callback; its targets are //lint:hotpath roots in soda/internal/core)
 		req.cb(Result{Kind: ResultAcked, Reply: reply})
 	}
 	e.startNext(src, o)
@@ -1005,10 +1037,15 @@ func (e *Endpoint) handleNack(src frame.MID, seq uint8, code frame.ErrCode) {
 			for pos < len(rest) && rest[pos].urgent {
 				pos++
 			}
+			//lint:allow noalloc (cold: busy-retry preemption)
 			rebuilt := make([]*sendReq, 0, len(o.queue)+1)
+			//lint:allow noalloc (cold: busy-retry preemption)
 			rebuilt = append(rebuilt, o.queue[0])
+			//lint:allow noalloc (cold: busy-retry preemption)
 			rebuilt = append(rebuilt, rest[:pos]...)
+			//lint:allow noalloc (cold: busy-retry preemption)
 			rebuilt = append(rebuilt, req)
+			//lint:allow noalloc (cold: busy-retry preemption)
 			rebuilt = append(rebuilt, rest[pos:]...)
 			o.queue = rebuilt
 			o.cur = nil
@@ -1019,6 +1056,7 @@ func (e *Endpoint) handleNack(src frame.MID, seq uint8, code frame.ErrCode) {
 		o.timerGen++
 		gen := o.timerGen
 		epoch := e.epoch
+		//lint:allow noalloc (cold: busy-retry timer)
 		e.k.After(e.cfg.BusyRetryInterval, func() {
 			if epoch != e.epoch || o.timerGen != gen || o.cur != req {
 				return
@@ -1032,6 +1070,7 @@ func (e *Endpoint) handleNack(src frame.MID, seq uint8, code frame.ErrCode) {
 	o.timerGen++
 	c.sendSeq ^= 1 // error NACKs consume the message
 	if req.cb != nil {
+		//lint:allow noalloc (cold: error-NACK completion)
 		req.cb(Result{Kind: ResultError, Err: code})
 	}
 	e.startNext(src, o)
@@ -1051,6 +1090,7 @@ func (e *Endpoint) handleData(src frame.MID, seq uint8, payload []byte) {
 		e.replay(src, seq, c)
 		return
 	}
+	//lint:allow noalloc (indirect: kernel OnData hook, itself a //lint:hotpath root in soda/internal/core)
 	dec := e.hooks.OnData(src, payload)
 	e.applyVerdict(src, seq, dec)
 }
@@ -1071,6 +1111,7 @@ func (e *Endpoint) replay(src frame.MID, seq uint8, c *conn) {
 
 func (e *Endpoint) applyVerdict(src frame.MID, seq uint8, dec Decision) {
 	if e.windowed() {
+		//lint:allow noalloc (cold: the windowed transport is opt-in; the measured path runs window=1)
 		e.wApplyVerdict(src, seq, dec)
 		return
 	}
@@ -1090,10 +1131,13 @@ func (e *Endpoint) applyVerdict(src frame.MID, seq uint8, dec Decision) {
 		c.recvValid = true
 		c.recvSeq = seq
 		c.cached = cachedReply{kind: replyAck}
+		//lint:allow noalloc (counted: one deferred-ack record per consumed DATA frame)
 		da := &deferredAck{seq: seq}
+		//lint:allow noalloc (counted: deferred-ack map entry, deleted on release)
 		e.defAcks[src] = da
 		gen := da.gen
 		epoch := e.epoch
+		//lint:allow noalloc (counted: one deferred-ack timer closure per consumed DATA frame)
 		e.k.After(e.cfg.A, func() {
 			if epoch != e.epoch || e.defAcks[src] != da || da.gen != gen {
 				return
@@ -1106,7 +1150,9 @@ func (e *Endpoint) applyVerdict(src frame.MID, seq uint8, dec Decision) {
 		// fresh.
 		e.sendNack(src, seq, frame.NackBusy)
 	case VerdictHold:
+		//lint:allow noalloc (counted: one hold record per held REQUEST)
 		h := &held{seq: seq, expiry: dec.ExpiryVerdict}
+		//lint:allow noalloc (counted: hold map entry, deleted on resolution)
 		e.holds[src] = h
 		timeout := dec.HoldTimeout
 		if timeout < 0 {
@@ -1120,6 +1166,7 @@ func (e *Endpoint) applyVerdict(src frame.MID, seq uint8, dec Decision) {
 		}
 		gen := h.gen
 		epoch := e.epoch
+		//lint:allow noalloc (counted: one hold-expiry timer closure per held REQUEST)
 		e.k.After(timeout, func() {
 			if epoch != e.epoch || e.holds[src] != h || h.gen != gen {
 				return
@@ -1127,10 +1174,12 @@ func (e *Endpoint) applyVerdict(src frame.MID, seq uint8, dec Decision) {
 			delete(e.holds, src)
 			e.applyVerdict(src, seq, Decision{Verdict: h.expiry})
 			if e.hooks.OnHoldExpired != nil {
+				//lint:allow noalloc (cold: hold expiry fires only when the upper layer stalls)
 				e.hooks.OnHoldExpired(src, h.expiry)
 			}
 		})
 	default:
+		//lint:allow noalloc (cold: invalid-verdict panic)
 		panic(fmt.Sprintf("deltat: invalid verdict %d", dec.Verdict))
 	}
 }
@@ -1139,10 +1188,12 @@ func (e *Endpoint) sendAck(dst frame.MID, seq uint8, payload []byte) {
 	e.emit(EvAckTx, dst, seq, 0)
 	d := e.chargeSend(false, 0)
 	epoch := e.epoch
+	//lint:allow noalloc (counted: one ack closure per acknowledged frame)
 	e.k.After(d, func() {
 		if epoch != e.epoch {
 			return
 		}
+		//lint:allow noalloc (counted: one ACK frame header per acknowledgement)
 		e.transmit(&frame.TransportFrame{
 			Kind:     frame.TransportAck,
 			Src:      e.mid,
@@ -1157,10 +1208,12 @@ func (e *Endpoint) sendAck(dst frame.MID, seq uint8, payload []byte) {
 func (e *Endpoint) sendNack(dst frame.MID, seq uint8, code frame.ErrCode) {
 	d := e.chargeSend(false, 0)
 	epoch := e.epoch
+	//lint:allow noalloc (cold: NACKs are recovery traffic)
 	e.k.After(d, func() {
 		if epoch != e.epoch {
 			return
 		}
+		//lint:allow noalloc (cold: NACKs are recovery traffic)
 		e.transmit(&frame.TransportFrame{
 			Kind:    frame.TransportNack,
 			Src:     e.mid,

@@ -150,7 +150,10 @@ const (
 )
 
 // EncodeTransport serializes a transport frame.
+//
+//lint:hotpath
 func EncodeTransport(f *TransportFrame) []byte {
+	//lint:allow noalloc (counted: one exact-size wire buffer per transmitted frame)
 	return AppendTransport(make([]byte, 0, f.WireSize()), f)
 }
 
@@ -158,6 +161,8 @@ func EncodeTransport(f *TransportFrame) []byte {
 // slice, for callers that manage their own buffers. Note that a buffer
 // handed to Iface.Send must not be reused while deliveries are in flight:
 // the bus shares the sender's bytes with every receiver.
+//
+//lint:hotpath
 func AppendTransport(dst []byte, f *TransportFrame) []byte {
 	dst = append(dst, byte(f.Kind))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(f.Src))
@@ -204,6 +209,8 @@ func DecodeTransport(b []byte) (*TransportFrame, error) {
 // where the wire buffer is immutable by contract (the bus shares one buffer
 // among all receivers and observers). Callers must treat Payload as
 // read-only and must not retain it past the buffer's lifetime.
+//
+//lint:hotpath
 func DecodeTransportShared(b []byte) (*TransportFrame, error) {
 	return decodeTransport(b, true)
 }
@@ -213,6 +220,7 @@ func decodeTransport(b []byte, share bool) (*TransportFrame, error) {
 		return nil, ErrShortFrame
 	}
 	flags := b[6]
+	//lint:allow noalloc (counted: one TransportFrame per decoded frame)
 	f := &TransportFrame{
 		Kind:       TransportKind(b[0]),
 		Src:        MID(binary.BigEndian.Uint16(b[1:3])),
@@ -227,6 +235,7 @@ func decodeTransport(b []byte, share bool) (*TransportFrame, error) {
 	case TransportData, TransportAck, TransportNack, TransportDatagram,
 		TransportFrag, TransportFragAck:
 	default:
+		//lint:allow noalloc (cold: malformed-frame error path)
 		return nil, fmt.Errorf("%w: transport kind %d", ErrUnknownKind, b[0])
 	}
 	hdr := transportHeaderSize
@@ -245,6 +254,7 @@ func decodeTransport(b []byte, share bool) (*TransportFrame, error) {
 		// only with a nonzero bitmap (a zero bitmap encodes as a plain
 		// cumulative ack with the flag clear).
 		if f.Kind != TransportFragAck {
+			//lint:allow noalloc (cold: malformed-frame error path)
 			return nil, fmt.Errorf("%w: sack flag on %s frame", ErrUnknownKind, f.Kind)
 		}
 		if len(b) < hdr+sackExtSize {
@@ -252,6 +262,7 @@ func decodeTransport(b []byte, share bool) (*TransportFrame, error) {
 		}
 		f.SackBits = binary.BigEndian.Uint64(b[hdr : hdr+sackExtSize])
 		if f.SackBits == 0 {
+			//lint:allow noalloc (cold: malformed-frame error path)
 			return nil, fmt.Errorf("%w: sack flag with empty bitmap", ErrUnknownKind)
 		}
 		hdr += sackExtSize
@@ -264,6 +275,7 @@ func decodeTransport(b []byte, share bool) (*TransportFrame, error) {
 		if share {
 			f.Payload = b[hdr : hdr+int(n) : hdr+int(n)]
 		} else {
+			//lint:allow noalloc (cold: copying DecodeTransport only; the hot path uses DecodeTransportShared)
 			f.Payload = make([]byte, n)
 			copy(f.Payload, b[hdr:])
 		}

@@ -139,6 +139,15 @@ type hop struct {
 }
 
 // Internet is a set of bus segments joined by gateways.
+//
+// The segshared marker declares this struct cross-segment state: code
+// reachable from a gateway's bridge receive path (//lint:segroot) may read
+// it — routing tables, the pattern directory — but must not write it. All
+// per-event counting lives on the handling gateway (gateway.stats), so a
+// future conservative parallel scheduler can run segments concurrently
+// without write sharing; the sodavet segshare analyzer enforces this.
+//
+//lint:segshared
 type Internet struct {
 	k        *sim.Kernel
 	topo     Topology
@@ -155,7 +164,10 @@ type Internet struct {
 	// sortediter orders every walk.
 	directory map[frame.Pattern]map[frame.MID]struct{}
 	byNode    map[frame.MID]map[frame.Pattern]struct{}
-	stats     Stats
+	// stats holds only the directory-side counters (CacheInvalidations),
+	// written from the observer feed, never from segment handlers; the
+	// per-event counters accumulate on each gateway and Stats() sums them.
+	stats Stats
 }
 
 // gateway is one store-and-forward bridge across two or more segments.
@@ -168,6 +180,10 @@ type gateway struct {
 	ifaces []*bus.Iface
 	cache  map[cacheKey][]frame.MID
 	down   bool
+	// stats is this gateway's own share of the internetwork counters:
+	// segment-handler code writes here (its own state) instead of the
+	// segment-shared Internet.
+	stats Stats
 }
 
 // New builds the segments and gateways of topo on kernel k. Every segment
@@ -296,6 +312,7 @@ func (in *Internet) SegmentOf(mid frame.MID) int {
 	}
 	var s int
 	if in.topo.Locate != nil {
+		//lint:allow segshare (contract: Locate is a pure, deterministic placement function)
 		s = in.topo.Locate(mid)
 	} else {
 		s = int(mid) % in.topo.Segments
@@ -315,12 +332,30 @@ func (in *Internet) BusFor(mid frame.MID) (*bus.Bus, error) {
 	return in.segments[s], nil
 }
 
-// Stats returns a copy of the internetwork counters.
-func (in *Internet) Stats() Stats { return in.stats }
+// Stats returns the internetwork counters: the per-gateway shares summed
+// (in gateway order, deterministically) plus the directory-side counters.
+func (in *Internet) Stats() Stats {
+	total := in.stats
+	for _, g := range in.gateways {
+		total.FramesForwarded += g.stats.FramesForwarded
+		total.BroadcastsRelayed += g.stats.BroadcastsRelayed
+		total.TTLDrops += g.stats.TTLDrops
+		total.UnroutableDrops += g.stats.UnroutableDrops
+		total.DiscoverHits += g.stats.DiscoverHits
+		total.DiscoverMisses += g.stats.DiscoverMisses
+		total.ProxyReplies += g.stats.ProxyReplies
+	}
+	return total
+}
 
-// ResetStats zeroes every counter by replacing the whole Stats value (see
+// ResetStats zeroes every counter by replacing the whole Stats values (see
 // the measurement-window contract on bus.Stats).
-func (in *Internet) ResetStats() { in.stats = Stats{} }
+func (in *Internet) ResetStats() {
+	in.stats = Stats{}
+	for _, g := range in.gateways {
+		g.stats = Stats{}
+	}
+}
 
 // CrashGateway takes gateway i off every attached segment: it stops
 // hearing frames, forwards nothing (frames inside its store-and-forward
@@ -419,6 +454,13 @@ const (
 
 // onFrame is the bridge receive path: decide whether this gateway is the
 // designated forwarder and relay accordingly.
+//
+// The segroot marker makes this the segshare analyzer's entry point:
+// everything reachable from here may read the shared Internet but writes
+// only this gateway's own state, and emits frames only through the
+// deferred //lint:segqueue closures.
+//
+//lint:segroot
 func (g *gateway) onFrame(ingress int, raw []byte) {
 	if g.down || len(raw) < minFrame {
 		return
@@ -436,19 +478,19 @@ func (g *gateway) onFrame(ingress int, raw []byte) {
 		// because the destination node was never attached (e.g. it is
 		// simply absent); either way there is nowhere to route.
 		if dseg < 0 {
-			in.stats.UnroutableDrops++
+			g.stats.UnroutableDrops++
 		}
 		return
 	}
 	next := in.parent[dseg][ingress]
 	if next.gw < 0 {
-		in.stats.UnroutableDrops++
+		g.stats.UnroutableDrops++
 		return
 	}
 	if next.gw != g.idx {
 		return // another gateway on this segment is designated
 	}
-	g.relay(next.seg, dst, raw, &in.stats.FramesForwarded)
+	g.relay(next.seg, dst, raw, &g.stats.FramesForwarded)
 }
 
 // relay copies raw (the bus shares delivery buffers, so the hop count must
@@ -458,7 +500,7 @@ func (g *gateway) relay(egress int, dst frame.MID, raw []byte, counter *uint64) 
 	in := g.in
 	hops := int(raw[offHop])
 	if hops+1 >= in.topo.MaxHops {
-		in.stats.TTLDrops++
+		g.stats.TTLDrops++
 		return
 	}
 	buf := make([]byte, len(raw))
@@ -511,7 +553,7 @@ func (g *gateway) onBroadcast(ingress int, src frame.MID, raw []byte) {
 		}
 		p := in.parent[origin][s]
 		if p.gw == g.idx && p.seg == ingress {
-			g.relay(s, frame.BroadcastMID, raw, &in.stats.BroadcastsRelayed)
+			g.relay(s, frame.BroadcastMID, raw, &g.stats.BroadcastsRelayed)
 		}
 	}
 }
@@ -527,9 +569,9 @@ func (g *gateway) answerDiscover(ingress int, asker frame.MID, d *frame.Discover
 	key := cacheKey{seg: ingress, pat: d.Pattern}
 	remotes, ok := g.cache[key]
 	if ok {
-		in.stats.DiscoverHits++
+		g.stats.DiscoverHits++
 	} else {
-		in.stats.DiscoverMisses++
+		g.stats.DiscoverMisses++
 		for _, m := range sortediter.Keys(in.directory[d.Pattern]) {
 			hseg := in.SegmentOf(m)
 			if hseg < 0 || hseg == ingress {
@@ -554,7 +596,7 @@ func (g *gateway) answerDiscover(ingress int, asker frame.MID, d *frame.Discover
 			Payload: frame.Encode(&frame.DiscoverReply{TID: d.TID, Pattern: d.Pattern}),
 		}
 		buf := frame.EncodeTransport(reply)
-		in.stats.ProxyReplies++
+		g.stats.ProxyReplies++
 		delay := in.topo.ForwardDelay + time.Duration(i+1)*in.topo.ProxyStagger
 		in.k.After(delay, func() {
 			if g.down {

@@ -116,6 +116,13 @@ func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
 
 // At schedules fn to run in scheduler context at absolute virtual time t.
 // Times in the past are clamped to now.
+//
+// The segqueue marker designates closures scheduled here as the sanctioned
+// deferred path out of segment-handler code: each runs as its own
+// serialized event, which is what a conservative parallel scheduler can
+// order by lookahead (see the sodavet segshare analyzer).
+//
+//lint:segqueue
 func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		t = k.now
@@ -133,6 +140,7 @@ func (k *Kernel) newEvent() *event {
 		k.free = k.free[:n-1]
 		return ev
 	}
+	//lint:allow noalloc (counted: freelist miss; one event struct per new peak of pending events)
 	return &event{}
 }
 
@@ -144,6 +152,8 @@ func (k *Kernel) recycle(ev *event) {
 }
 
 // After schedules fn to run d from now. Negative d is clamped to zero.
+//
+//lint:segqueue
 func (k *Kernel) After(d time.Duration, fn func()) { k.At(k.now+d, fn) }
 
 // Stop makes Run return after the current event completes.
@@ -217,10 +227,13 @@ type Proc struct {
 // Spawn creates a process executing fn and schedules it to start at the
 // current virtual time. fn runs entirely under the scheduler's control.
 func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	//lint:allow noalloc (counted: one process record and resume channel per spawned process)
 	p := &Proc{k: k, name: name, resume: make(chan struct{})}
 	k.procs++
+	//lint:allow noalloc (counted: one goroutine and body closure per spawned process)
 	go func() {
 		<-p.resume
+		//lint:allow noalloc (indirect: the process body; hot-path bodies are scanned at their creation sites)
 		fn(p)
 		p.finished = true
 		k.procs--
@@ -274,6 +287,7 @@ func (p *Proc) Resume() {
 		return
 	}
 	if !p.waiting {
+		//lint:allow noalloc (cold: lost-wakeup bookkeeping panic)
 		panic(fmt.Sprintf("sim: Resume of %q which is not suspended", p.name))
 	}
 	p.waiting = false // consume the wakeup; a second Resume before it runs panics

@@ -21,6 +21,7 @@ type eventQueue interface {
 // and pop; the reference implementation.
 type heapQueue struct{ h eventHeap }
 
+//lint:allow noalloc (amortized: heap storage grows to the peak pending-event count, then stabilizes)
 func (q *heapQueue) push(ev *event) { heap.Push(&q.h, ev) }
 
 func (q *heapQueue) pop() *event { return heap.Pop(&q.h).(*event) }
@@ -76,6 +77,7 @@ func (w *wheel) len() int { return w.size }
 func (w *wheel) push(ev *event) {
 	w.size++
 	if ev.t < w.bucketEnd {
+		//lint:allow noalloc (amortized: bucket storage grows to the slot's peak occupancy, then stabilizes)
 		heap.Push(&w.bucket, ev)
 		return
 	}
@@ -90,11 +92,13 @@ func (w *wheel) place(ev *event) {
 		above := wheelShift(l + 1)
 		if ev.t>>above == w.cur>>above {
 			s := int(ev.t>>wheelShift(l)) & (wheelSlots - 1)
+			//lint:allow noalloc (amortized: slot storage grows to its peak occupancy, then stabilizes)
 			w.levels[l][s] = append(w.levels[l][s], ev)
 			w.occ[l][s>>6] |= 1 << (uint(s) & 63)
 			return
 		}
 	}
+	//lint:allow noalloc (cold: overflow holds only events beyond 78 virtual hours out)
 	w.overflow = append(w.overflow, ev)
 }
 

@@ -8,6 +8,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -20,11 +21,28 @@ import (
 //	                           (best-effort: module packages only)
 //
 // plus the -flags/-V=full introspection calls the go command makes before
-// driving a vettool. It returns the process exit code: 0 clean, 1 findings,
-// 2 usage or load failure.
+// driving a vettool. Standalone mode accepts two option flags before the
+// patterns: -json writes diagnostics to stdout as a JSON array
+// (file/line/col/analyzer/message), and -suppressions lists every active
+// //lint:allow site in the selected packages instead of analyzing them.
+// It returns the process exit code: 0 clean, 1 findings, 2 usage or load
+// failure.
 func Main(args []string, analyzers []*Analyzer) int {
+	var opts driverOptions
+	for len(args) > 0 {
+		switch args[0] {
+		case "-json":
+			opts.json = true
+		case "-suppressions":
+			opts.suppressions = true
+		default:
+			goto parsed
+		}
+		args = args[1:]
+	}
+parsed:
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: sodavet <packages>|<vet.cfg>")
+		fmt.Fprintln(os.Stderr, "usage: sodavet [-json] [-suppressions] <packages>|<vet.cfg>")
 		return 2
 	}
 	switch {
@@ -38,10 +56,25 @@ func Main(args []string, analyzers []*Analyzer) int {
 	case strings.HasSuffix(args[0], ".cfg"):
 		return vetUnitMode(args[0], analyzers)
 	}
-	return standaloneMode(args, analyzers)
+	return standaloneMode(args, analyzers, opts)
 }
 
-func standaloneMode(patterns []string, analyzers []*Analyzer) int {
+// driverOptions are the standalone-mode flags.
+type driverOptions struct {
+	json         bool
+	suppressions bool
+}
+
+// jsonDiagnostic is the -json wire shape for one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func standaloneMode(patterns []string, analyzers []*Analyzer, opts driverOptions) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sodavet:", err)
@@ -67,21 +100,94 @@ func standaloneMode(patterns []string, analyzers []*Analyzer) int {
 		fmt.Fprintln(os.Stderr, "sodavet: no packages match", strings.Join(patterns, " "))
 		return 2
 	}
+	if opts.suppressions {
+		return listSuppressions(selected, opts)
+	}
 	eventTypes := MarkedEventTypes(pkgs)
+	facts := BuildFacts(pkgs)
+	var all []jsonDiagnostic
 	found := false
 	for _, pkg := range selected {
-		diags, err := RunAnalyzers(pkg, analyzers, eventTypes)
+		diags, err := RunAnalyzers(pkg, analyzers, eventTypes, facts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sodavet:", err)
 			return 2
 		}
 		for _, d := range diags {
 			found = true
-			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			pos := loader.Fset.Position(d.Pos)
+			if opts.json {
+				all = append(all, jsonDiagnostic{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: d.Analyzer, Message: d.Message,
+				})
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+			}
+		}
+	}
+	if opts.json {
+		if all == nil {
+			all = []jsonDiagnostic{} // encode as [], never null
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, "sodavet:", err)
+			return 2
 		}
 	}
 	if found {
 		return 1
+	}
+	return 0
+}
+
+// jsonAllowSite is the -suppressions -json wire shape for one annotation.
+type jsonAllowSite struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+}
+
+// listSuppressions prints every //lint:allow annotation in the selected
+// packages, one line per site (or a JSON array with -json), so stale
+// suppressions are auditable. Exit code 0; malformed suppressions are the
+// analysis run's business, not this listing's.
+func listSuppressions(selected []*Package, opts driverOptions) int {
+	var sites []AllowSite
+	for _, pkg := range selected {
+		sites = append(sites, CollectAllowSites(pkg)...)
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].Pos.Filename != sites[j].Pos.Filename {
+			return sites[i].Pos.Filename < sites[j].Pos.Filename
+		}
+		return sites[i].Pos.Line < sites[j].Pos.Line
+	})
+	if opts.json {
+		out := make([]jsonAllowSite, 0, len(sites))
+		for _, s := range sites {
+			out = append(out, jsonAllowSite{
+				File: s.Pos.Filename, Line: s.Pos.Line,
+				Analyzer: s.Analyzer, Reason: s.Reason,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "sodavet:", err)
+			return 2
+		}
+		return 0
+	}
+	for _, s := range sites {
+		reason := s.Reason
+		if reason == "" {
+			reason = "MISSING REASON"
+		}
+		fmt.Printf("%s:%d: %s (%s)\n", s.Pos.Filename, s.Pos.Line, s.Analyzer, reason)
 	}
 	return 0
 }
@@ -170,15 +276,25 @@ func vetUnitMode(cfgPath string, analyzers []*Analyzer) int {
 		fmt.Fprintln(os.Stderr, "sodavet:", err)
 		return 2
 	}
-	// Event-type markers may live in other module packages (e.g. a literal
-	// of core.ObsEvent built outside internal/core), so scan the whole
-	// module for them.
+	// Event-type markers and interprocedural facts may live in other
+	// module packages (e.g. a literal of core.ObsEvent built outside
+	// internal/core, or a hotpath root whose callees cross packages), so
+	// scan the whole module. The unit package's own parse replaces the
+	// loader's copy in the facts index so findings anchor to the syntax
+	// being analyzed.
 	all, err := loader.LoadAll()
 	if err != nil {
 		all = []*Package{pkg}
 	}
+	factPkgs := make([]*Package, 0, len(all)+1)
+	for _, p := range all {
+		if p.Path != pkg.Path {
+			factPkgs = append(factPkgs, p)
+		}
+	}
+	factPkgs = append(factPkgs, pkg)
 	eventTypes := MarkedEventTypes(all)
-	diags, err := RunAnalyzers(pkg, analyzers, eventTypes)
+	diags, err := RunAnalyzers(pkg, analyzers, eventTypes, BuildFacts(factPkgs))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sodavet:", err)
 		return 2

@@ -1,0 +1,255 @@
+// Facts-engine tests: the module-wide call graph, marker extraction, call
+// resolution (static, qualified, interface, dynamic), type marks, and
+// suppression lookup, exercised over a throwaway two-package module.
+package lint_test
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soda/lint"
+)
+
+// writeFactsModule lays out a module whose single hotpath root exhibits one
+// call of every resolution class the engine distinguishes.
+func writeFactsModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"b/b.go": `package b
+
+// Alloc allocates.
+func Alloc(n int) []byte { return make([]byte, n) }
+
+// Free is allocation-free.
+func Free(x int) int { return x + 1 }
+`,
+		"a/a.go": `package a
+
+import "tmpmod/b"
+
+// Worker is implemented by two concrete types below.
+type Worker interface{ Work() int }
+
+// Shared is segment-shared state.
+//
+//lint:segshared
+type Shared struct{ N int }
+
+// Plain carries no marks.
+type Plain struct{ N int }
+
+type fast struct{}
+
+func (fast) Work() int { return 1 }
+
+type slow struct{ buf []byte }
+
+func (s *slow) Work() int { return len(s.buf) }
+
+// Root is the traversal root.
+//
+//lint:hotpath
+func Root(w Worker, f func() int) int {
+	n := b.Free(2) // qualified static call
+	n += w.Work()  // interface call, resolved by implementation search
+	n += f()       // dynamic call through a func value
+	n += helper(n) // same-package static call
+	//lint:allow noalloc (test fixture: counted allocation)
+	n += len(b.Alloc(n))
+	return n
+}
+
+func helper(n int) int { return n * 2 }
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// loadFacts builds Facts over the fixture module and returns them with the
+// package index.
+func loadFacts(t *testing.T) (*lint.Facts, map[string]*lint.Package) {
+	t.Helper()
+	root := writeFactsModule(t)
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*lint.Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	return lint.BuildFacts(pkgs), byPath
+}
+
+func scopeFunc(t *testing.T, pkg *lint.Package, name string) *types.Func {
+	t.Helper()
+	fn, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no function %s in %s", name, pkg.Path)
+	}
+	return fn
+}
+
+func TestFactsMarkedRoots(t *testing.T) {
+	facts, byPath := loadFacts(t)
+	a := byPath["tmpmod/a"]
+
+	roots := facts.Marked("hotpath")
+	if len(roots) != 1 || roots[0].Name() != "Root" {
+		t.Fatalf("Marked(hotpath) = %v, want exactly a.Root", roots)
+	}
+	if !facts.HasMark(roots[0], "hotpath") {
+		t.Fatal("HasMark(Root, hotpath) = false")
+	}
+	if facts.HasMark(scopeFunc(t, a, "helper"), "hotpath") {
+		t.Fatal("HasMark(helper, hotpath) = true, want false")
+	}
+	if facts.HasMark(nil, "hotpath") {
+		t.Fatal("HasMark(nil) = true")
+	}
+	if facts.Marked("nosuchmark") != nil {
+		t.Fatal("Marked(nosuchmark) returned roots")
+	}
+}
+
+func TestFactsCallResolution(t *testing.T) {
+	facts, byPath := loadFacts(t)
+	a := byPath["tmpmod/a"]
+
+	fi := facts.Info(scopeFunc(t, a, "Root"))
+	if fi == nil {
+		t.Fatal("Info(Root) = nil")
+	}
+	// Classify Root's outgoing calls by callee name. len(...) is a builtin
+	// and must not be indexed at all.
+	classes := map[string]*lint.CallSite{}
+	for _, cs := range fi.Calls {
+		switch {
+		case cs.Dynamic:
+			classes["dynamic"] = cs
+		case cs.Iface:
+			classes["iface"] = cs
+		case len(cs.Callees) == 1:
+			classes[cs.Callees[0].Name()] = cs
+		}
+	}
+	if len(fi.Calls) != 5 {
+		t.Fatalf("Root has %d resolved calls, want 5 (builtins excluded)", len(fi.Calls))
+	}
+	for _, want := range []string{"Free", "Alloc", "helper", "dynamic", "iface"} {
+		if classes[want] == nil {
+			t.Fatalf("Root is missing a %s call site (got %v)", want, classes)
+		}
+	}
+	// The interface call resolves to every module implementation.
+	iface := classes["iface"]
+	impls := map[string]bool{}
+	for _, fn := range iface.Callees {
+		impls[fn.FullName()] = true
+	}
+	if len(impls) != 2 || !impls["(tmpmod/a.fast).Work"] || !impls["(*tmpmod/a.slow).Work"] {
+		t.Fatalf("interface call resolved to %v, want fast.Work and (*slow).Work", impls)
+	}
+	// Site retrieves the same resolution by call expression.
+	if facts.Site(classes["Free"].Call) != classes["Free"] {
+		t.Fatal("Site did not return the indexed call site")
+	}
+	// Cross-package summaries: the qualified callee has its own FuncInfo.
+	if facts.Info(classes["Alloc"].Callees[0]) == nil {
+		t.Fatal("no summary for cross-package callee b.Alloc")
+	}
+}
+
+func TestFactsTypeMarks(t *testing.T) {
+	facts, byPath := loadFacts(t)
+	a := byPath["tmpmod/a"]
+
+	shared := a.Types.Scope().Lookup("Shared").Type()
+	plain := a.Types.Scope().Lookup("Plain").Type()
+	if !facts.TypeMarked(shared, "segshared") {
+		t.Fatal("TypeMarked(Shared) = false")
+	}
+	// Pointer and slice wrappers unwrap to the marked named type.
+	if !facts.TypeMarked(types.NewPointer(shared), "segshared") {
+		t.Fatal("TypeMarked(*Shared) = false")
+	}
+	if !facts.TypeMarked(types.NewSlice(types.NewPointer(shared)), "segshared") {
+		t.Fatal("TypeMarked([]*Shared) = false")
+	}
+	if facts.TypeMarked(plain, "segshared") {
+		t.Fatal("TypeMarked(Plain) = true, want false")
+	}
+	if facts.TypeMarked(types.Typ[types.Int], "segshared") {
+		t.Fatal("TypeMarked(int) = true, want false")
+	}
+}
+
+func TestFactsAllowed(t *testing.T) {
+	facts, byPath := loadFacts(t)
+	a := byPath["tmpmod/a"]
+
+	fi := facts.Info(scopeFunc(t, a, "Root"))
+	var allocCall, freeCall *lint.CallSite
+	for _, cs := range fi.Calls {
+		if cs.Dynamic || cs.Iface {
+			continue
+		}
+		switch cs.Callees[0].Name() {
+		case "Alloc":
+			allocCall = cs
+		case "Free":
+			freeCall = cs
+		}
+	}
+	if !facts.Allowed(allocCall.Call.Pos(), "noalloc") {
+		t.Fatal("suppressed b.Alloc call not Allowed for noalloc")
+	}
+	if facts.Allowed(allocCall.Call.Pos(), "segshare") {
+		t.Fatal("allow for noalloc leaked to another analyzer")
+	}
+	if facts.Allowed(freeCall.Call.Pos(), "noalloc") {
+		t.Fatal("unsuppressed b.Free call reported as Allowed")
+	}
+}
+
+func TestPkgRef(t *testing.T) {
+	facts, byPath := loadFacts(t)
+	a := byPath["tmpmod/a"]
+
+	fi := facts.Info(scopeFunc(t, a, "Root"))
+	for _, cs := range fi.Calls {
+		sel, ok := cs.Call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		path, name, ok := lint.PkgRef(a.Info, sel)
+		if cs.Iface {
+			// w.Work: receiver is a variable, not a package.
+			if ok {
+				t.Fatalf("PkgRef resolved method selector w.Work to %s.%s", path, name)
+			}
+			continue
+		}
+		if !ok || path != "tmpmod/b" {
+			t.Fatalf("PkgRef(%s) = %q.%q ok=%v, want tmpmod/b", cs.Callees[0].Name(), path, name, ok)
+		}
+	}
+}

@@ -21,9 +21,10 @@
 //
 //	//lint:allow <analyzer> (reason)
 //
-// The analyzer name must match exactly; the parenthesized reason is
-// mandatory by convention (enforced in review, not by the tool) so every
-// suppression explains itself.
+// The analyzer name must match exactly, and the parenthesized reason is
+// mandatory: a suppression without a non-empty reason is itself reported
+// (as analyzer "suppression"), so every suppression explains itself.
+// `sodavet -suppressions` lists every active suppression site for auditing.
 package lint
 
 import (
@@ -62,6 +63,11 @@ type Pass struct {
 	// carries a "lint:event" marker, across every package loaded in this
 	// run. Keys are the defining *types.TypeName objects.
 	EventTypes map[types.Object]bool
+	// Facts is the module-wide interprocedural index (call graph, marker
+	// annotations, per-function summaries) shared by every analyzer in the
+	// run. Never nil: RunAnalyzers builds a single-package index when the
+	// caller provides none.
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -90,8 +96,24 @@ const allowDirective = "//lint:allow "
 // the end of the flagged statement or on its own line above it.
 type allowedLines map[string]map[int]map[string]bool
 
-func collectAllows(fset *token.FileSet, files []*ast.File) allowedLines {
+// AllowSite is one //lint:allow annotation: where it sits, which analyzer
+// it silences, and the reason given (empty when the annotation is
+// malformed). The driver's -suppressions mode lists these for auditing.
+type AllowSite struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+
+	pos token.Pos // the annotation's own position, for sortable diagnostics
+}
+
+// collectAllows gathers every suppression annotation in files. The second
+// result lists the sites in source order; a site with an empty Reason is
+// still honored (so fixing it is one edit, not two) but RunAnalyzers
+// reports it.
+func collectAllows(fset *token.FileSet, files []*ast.File) (allowedLines, []AllowSite) {
 	out := allowedLines{}
+	var sites []AllowSite
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -100,11 +122,18 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowedLines {
 					continue
 				}
 				rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
-				name, _, _ := strings.Cut(rest, " ")
+				name, reason, _ := strings.Cut(rest, " ")
 				if name == "" {
 					continue
 				}
+				reason = strings.TrimSpace(reason)
+				if strings.HasPrefix(reason, "(") && strings.HasSuffix(reason, ")") {
+					reason = strings.TrimSpace(reason[1 : len(reason)-1])
+				} else {
+					reason = "" // a bare trailing word is not a reason
+				}
 				pos := fset.Position(c.Pos())
+				sites = append(sites, AllowSite{Pos: pos, Analyzer: name, Reason: reason, pos: c.Pos()})
 				byLine := out[pos.Filename]
 				if byLine == nil {
 					byLine = map[int]map[string]bool{}
@@ -119,7 +148,14 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowedLines {
 			}
 		}
 	}
-	return out
+	return out, sites
+}
+
+// CollectAllowSites returns every //lint:allow annotation in pkg, in
+// source order.
+func CollectAllowSites(pkg *Package) []AllowSite {
+	_, sites := collectAllows(pkg.Fset, pkg.Files)
+	return sites
 }
 
 func (a allowedLines) allows(pos token.Position, analyzer string) bool {
@@ -127,8 +163,14 @@ func (a allowedLines) allows(pos token.Position, analyzer string) bool {
 }
 
 // RunAnalyzers applies every analyzer to pkg and returns the diagnostics
-// that survive //lint:allow filtering, sorted by position.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer, eventTypes map[types.Object]bool) ([]Diagnostic, error) {
+// that survive //lint:allow filtering, sorted by position. A suppression
+// annotation without a parenthesized non-empty reason is reported as a
+// diagnostic of the synthetic analyzer "suppression". facts may be nil, in
+// which case a single-package index is built for the Pass.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, eventTypes map[types.Object]bool, facts *Facts) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = BuildFacts([]*Package{pkg})
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -138,17 +180,27 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer, eventTypes map[types.Obje
 			Pkg:        pkg.Types,
 			Info:       pkg.Info,
 			EventTypes: eventTypes,
+			Facts:      facts,
 			diags:      &diags,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 		}
 	}
-	allows := collectAllows(pkg.Fset, pkg.Files)
+	allows, sites := collectAllows(pkg.Fset, pkg.Files)
 	kept := diags[:0]
 	for _, d := range diags {
 		if !allows.allows(pkg.Fset.Position(d.Pos), d.Analyzer) {
 			kept = append(kept, d)
+		}
+	}
+	for _, s := range sites {
+		if s.Reason == "" && !allows.allows(s.Pos, "suppression") {
+			kept = append(kept, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "suppression",
+				Message:  fmt.Sprintf("//lint:allow %s needs a non-empty (reason)", s.Analyzer),
+			})
 		}
 	}
 	sort.Slice(kept, func(i, j int) bool {

@@ -47,7 +47,7 @@ func h() {}
 func broken() {}
 `
 	pkg := parsePkg(t, src)
-	allows := collectAllows(pkg.Fset, pkg.Files)
+	allows, _ := collectAllows(pkg.Fset, pkg.Files)
 
 	at := func(line int, analyzer string) bool {
 		return allows.allows(token.Position{Filename: "a.go", Line: line}, analyzer)
@@ -108,7 +108,7 @@ func suppressed() {}
 func alsoKept() {}
 `
 	pkg := parsePkg(t, src)
-	diags, err := RunAnalyzers(pkg, []*Analyzer{funcFlagger}, nil)
+	diags, err := RunAnalyzers(pkg, []*Analyzer{funcFlagger}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"soda/lint/linttest"
+	"soda/lint/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", noalloc.Analyzer)
+}

@@ -1,0 +1,180 @@
+// Package parcapture checks closures handed to the parallel-for entry
+// point (sim.ParallelFor, marked //lint:parfor) for unpartitioned shared
+// captures.
+//
+// ParallelFor is the module's one sanctioned concurrency zone: worker
+// goroutines invoke the body closure for disjoint indices. The closure may
+// read anything it captures, but a write to captured state races unless it
+// is partitioned per index: the only write shape accepted is an element
+// store `captured[i] = ...` indexed by the closure's own index parameter
+// (each worker owns its slice elements). Anything else — a plain captured
+// write, a write through a differently-computed index, a captured field
+// store, taking a captured variable's address, or writing package-level
+// state — is flagged. Passing something other than a function literal or
+// a top-level function defeats the analysis and is flagged conservatively.
+package parcapture
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"soda/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "parcapture",
+	Doc:  "closures passed to //lint:parfor must not write captured state except per-index element stores (captured[i] = ...)",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	facts := pass.Facts
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			cs := facts.Site(call)
+			if cs == nil {
+				return true
+			}
+			target := false
+			for _, callee := range cs.Callees {
+				if facts.HasMark(callee, "parfor") {
+					target = true
+					break
+				}
+			}
+			if !target {
+				return true
+			}
+			for _, arg := range call.Args {
+				if isFuncExpr(pass.Info, arg) {
+					checkBodyArg(pass, arg)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFuncExpr reports whether arg has function type (the body argument; the
+// worker/count ints are skipped).
+func isFuncExpr(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isSig := tv.Type.Underlying().(*types.Signature)
+	return isSig
+}
+
+func checkBodyArg(pass *lint.Pass, arg ast.Expr) {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		checkLit(pass, e)
+	case *ast.Ident:
+		// A top-level function captures nothing.
+		if _, ok := pass.Info.Uses[e].(*types.Func); ok {
+			return
+		}
+		pass.Reportf(e.Pos(), "parallel-for body is a func value; capture safety unprovable — pass a literal or top-level function")
+	default:
+		pass.Reportf(arg.Pos(), "parallel-for body is not a function literal; capture safety unprovable")
+	}
+}
+
+func checkLit(pass *lint.Pass, lit *ast.FuncLit) {
+	info := pass.Info
+	indexParam := lastParam(info, lit)
+	captured := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return nil
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return nil // the literal's own parameter or local
+		}
+		return v // captured from the enclosing function, or package-level
+	}
+	isIndexParam := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && indexParam != nil && info.Uses[id] == indexParam
+	}
+	checkTarget := func(lhs ast.Expr) {
+		lhs = ast.Unparen(lhs)
+		switch t := lhs.(type) {
+		case *ast.Ident:
+			if v := captured(t); v != nil {
+				pass.Reportf(t.Pos(), "worker closure writes captured variable %s; partition it per index instead", v.Name())
+			}
+		case *ast.IndexExpr:
+			if v := captured(t.X); v != nil && !isIndexParam(t.Index) {
+				pass.Reportf(t.Pos(), "worker closure writes %s at an index other than its own; workers may only store to their own element", v.Name())
+			}
+		case *ast.SelectorExpr:
+			// Walk to the chain root: a field store into captured state.
+			root := ast.Expr(t)
+			for {
+				if sel, ok := ast.Unparen(root).(*ast.SelectorExpr); ok {
+					root = sel.X
+					continue
+				}
+				if ix, ok := ast.Unparen(root).(*ast.IndexExpr); ok {
+					// A per-index element's field is that worker's own.
+					if v := captured(ix.X); v != nil && !isIndexParam(ix.Index) {
+						pass.Reportf(t.Pos(), "worker closure writes into %s outside its own element", v.Name())
+					}
+					return
+				}
+				break
+			}
+			if v := captured(root); v != nil {
+				pass.Reportf(t.Pos(), "worker closure writes a field of captured %s; partition it per index instead", v.Name())
+			}
+		case *ast.StarExpr:
+			if v := captured(t.X); v != nil {
+				pass.Reportf(t.Pos(), "worker closure writes through captured pointer %s", v.Name())
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkTarget(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if v := captured(n.X); v != nil {
+					pass.Reportf(n.Pos(), "worker closure takes the address of captured %s; writes through it would race", v.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lastParam returns the *types.Var of the literal's final parameter — the
+// worker's index under the ParallelFor contract — or nil.
+func lastParam(info *types.Info, lit *ast.FuncLit) types.Object {
+	params := lit.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return nil
+	}
+	last := params.List[len(params.List)-1]
+	if len(last.Names) == 0 {
+		return nil
+	}
+	return info.Defs[last.Names[len(last.Names)-1]]
+}

@@ -1,0 +1,12 @@
+package parcapture_test
+
+import (
+	"testing"
+
+	"soda/lint/linttest"
+	"soda/lint/parcapture"
+)
+
+func TestParcapture(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", parcapture.Analyzer)
+}

@@ -1,0 +1,224 @@
+// Package segshare proves segment-handler code free of cross-segment
+// writes — the static safety argument a conservative parallel scheduler
+// needs before committing same-segment events concurrently.
+//
+// A function annotated //lint:segroot is a segment-processing entry point
+// (the gateway bridge receive path). Everything reachable from it through
+// the module call graph must only mutate state owned by the handling
+// gateway itself. Three constructs break that isolation and are flagged:
+//
+//   - writes (or address-taking) of state typed //lint:segshared — the
+//     internetwork-wide structures every segment can see;
+//   - writes to package-level variables;
+//   - calls to //lint:segemit functions (frame emission onto a bus
+//     segment) made synchronously from handler code.
+//
+// The sanctioned escape hatch is the gateway queue: a function literal
+// passed to a //lint:segqueue function (the scheduler's After/At) runs as
+// its own deferred event, serialized by the kernel, so its body is exempt
+// — cross-segment effects routed through the queue are exactly what the
+// future parallel scheduler can order by lookahead. Dynamic calls through
+// func values defeat the proof and are flagged conservatively; a
+// //lint:allow segshare suppression on a call site vouches for the callee
+// subtree and prunes traversal, like noalloc.
+package segshare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"soda/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "segshare",
+	Doc:  "code reachable from //lint:segroot handlers must not write //lint:segshared or package-level state, nor emit frames outside the //lint:segqueue deferral",
+	Run:  run,
+}
+
+type finding struct {
+	pos token.Pos
+	msg string
+}
+
+func run(pass *lint.Pass) error {
+	facts := pass.Facts
+	roots := facts.Marked("segroot")
+	if len(roots) == 0 {
+		return nil
+	}
+	visited := map[*types.Func]bool{}
+	queue := append([]*types.Func(nil), roots...)
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if visited[fn.Origin()] {
+			continue
+		}
+		visited[fn.Origin()] = true
+		fi := facts.Info(fn)
+		if fi == nil || fi.Decl.Body == nil {
+			continue
+		}
+		findings, callees := analyzeFunc(facts, fi)
+		if fi.Pkg.Types == pass.Pkg {
+			for _, f := range findings {
+				pass.Reportf(f.pos, "%s (segment handler, reachable from //lint:segroot)", f.msg)
+			}
+		}
+		queue = append(queue, callees...)
+	}
+	return nil
+}
+
+// analyzeFunc scans one handler function. Function literals passed to
+// //lint:segqueue callees are the deferred gateway queue: their bodies are
+// skipped entirely (and segqueue/segemit callees are never descended
+// into — the scheduler and the bus are infrastructure, not handler code).
+func analyzeFunc(facts *lint.Facts, fi *lint.FuncInfo) ([]finding, []*types.Func) {
+	var findings []finding
+	var callees []*types.Func
+	info := fi.Pkg.Info
+
+	report := func(pos token.Pos, msg string) {
+		findings = append(findings, finding{pos: pos, msg: msg})
+	}
+
+	// deferred collects the source ranges of queue closures to exempt.
+	var deferred []*ast.FuncLit
+	exempt := func(n ast.Node) bool {
+		for _, lit := range deferred {
+			if lint.Contains(lit, n) {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		cs := facts.Site(call)
+		if cs == nil {
+			return true
+		}
+		for _, callee := range cs.Callees {
+			if facts.HasMark(callee, "segqueue") {
+				for _, arg := range call.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						deferred = append(deferred, lit)
+					}
+				}
+				break
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && exempt(lit) {
+			return false // deferred gateway-queue work, serialized by the kernel
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(facts, info, lhs, report)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(facts, info, n.X, report)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && chainMarked(facts, info, n.X) {
+				report(n.Pos(), "address of segment-shared state taken; writes through it are invisible to the isolation proof")
+			}
+		case *ast.CallExpr:
+			cs := facts.Site(n)
+			if cs == nil {
+				return true
+			}
+			if facts.Allowed(n.Pos(), "segshare") {
+				return true // suppression vouches for the subtree
+			}
+			if cs.Dynamic {
+				report(n.Pos(), "dynamic call through a func value; segment isolation unprovable")
+				return true
+			}
+			for _, callee := range cs.Callees {
+				switch {
+				case facts.HasMark(callee, "segemit"):
+					report(n.Pos(), "synchronous frame emission from a segment handler; defer it through the gateway queue (//lint:segqueue)")
+				case facts.HasMark(callee, "segqueue"):
+					// The queue call itself is the sanctioned boundary.
+				case facts.Info(callee) != nil:
+					callees = append(callees, callee)
+				}
+			}
+		}
+		return true
+	})
+	return findings, callees
+}
+
+// checkWrite flags an assignment target that is package-level or reaches
+// through segment-shared state.
+func checkWrite(facts *lint.Facts, info *types.Info, lhs ast.Expr, report func(token.Pos, string)) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if v, ok := obj(info, id).(*types.Var); ok && pkgLevel(v) {
+			report(id.Pos(), "write to package-level variable "+v.Name())
+		}
+		return
+	}
+	if sel, ok := lhs.(*ast.SelectorExpr); ok {
+		// A qualified reference to another package's variable.
+		if _, vname, ok2 := lint.PkgRef(info, sel); ok2 {
+			if v, isVar := info.Uses[sel.Sel].(*types.Var); isVar && pkgLevel(v) {
+				report(sel.Pos(), "write to package-level variable "+vname)
+				return
+			}
+		}
+	}
+	if chainMarked(facts, info, lhs) {
+		report(lhs.Pos(), "write to segment-shared state; only the owning side may mutate it")
+	}
+}
+
+// chainMarked reports whether expr dereferences through a value of a
+// //lint:segshared type anywhere along its selector/index chain.
+func chainMarked(facts *lint.Facts, info *types.Info, expr ast.Expr) bool {
+	for {
+		expr = ast.Unparen(expr)
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			if tv, ok := info.Types[e.X]; ok && facts.TypeMarked(tv.Type, "segshared") {
+				return true
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			if tv, ok := info.Types[e]; ok {
+				return facts.TypeMarked(tv.Type, "segshared")
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+func obj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// pkgLevel reports whether v is a package-scoped variable.
+func pkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Pkg().Scope().Lookup(v.Name()) == v
+}

@@ -1,0 +1,12 @@
+package segshare_test
+
+import (
+	"testing"
+
+	"soda/lint/linttest"
+	"soda/lint/segshare"
+)
+
+func TestSegshare(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", segshare.Analyzer)
+}

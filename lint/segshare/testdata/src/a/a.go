@@ -1,0 +1,77 @@
+// Package a exercises the segshare analyzer: segroot reachability,
+// segshared write detection, the segqueue deferral exemption, segemit
+// gating, package-level writes, and suppression pruning.
+package a
+
+// shared is internetwork-wide state every segment can see; handlers may
+// read it but only the owning side mutates it.
+//
+//lint:segshared
+type shared struct {
+	total    int
+	counters map[string]int
+}
+
+// node is one gateway-like handler: sh points at shared state, own is the
+// handler's private bookkeeping.
+type node struct {
+	sh  *shared
+	own int
+}
+
+var global int
+
+// after stands in for the scheduler: closures handed to it run later as
+// their own serialized events.
+//
+//lint:segqueue
+func after(d int, fn func()) { _ = d; _ = fn }
+
+// emit stands in for bus frame emission.
+//
+//lint:segemit
+func emit(b []byte) { _ = b }
+
+// onFrame is the segment-processing entry point.
+//
+//lint:segroot
+func (n *node) onFrame(raw []byte) {
+	n.own++          // the handler's own state: fine
+	n.sh.total++     // want `write to segment-shared state`
+	global = 1       // want `write to package-level variable global`
+	p := &n.sh.total // want `address of segment-shared state`
+	_ = p
+	emit(raw) // want `synchronous frame emission from a segment handler`
+	after(1, func() {
+		// Deferred through the gateway queue: the kernel serializes this
+		// closure as its own event, so emission and shared writes here
+		// are the sanctioned path.
+		emit(raw)
+		n.sh.total++
+	})
+	helper(n)
+	dyn(func() {}) // the closure itself is fine; dyn's invocation is not
+	// The suppression below vouches for audited's subtree and prunes it.
+	audited(n) //lint:allow segshare (audited: writes only the local segment's own bus)
+}
+
+// helper is reachable from the root: its shared write is still a finding.
+func helper(n *node) {
+	n.sh.counters["x"] = 1 // want `write to segment-shared state`
+}
+
+func dyn(f func()) {
+	f() // want `dynamic call through a func value`
+}
+
+// audited writes shared state, but the call above is suppressed: nothing
+// in here is reported.
+func audited(n *node) {
+	n.sh.total++
+}
+
+// offPath is not reachable from any segroot: no findings.
+func offPath(n *node) {
+	n.sh.total++
+	global = 2
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestIsNilCheck(t *testing.T) {
+	file := parseSrc(t, `package p
+
+func f(a, b *int) {
+	if a != nil && b != nil {
+		_ = *a
+	}
+	if (a == nil) || b == nil {
+		return
+	}
+	if *a > 0 {
+		return
+	}
+}
+`)
+	var conds []ast.Expr
+	ast.Inspect(file, func(n ast.Node) bool {
+		if s, ok := n.(*ast.IfStmt); ok {
+			conds = append(conds, s.Cond)
+		}
+		return true
+	})
+	if len(conds) != 3 {
+		t.Fatalf("found %d if conditions, want 3", len(conds))
+	}
+	cases := []struct {
+		cond            ast.Expr
+		wantNeq, wantEq bool
+	}{
+		{conds[0], true, false},  // a != nil && b != nil
+		{conds[1], false, true},  // (a == nil) || b == nil
+		{conds[2], false, false}, // *a > 0: no nil comparison at all
+	}
+	for i, tc := range cases {
+		if got := IsNilCheck(tc.cond, true); got != tc.wantNeq {
+			t.Errorf("cond %d: IsNilCheck(!=) = %v, want %v", i, got, tc.wantNeq)
+		}
+		if got := IsNilCheck(tc.cond, false); got != tc.wantEq {
+			t.Errorf("cond %d: IsNilCheck(==) = %v, want %v", i, got, tc.wantEq)
+		}
+	}
+}
+
+func TestWalkStackAndContains(t *testing.T) {
+	file := parseSrc(t, `package p
+
+func f() int {
+	x := 1
+	return x + 1
+}
+`)
+	// Every visited stack must be rooted at the file, end at the visited
+	// node, and each frame must lexically enclose the next.
+	visits := 0
+	var maxDepth int
+	WalkStack(file, func(stack []ast.Node) {
+		visits++
+		if stack[0] != file {
+			t.Fatal("stack not rooted at the file")
+		}
+		for i := 0; i < len(stack)-1; i++ {
+			if !Contains(stack[i], stack[i+1]) {
+				t.Fatalf("stack frame %d does not enclose frame %d", i, i+1)
+			}
+		}
+		if len(stack) > maxDepth {
+			maxDepth = len(stack)
+		}
+	})
+	if visits == 0 || maxDepth < 4 {
+		t.Fatalf("walk visited %d nodes with max depth %d; expected a real traversal", visits, maxDepth)
+	}
+
+	// Sibling statements do not contain each other.
+	body := file.Decls[0].(*ast.FuncDecl).Body
+	if Contains(body.List[0], body.List[1]) || Contains(body.List[1], body.List[0]) {
+		t.Fatal("sibling statements reported as containing each other")
+	}
+	if !Contains(body, body.List[1]) {
+		t.Fatal("block does not contain its own statement")
+	}
+}
