@@ -42,6 +42,7 @@ func main() {
 	lossyCheck := flag.String("lossycheck", "", "re-measure the lossy-window sweep and robustness-gate it against this artifact")
 	scaleOut := flag.String("scale", "", "write the internetwork scaling-curve artifact (BENCH_scale.json format) to this file")
 	scaleCheck := flag.Bool("scalecheck", false, "gate the measured scaling curve: 10k-node boot completes, the DISCOVER cache wins at n>=512, cross-segment RTT stays within the pinned ratio")
+	flag.IntVar(&scaleParWorkers, "parworkers", 0, "add the parallel-identity cell to every scale row: segmented workload re-run sequentially and with this many intra-run workers, trace hashes gated byte-identical")
 	flag.Parse()
 
 	switch *table {
@@ -127,11 +128,15 @@ func main() {
 
 // scaleMemo measures the scaling curve at most once per invocation, so
 // -table scale, -scale and -scalecheck share one (expensive) measurement.
-var scaleMemo *bench.ScaleCurve
+// scaleParWorkers (-parworkers) adds the parallel-identity cell per row.
+var (
+	scaleMemo       *bench.ScaleCurve
+	scaleParWorkers int
+)
 
 func measuredScale() bench.ScaleCurve {
 	if scaleMemo == nil {
-		c := bench.MeasureScaleCurve(nil)
+		c := bench.MeasureScaleCurvePar(nil, scaleParWorkers)
 		scaleMemo = &c
 	}
 	return *scaleMemo

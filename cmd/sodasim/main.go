@@ -57,6 +57,9 @@ func main() {
 	flag.StringVar(&fcfg.planFile, "faultplan", "", "JSON fault plan to replay")
 	flag.BoolVar(&fcfg.chaos, "chaos", false, "generate a random fault plan from the seed")
 	flag.BoolVar(&fcfg.check, "check", false, "run the invariant checkers even without faults")
+	flag.IntVar(&pcfg.segments, "segments", 0, "star-internetwork segment count (<=1 = single shared bus)")
+	flag.DurationVar(&pcfg.forwardDelay, "forwarddelay", 2*time.Millisecond, "gateway store-and-forward delay; the conservative lookahead bound for -parworkers")
+	flag.IntVar(&pcfg.parworkers, "parworkers", 0, "intra-run parallel workers (needs -segments >= 2; <=1 = sequential)")
 	flag.Parse()
 	traceAll = *frames
 
@@ -88,6 +91,15 @@ var fcfg struct {
 	planFile                 string
 	chaos                    bool
 	check                    bool
+}
+
+// pcfg carries the topology and intra-run parallelism flags. A -parworkers
+// request without a shardable -segments topology degrades to sequential
+// with the library's explicit stderr warning (never silently).
+var pcfg struct {
+	segments     int
+	forwardDelay time.Duration
+	parworkers   int
 }
 
 // ocfg carries the observability flags; tracer/metrics hold the instances
@@ -127,6 +139,7 @@ func newNetwork(seed int64, d time.Duration, mids []soda.MID, crashable []faults
 			Horizon:   d,
 			MIDs:      mids,
 			Crashable: crashable,
+			Segments:  pcfg.segments,
 		})
 		if data, err := gen.Encode(); err == nil {
 			fmt.Printf("chaos plan (replay with -faultplan):\n%s\n\n", data)
@@ -134,6 +147,14 @@ func newNetwork(seed int64, d time.Duration, mids []soda.MID, crashable []faults
 		plan.Events = append(plan.Events, gen.Events...)
 	}
 	opts := []soda.Option{soda.WithSeed(seed)}
+	if pcfg.segments > 1 {
+		topo := soda.StarTopology(pcfg.segments)
+		topo.ForwardDelay = pcfg.forwardDelay
+		opts = append(opts, soda.WithTopology(topo))
+	}
+	if pcfg.parworkers > 1 {
+		opts = append(opts, soda.WithParallelSim(pcfg.parworkers))
+	}
 	if fcfg.loss > 0 {
 		opts = append(opts, soda.WithLoss(fcfg.loss))
 	}
@@ -189,6 +210,10 @@ func exportObs() error {
 func report(nw *soda.Network) error {
 	if err := exportObs(); err != nil {
 		return err
+	}
+	if st := nw.ParStats(); pcfg.parworkers > 1 && !st.FallbackSequential {
+		fmt.Printf("\nparallel: %d workers, %d windows (%d exclusive steps), %d committed / %d staged events, %d gated ops\n",
+			st.Workers, st.Windows, st.ExclusiveSteps, st.Committed, st.Staged, st.GatedOps)
 	}
 	ch := nw.Invariants()
 	if ch == nil {

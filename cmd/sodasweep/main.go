@@ -39,17 +39,21 @@ func main() {
 	check := flag.Bool("check", true, "arm the invariant checkers; violations exit non-zero")
 	window := flag.Int("window", 0, "transport sliding-window depth on every node (<=1 = stop-and-wait)")
 	segments := flag.Int("segments", 0, "star-internetwork segment count (<=1 = single shared bus)")
+	forwardDelay := flag.Duration("forwarddelay", 0, "gateway store-and-forward delay; the conservative lookahead bound for -parworkers")
+	parWorkers := flag.Int("parworkers", 0, "intra-run parallel workers per simulation (needs -segments >= 2 and -forwarddelay > 0; <=1 = sequential)")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	benchOut := flag.String("bench", "", "write a BENCH_sweep.json throughput artifact here")
 	flag.Parse()
 
 	spec := sweep.Spec{
-		Scenario:   *scenario,
-		Horizon:    *horizon,
-		Instrument: *instrument,
-		Checks:     *check,
-		Window:     *window,
-		Segments:   *segments,
+		Scenario:     *scenario,
+		Horizon:      *horizon,
+		Instrument:   *instrument,
+		Checks:       *check,
+		Window:       *window,
+		Segments:     *segments,
+		ForwardDelay: *forwardDelay,
+		ParWorkers:   *parWorkers,
 	}
 	for s := int64(1); s <= int64(*seeds); s++ {
 		spec.Seeds = append(spec.Seeds, s)

@@ -1,0 +1,111 @@
+package soda
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParallelFallbackWarning pins the degradation contract: asking for
+// parallel execution on a network that cannot shard (no topology, a flat
+// topology, or one without a lookahead bound) must run sequentially, warn
+// exactly once on the warning stream, and record the verdict in ParStats —
+// never degrade silently.
+func TestParallelFallbackWarning(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"flat network", nil},
+		{"single segment", []Option{WithTopology(Topology{Segments: 1})}},
+		{"zero forward delay", []Option{WithTopology(StarTopology(2))}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			old := warnOutput
+			warnOutput = &buf
+			defer func() { warnOutput = old }()
+			nw := NewNetwork(append([]Option{WithParallelSim(4)}, tc.opts...)...)
+			want := fmt.Sprintf(parFallbackWarning, 4)
+			if got := buf.String(); got != want {
+				t.Fatalf("warning = %q, want %q", got, want)
+			}
+			if nw.coord != nil {
+				t.Fatal("coordinator built despite unusable parallelism")
+			}
+			st := nw.ParStats()
+			if !st.FallbackSequential || st.Workers != 4 {
+				t.Fatalf("ParStats = %+v, want FallbackSequential with Workers=4", st)
+			}
+		})
+	}
+}
+
+// TestParallelFallbackRunsIdentically proves the degraded run is the plain
+// sequential run, not an approximation: same trace bytes as a network built
+// without WithParallelSim at all.
+func TestParallelFallbackRunsIdentically(t *testing.T) {
+	run := func(opts ...Option) string {
+		old := warnOutput
+		warnOutput = &bytes.Buffer{}
+		defer func() { warnOutput = old }()
+		nw := NewNetwork(opts...)
+		var trace bytes.Buffer
+		nw.Trace(&trace)
+		nw.Register("server", Program{
+			Init: func(c *Client, _ MID) { c.Advertise(WellKnownPattern(7)) },
+			Handler: func(c *Client, ev Event) {
+				if ev.Kind == EventRequestArrival {
+					c.AcceptCurrentExchange(OK, []byte("pong"), ev.PutSize)
+				}
+			},
+		})
+		nw.Register("client", Program{
+			Task: func(c *Client) {
+				if srv, ok := c.Discover(WellKnownPattern(7)); ok {
+					c.BExchange(srv, OK, []byte("ping"), 16)
+				}
+			},
+		})
+		nw.MustAddNode(1)
+		nw.MustAddNode(2)
+		nw.MustBoot(1, "server")
+		nw.MustBoot(2, "client")
+		if err := nw.Run(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return trace.String()
+	}
+	plain := run()
+	degraded := run(WithParallelSim(8))
+	if plain != degraded {
+		t.Fatal("degraded parallel run diverged from the sequential run")
+	}
+	if !strings.Contains(plain, "->") {
+		t.Fatalf("trace empty or malformed; comparison proved nothing:\n%s", plain)
+	}
+}
+
+// TestParallelNoSilentStats pins that a usable parallel configuration does
+// NOT set the fallback flag (guarding against the inverse bug).
+func TestParallelNoSilentStats(t *testing.T) {
+	topo := StarTopology(2)
+	topo.ForwardDelay = time.Millisecond
+	var buf bytes.Buffer
+	old := warnOutput
+	warnOutput = &buf
+	defer func() { warnOutput = old }()
+	nw := NewNetwork(WithTopology(topo), WithParallelSim(2))
+	if buf.Len() != 0 {
+		t.Fatalf("unexpected warning: %q", buf.String())
+	}
+	if nw.coord == nil {
+		t.Fatal("no coordinator on a shardable network")
+	}
+	if st := nw.ParStats(); st.FallbackSequential || st.Workers != 2 {
+		t.Fatalf("ParStats = %+v, want live coordinator stats with Workers=2", st)
+	}
+}

@@ -248,6 +248,12 @@ type GenConfig struct {
 	// MaxLoss caps generated loss/corrupt/duplicate probabilities
 	// (default 0.2).
 	MaxLoss float64
+	// Segments, when >= 2, lets each generated window event scope itself
+	// to one bus segment of a soda.WithTopology internetwork (a coin flip
+	// per event, then a uniform segment). Zero keeps every event global
+	// and draws nothing extra, so plans generated before this knob existed
+	// reproduce byte-identically from the same seed.
+	Segments int
 }
 
 // Generate builds a randomized plan from rng — the seed-sweep driver. The
@@ -275,13 +281,22 @@ func Generate(rng *rand.Rand, cfg GenConfig) Plan {
 		}
 		return cfg.MIDs[rng.Intn(len(cfg.MIDs))]
 	}
+	segment := func() *int {
+		if cfg.Segments < 2 || rng.Intn(2) == 0 {
+			return nil // global
+		}
+		s := rng.Intn(cfg.Segments)
+		return &s
+	}
 	var p Plan
 	for n := 1 + rng.Intn(2); n > 0; n-- {
 		start, stop := window(quiet / 8)
+		src, dst := pick(), pick()
 		p.Events = append(p.Events, Event{
 			Kind: Loss, Start: start, Stop: stop,
-			Src: pick(), Dst: pick(),
-			Prob: 0.02 + rng.Float64()*(maxP-0.02),
+			Src: src, Dst: dst,
+			Prob:    0.02 + rng.Float64()*(maxP-0.02),
+			Segment: segment(),
 		})
 	}
 	if rng.Intn(2) == 0 {
@@ -291,6 +306,7 @@ func Generate(rng *rand.Rand, cfg GenConfig) Plan {
 			Kind: Burst, Start: start, Stop: stop,
 			Period:   Duration(period),
 			BurstLen: Duration(period / time.Duration(2+rng.Intn(4))),
+			Segment:  segment(),
 		})
 	}
 	if len(cfg.MIDs) >= 2 && rng.Intn(2) == 0 {
@@ -310,18 +326,19 @@ func Generate(rng *rand.Rand, cfg GenConfig) Plan {
 	}
 	if rng.Intn(2) == 0 {
 		start, stop := window(quiet / 8)
-		p.Events = append(p.Events, Event{Kind: Corrupt, Start: start, Stop: stop, Prob: 0.01 + rng.Float64()*maxP/2})
+		p.Events = append(p.Events, Event{Kind: Corrupt, Start: start, Stop: stop, Prob: 0.01 + rng.Float64()*maxP/2, Segment: segment()})
 	}
 	if rng.Intn(2) == 0 {
 		start, stop := window(quiet / 8)
-		p.Events = append(p.Events, Event{Kind: Duplicate, Start: start, Stop: stop, Prob: 0.01 + rng.Float64()*maxP})
+		p.Events = append(p.Events, Event{Kind: Duplicate, Start: start, Stop: stop, Prob: 0.01 + rng.Float64()*maxP, Segment: segment()})
 	}
 	if rng.Intn(2) == 0 {
 		start, stop := window(quiet / 8)
 		p.Events = append(p.Events, Event{
 			Kind: Delay, Start: start, Stop: stop,
-			Delay:  Duration(100*time.Microsecond + time.Duration(rng.Int63n(int64(2*time.Millisecond)))),
-			Jitter: Duration(time.Duration(rng.Int63n(int64(3 * time.Millisecond)))),
+			Delay:   Duration(100*time.Microsecond + time.Duration(rng.Int63n(int64(2*time.Millisecond)))),
+			Jitter:  Duration(time.Duration(rng.Int63n(int64(3 * time.Millisecond)))),
+			Segment: segment(),
 		})
 	}
 	for _, tgt := range cfg.Crashable {

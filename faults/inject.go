@@ -62,9 +62,19 @@ func NewInjector(k *sim.Kernel, p Plan) (*Injector, error) {
 // run; ctl resolves target MIDs at fire time, so nodes may be added after
 // arming.
 func (inj *Injector) Arm(ctl NodeControl) {
+	inj.ArmRouted(ctl, func(MID) *sim.Kernel { return inj.k })
+}
+
+// ArmRouted is Arm with each crash/reboot event scheduled on the kernel
+// route maps its target to. Under the parallel coordinator that is the
+// shard owning the node's segment, so segment-scoped fault events execute
+// inside that shard's windows instead of forcing exclusive steps; crashes
+// and reboots only touch the node and its own bus segment, which the shard
+// already owns.
+func (inj *Injector) ArmRouted(ctl NodeControl, route func(MID) *sim.Kernel) {
 	for _, e := range inj.sched {
 		e := e
-		inj.k.At(e.Start.D(), func() {
+		route(e.Node).At(e.Start.D(), func() {
 			switch e.Kind {
 			case Crash:
 				ctl.Crash(e.Node)
@@ -96,26 +106,37 @@ func (inj *Injector) ArmGateways(ctl GatewayControl) {
 // from the simulation kernel, keeping runs reproducible from the seed.
 // A bare Injector judges as segment 0; use ForSegment on topologies.
 func (inj *Injector) Judge(now sim.Time, src, dst MID, raw []byte) bus.FaultAction {
-	return inj.judge(0, now, src, dst)
+	return inj.judge(inj.k, 0, now, src, dst)
 }
 
 // ForSegment returns a bus.FaultModel view of the plan scoped to segment s:
 // window events with a Segment field only apply on their segment, so a plan
 // can mud one segment of an internetwork while the rest stay clean.
-func (inj *Injector) ForSegment(s int) bus.FaultModel { return segmentModel{inj: inj, seg: s} }
+func (inj *Injector) ForSegment(s int) bus.FaultModel {
+	return segmentModel{inj: inj, seg: s, k: inj.k}
+}
+
+// ForSegmentOn is ForSegment with the model's random draws taken from k —
+// the coordinator shard driving segment s — so that under parallel
+// execution the draws stay on the run's single canonical random stream
+// (shard kernels gate their sources in commit order).
+func (inj *Injector) ForSegmentOn(s int, k *sim.Kernel) bus.FaultModel {
+	return segmentModel{inj: inj, seg: s, k: k}
+}
 
 type segmentModel struct {
 	inj *Injector
 	seg int
+	k   *sim.Kernel
 }
 
 func (m segmentModel) Judge(now sim.Time, src, dst MID, raw []byte) bus.FaultAction {
-	return m.inj.judge(m.seg, now, src, dst)
+	return m.inj.judge(m.k, m.seg, now, src, dst)
 }
 
-func (inj *Injector) judge(seg int, now sim.Time, src, dst MID) bus.FaultAction {
+func (inj *Injector) judge(k *sim.Kernel, seg int, now sim.Time, src, dst MID) bus.FaultAction {
 	var act bus.FaultAction
-	rng := inj.k.Rand()
+	rng := k.Rand()
 	for i := range inj.windows {
 		e := &inj.windows[i]
 		if !e.active(now) {

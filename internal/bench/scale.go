@@ -13,6 +13,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"time"
 
@@ -60,6 +61,30 @@ type ScaleCell struct {
 	FramesForwarded uint64 `json:"frames_forwarded,omitempty"`
 }
 
+// ScalePar is the parallel-identity cell of one row: the segmented
+// workload re-run with an explicit ForwardDelay lookahead, once
+// sequentially and once under WithParallelSim, with both full traces
+// hashed. Identical is the gated fact (byte-identical trace streams);
+// the wall-clock columns are host-dependent figures, recorded for the
+// speedup curve but never gated — a single-core CI runner legitimately
+// measures a slowdown on the same byte-identical schedule.
+type ScalePar struct {
+	Workers int `json:"workers"`
+	// ForwardDelayUS is the explicit lookahead both halves run under
+	// (the default segmented cell forwards immediately, which is not
+	// shardable, so the parallel pair is its own controlled experiment).
+	ForwardDelayUS int64 `json:"forward_delay_us"`
+	// TraceHash is the FNV-64a of the sequential half's full frame
+	// trace; Identical records whether the parallel half reproduced it
+	// byte for byte.
+	TraceHash string `json:"trace_hash"`
+	Identical bool   `json:"identical"`
+	SeqWallMS int64  `json:"seq_wall_ms"`
+	ParWallMS int64  `json:"par_wall_ms"`
+	// Speedup is SeqWall/ParWall on the measuring host.
+	Speedup float64 `json:"speedup"`
+}
+
 // ScaleRow is one node count of the curve.
 type ScaleRow struct {
 	Nodes    int       `json:"nodes"`
@@ -67,6 +92,9 @@ type ScaleRow struct {
 	Servers  int       `json:"servers"`
 	Flat     ScaleCell `json:"flat"`
 	Seg      ScaleCell `json:"segmented"`
+	// Par is present only on curves measured with parallel workers
+	// (sodabench -table scale -parworkers N).
+	Par *ScalePar `json:"parallel,omitempty"`
 }
 
 // ScaleCurve is the machine-readable scaling record (the BENCH_scale.json
@@ -109,17 +137,38 @@ func scaleServerMIDs(n int) []soda.MID {
 	return mids
 }
 
+// scaleRun tunes one workload execution beyond the node/segment shape:
+// an explicit gateway ForwardDelay (the conservative lookahead bound),
+// an intra-run parallel worker count, and an optional trace sink (the
+// byte-identity witness for the parallel cells).
+type scaleRun struct {
+	forward time.Duration
+	workers int
+	trace   io.Writer
+}
+
 // measureScaleCell runs the workload once; segments <= 1 means the flat
 // bus.
 func measureScaleCell(n, segments int) ScaleCell {
+	return runScaleCell(n, segments, scaleRun{})
+}
+
+func runScaleCell(n, segments int, r scaleRun) ScaleCell {
 	opts := []soda.Option{soda.WithSeed(1)}
 	if segments > 1 {
 		topo := soda.StarTopology(segments)
 		segSize := (n + segments - 1) / segments
 		topo.Locate = func(mid soda.MID) int { return (int(mid) - 1) / segSize }
+		topo.ForwardDelay = r.forward
 		opts = append(opts, soda.WithTopology(topo))
 	}
+	if r.workers > 1 {
+		opts = append(opts, soda.WithParallelSim(r.workers))
+	}
 	nw := soda.NewNetwork(opts...)
+	if r.trace != nil {
+		nw.Trace(r.trace)
+	}
 
 	pattern := soda.WellKnownPattern(0o1513)
 	servers := scaleServerMIDs(n)
@@ -217,17 +266,66 @@ func MeasureScaleRow(n int) ScaleRow {
 	return row
 }
 
+// ScaleParForwardDelay is the explicit lookahead of the parallel cells.
+// Large enough that segment windows hold real event batches, small
+// against the 40ms discover window so the workload's shape survives.
+const ScaleParForwardDelay = 500 * time.Microsecond
+
+// MeasureScalePar runs the parallel-identity experiment for one node
+// count: the segmented workload under an explicit lookahead, executed
+// sequentially and then with workers-way intra-run parallelism, both
+// traces hashed. Both halves trace into a hasher so their overhead is
+// symmetric and the wall-clock ratio stays meaningful.
+func MeasureScalePar(n, workers int) ScalePar {
+	segments := scaleSegments(n)
+	run := func(w int) (string, time.Duration) {
+		h := fnv.New64a()
+		start := time.Now() //lint:allow nowallclock (host-side speedup measurement of the scheduler, outside the simulation)
+		runScaleCell(n, segments, scaleRun{forward: ScaleParForwardDelay, workers: w, trace: h})
+		wall := time.Since(start) //lint:allow nowallclock (host-side speedup measurement of the scheduler, outside the simulation)
+		return fmt.Sprintf("%016x", h.Sum64()), wall
+	}
+	seqHash, seqWall := run(1)
+	parHash, parWall := run(workers)
+	p := ScalePar{
+		Workers:        workers,
+		ForwardDelayUS: int64(ScaleParForwardDelay / time.Microsecond),
+		TraceHash:      seqHash,
+		Identical:      parHash == seqHash,
+		SeqWallMS:      seqWall.Milliseconds(),
+		ParWallMS:      parWall.Milliseconds(),
+	}
+	if parWall > 0 {
+		p.Speedup = float64(seqWall) / float64(parWall)
+	}
+	return p
+}
+
 // MeasureScaleCurve runs the whole curve.
 func MeasureScaleCurve(nodes []int) ScaleCurve {
+	return MeasureScaleCurvePar(nodes, 0)
+}
+
+// MeasureScaleCurvePar runs the curve and, when parWorkers > 1, adds the
+// parallel-identity cell to every row.
+func MeasureScaleCurvePar(nodes []int, parWorkers int) ScaleCurve {
 	if len(nodes) == 0 {
 		nodes = DefaultScaleNodes
 	}
 	curve := ScaleCurve{
-		Description: "Flat bus vs gateway-segmented star (DESIGN.md §13) across node counts: boot-to-first-service, servers discovered in one 40ms discover window, and best-of-3 cross-segment EXCHANGE RTT. The flat network's per-MID reply stagger overruns the window as MIDs grow; the segmented network's DISCOVER proxy cache answers from the gateway directory instead. Deterministic virtual time: CI regenerates this file and gates on it exactly.",
+		Description: "Flat bus vs gateway-segmented star (DESIGN.md §13) across node counts: boot-to-first-service, servers discovered in one 40ms discover window, and best-of-3 cross-segment EXCHANGE RTT. The flat network's per-MID reply stagger overruns the window as MIDs grow; the segmented network's DISCOVER proxy cache answers from the gateway directory instead. Deterministic virtual time: CI regenerates this file and gates on it exactly. Rows measured with -parworkers also carry the parallel-identity cell (DESIGN.md §15): the segmented workload under an explicit ForwardDelay lookahead, sequential vs WithParallelSim, trace hashes byte-identical (gated); the wall-clock speedup column is host-dependent and recorded only.",
 		Command:     "go run ./cmd/sodabench -table scale",
 	}
+	if parWorkers > 1 {
+		curve.Command = fmt.Sprintf("go run ./cmd/sodabench -table scale -parworkers %d", parWorkers)
+	}
 	for _, n := range nodes {
-		curve.Rows = append(curve.Rows, MeasureScaleRow(n))
+		row := MeasureScaleRow(n)
+		if parWorkers > 1 {
+			p := MeasureScalePar(n, parWorkers)
+			row.Par = &p
+		}
+		curve.Rows = append(curve.Rows, row)
 	}
 	return curve
 }
@@ -257,6 +355,11 @@ func CheckScaleCurve(c ScaleCurve) error {
 		if r.Nodes >= 512 && r.Seg.Discovered <= r.Flat.Discovered {
 			return fmt.Errorf("n=%d: DISCOVER cache found %d/%d servers vs the flat broadcast's %d — the cache must win at this scale", r.Nodes, r.Seg.Discovered, r.Servers, r.Flat.Discovered)
 		}
+		// Byte-identity is the gated half of the parallel cell; the
+		// wall-clock speedup column is host-dependent and never gated.
+		if r.Par != nil && !r.Par.Identical {
+			return fmt.Errorf("n=%d: parallel run (workers=%d) diverged from the sequential trace %s", r.Nodes, r.Par.Workers, r.Par.TraceHash)
+		}
 	}
 	if maxNodes < 10000 {
 		return fmt.Errorf("curve tops out at %d nodes; the 10000-node row is the gate", maxNodes)
@@ -282,6 +385,7 @@ func ReadScaleCurve(r io.Reader) (ScaleCurve, error) {
 func PrintScaleCurve(w io.Writer, c ScaleCurve) {
 	fmt.Fprintln(w, "Internetwork scaling curve (flat bus vs segmented star, DESIGN.md §13)")
 	fmt.Fprintln(w, "nodes  segs  srv | boot us (flat/seg) | discovered (flat/seg) | rtt us (flat/seg) | frames (flat/seg)")
+	hasPar := false
 	for _, r := range c.Rows {
 		fmt.Fprintf(w, "%5d  %4d  %3d | %9d %9d | %10d %10d | %8d %8d | %9d %9d\n",
 			r.Nodes, r.Segments, r.Servers,
@@ -289,5 +393,21 @@ func PrintScaleCurve(w io.Writer, c ScaleCurve) {
 			r.Flat.Discovered, r.Seg.Discovered,
 			r.Flat.RTTUS, r.Seg.RTTUS,
 			r.Flat.FramesSent, r.Seg.FramesSent)
+		if r.Par != nil {
+			hasPar = true
+		}
+	}
+	if !hasPar {
+		return
+	}
+	fmt.Fprintln(w, "\nParallel intra-run identity (DESIGN.md §15; wall clock is host-dependent, identity is the gate)")
+	fmt.Fprintln(w, "nodes  workers | trace hash (seq)   identical | seq ms   par ms   speedup")
+	for _, r := range c.Rows {
+		if r.Par == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%5d  %7d | %s  %9v | %6d   %6d   %6.2fx\n",
+			r.Nodes, r.Par.Workers, r.Par.TraceHash, r.Par.Identical,
+			r.Par.SeqWallMS, r.Par.ParWallMS, r.Par.Speedup)
 	}
 }

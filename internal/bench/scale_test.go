@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -32,6 +34,63 @@ func TestMeasureScaleRowSmall(t *testing.T) {
 	}
 }
 
+// TestMeasureScaleParSmall runs the parallel-identity cell at the smallest
+// node count: the parallel half must reproduce the sequential trace hash
+// byte for byte (the CI gate), deterministically across re-measurement.
+func TestMeasureScaleParSmall(t *testing.T) {
+	p := MeasureScalePar(8, 2)
+	if !p.Identical {
+		t.Fatalf("parallel run diverged from the sequential trace: %+v", p)
+	}
+	if p.Workers != 2 || p.TraceHash == "" || p.TraceHash == "0000000000000000" {
+		t.Fatalf("degenerate parallel cell: %+v", p)
+	}
+	again := MeasureScalePar(8, 2)
+	if again.TraceHash != p.TraceHash || !again.Identical {
+		t.Fatalf("parallel cell not deterministic:\n%+v\n%+v", p, again)
+	}
+}
+
+// TestScaleCurveRoundTrip measures a one-row curve with the parallel cell,
+// round-trips it through the artifact encoding, and checks both renderings:
+// the JSON must survive exactly and the human table must include the
+// parallel-identity section (and omit it on curves measured without it).
+func TestScaleCurveRoundTrip(t *testing.T) {
+	c := MeasureScaleCurvePar([]int{8}, 2)
+	if len(c.Rows) != 1 || c.Rows[0].Par == nil {
+		t.Fatalf("curve shape: %+v", c)
+	}
+	if !c.Rows[0].Par.Identical {
+		t.Fatalf("parallel cell diverged: %+v", c.Rows[0].Par)
+	}
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScaleCurve(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, c) {
+		t.Fatalf("artifact round trip changed the curve:\n%+v\n%+v", back, c)
+	}
+	var tbl strings.Builder
+	PrintScaleCurve(&tbl, c)
+	if !strings.Contains(tbl.String(), "Parallel intra-run identity") ||
+		!strings.Contains(tbl.String(), c.Rows[0].Par.TraceHash) {
+		t.Fatalf("table missing the parallel section:\n%s", tbl.String())
+	}
+	plain := MeasureScaleCurve([]int{8})
+	if plain.Rows[0].Par != nil {
+		t.Fatal("curve measured without -parworkers grew a parallel cell")
+	}
+	var plainTbl strings.Builder
+	PrintScaleCurve(&plainTbl, plain)
+	if strings.Contains(plainTbl.String(), "Parallel intra-run identity") {
+		t.Fatal("plain table shows a parallel section with nothing to report")
+	}
+}
+
 // TestCheckScaleCurve pins each gate of the acceptance check on synthetic
 // curves.
 func TestCheckScaleCurve(t *testing.T) {
@@ -59,6 +118,9 @@ func TestCheckScaleCurve(t *testing.T) {
 		{"rtt ratio", func(c *ScaleCurve) { c.Rows[1].Seg.RTTUS = 7900 * 6 }, "ceiling"},
 		{"cache loses", func(c *ScaleCurve) { c.Rows[1].Seg.Discovered = 1 }, "cache"},
 		{"no 10k row", func(c *ScaleCurve) { c.Rows = c.Rows[:1] }, "10000"},
+		{"par diverged", func(c *ScaleCurve) {
+			c.Rows[1].Par = &ScalePar{Workers: 8, TraceHash: "deadbeef", Identical: false}
+		}, "diverged"},
 	}
 	for _, tc := range cases {
 		c := good()

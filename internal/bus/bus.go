@@ -68,6 +68,12 @@ type Stats struct {
 	FramesDroppedDown uint64
 	FramesCorrupted   uint64
 	FramesDuplicated  uint64
+	// BridgeCorruptDrops counts corrupted frames discarded at a bridge
+	// interface. A store-and-forward gateway validates the checksum on
+	// receive like any receiver; unlike a node's transport it never hands
+	// damaged bytes upward, so the frame dies here instead of being
+	// relayed onto another segment as a clean-looking forgery.
+	BridgeCorruptDrops uint64
 	// Retransmissions counts DATA frames re-sent by a transport
 	// retransmission timer (the first transmission is not counted).
 	Retransmissions uint64
@@ -261,10 +267,11 @@ func (b *Bus) ResetStats() {
 
 // Iface is a node's attachment to the bus.
 type Iface struct {
-	bus  *Bus
-	mid  frame.MID
-	recv func(raw []byte)
-	up   bool
+	bus    *Bus
+	mid    frame.MID
+	recv   func(raw []byte)
+	up     bool
+	bridge bool
 }
 
 // Attach connects a machine to the bus. recv is invoked in simulation
@@ -292,6 +299,7 @@ func (b *Bus) AttachBridge(mid frame.MID, recv func(raw []byte)) (*Iface, error)
 	if err != nil {
 		return nil, err
 	}
+	i.bridge = true
 	pos := len(b.bridges)
 	for j, br := range b.bridges {
 		if br.mid > mid {
@@ -501,6 +509,13 @@ func (b *Bus) deliver(src frame.MID, target *Iface, buf []byte, at sim.Time, cor
 	b.k.At(at, func() {
 		if !target.up {
 			b.stats.FramesDroppedDown++
+			return
+		}
+		if corrupted && target.bridge {
+			// A gateway checksums on receive and never forwards damage;
+			// dropping before the taps keeps the checker's view honest
+			// (the relayed copy would otherwise arrive marked clean).
+			b.stats.BridgeCorruptDrops++
 			return
 		}
 		b.stats.FramesDelivered++

@@ -149,7 +149,13 @@ type hop struct {
 //
 //lint:segshared
 type Internet struct {
-	k        *sim.Kernel
+	// ks holds the scheduling kernel per segment. Sequentially they are all
+	// the same kernel; under soda.WithParallelSim each segment gets its own
+	// shard kernel from a sim.Coordinator, and all cross-segment scheduling
+	// goes through Kernel.AfterCross (staged to the window barrier) while
+	// directory and cache access goes through Kernel.Gated (canonical-order
+	// serialization). Both degrade to plain calls on a single kernel.
+	ks       []*sim.Kernel
 	topo     Topology
 	segments []*bus.Bus
 	gateways []*gateway
@@ -180,10 +186,12 @@ type gateway struct {
 	ifaces []*bus.Iface
 	cache  map[cacheKey][]frame.MID
 	down   bool
-	// stats is this gateway's own share of the internetwork counters:
-	// segment-handler code writes here (its own state) instead of the
-	// segment-shared Internet.
-	stats Stats
+	// astats[i] is the counter share of the attachment on segs[i]: a
+	// gateway bridges several segments, and under parallel execution each
+	// segment's handler runs on its own shard, so the handling attachment —
+	// not the gateway as a whole — must own the counters it bumps. Stats()
+	// sums the shares deterministically.
+	astats []Stats
 }
 
 // New builds the segments and gateways of topo on kernel k. Every segment
@@ -191,6 +199,24 @@ type gateway struct {
 func New(k *sim.Kernel, busCfg bus.Config, topo Topology) (*Internet, error) {
 	if topo.Segments < 2 {
 		return nil, fmt.Errorf("internet: need at least 2 segments, got %d", topo.Segments)
+	}
+	ks := make([]*sim.Kernel, topo.Segments)
+	for i := range ks {
+		ks[i] = k
+	}
+	return NewSharded(ks, busCfg, topo)
+}
+
+// NewSharded builds the internetwork with one scheduling kernel per
+// segment, for conservative parallel execution under a sim.Coordinator:
+// ks[s] (a coordinator shard) owns segment s's bus and gateway-attachment
+// handlers. Passing the same kernel for every slot is exactly New.
+func NewSharded(ks []*sim.Kernel, busCfg bus.Config, topo Topology) (*Internet, error) {
+	if topo.Segments < 2 {
+		return nil, fmt.Errorf("internet: need at least 2 segments, got %d", topo.Segments)
+	}
+	if len(ks) != topo.Segments {
+		return nil, fmt.Errorf("internet: %d kernels for %d segments", len(ks), topo.Segments)
 	}
 	if topo.MaxHops == 0 {
 		topo.MaxHops = 8
@@ -202,13 +228,13 @@ func New(k *sim.Kernel, busCfg bus.Config, topo Topology) (*Internet, error) {
 		return nil, fmt.Errorf("internet: %d gateways exceed the MID range", len(topo.Gateways))
 	}
 	in := &Internet{
-		k:         k,
+		ks:        ks,
 		topo:      topo,
 		directory: make(map[frame.Pattern]map[frame.MID]struct{}),
 		byNode:    make(map[frame.MID]map[frame.Pattern]struct{}),
 	}
 	for s := 0; s < topo.Segments; s++ {
-		in.segments = append(in.segments, bus.New(k, busCfg))
+		in.segments = append(in.segments, bus.New(ks[s], busCfg))
 	}
 	for gi, spec := range topo.Gateways {
 		seen := make(map[int]bool)
@@ -231,10 +257,11 @@ func New(k *sim.Kernel, busCfg bus.Config, topo Topology) (*Internet, error) {
 		if len(g.segs) < 2 {
 			return nil, fmt.Errorf("internet: gateway %d bridges %d segment(s), need >= 2", gi, len(g.segs))
 		}
-		for _, s := range g.segs {
-			ingress := s
+		g.astats = make([]Stats, len(g.segs))
+		for ai, s := range g.segs {
+			ai := ai
 			iface, err := in.segments[s].AttachBridge(g.mid, func(raw []byte) {
-				g.onFrame(ingress, raw)
+				g.onFrame(ai, raw)
 			})
 			if err != nil {
 				return nil, fmt.Errorf("internet: gateway %d on segment %d: %w", gi, s, err)
@@ -332,18 +359,22 @@ func (in *Internet) BusFor(mid frame.MID) (*bus.Bus, error) {
 	return in.segments[s], nil
 }
 
-// Stats returns the internetwork counters: the per-gateway shares summed
-// (in gateway order, deterministically) plus the directory-side counters.
+// Stats returns the internetwork counters: the per-attachment shares summed
+// (in gateway and attachment order, deterministically) plus the
+// directory-side counters.
 func (in *Internet) Stats() Stats {
 	total := in.stats
 	for _, g := range in.gateways {
-		total.FramesForwarded += g.stats.FramesForwarded
-		total.BroadcastsRelayed += g.stats.BroadcastsRelayed
-		total.TTLDrops += g.stats.TTLDrops
-		total.UnroutableDrops += g.stats.UnroutableDrops
-		total.DiscoverHits += g.stats.DiscoverHits
-		total.DiscoverMisses += g.stats.DiscoverMisses
-		total.ProxyReplies += g.stats.ProxyReplies
+		for i := range g.astats {
+			st := &g.astats[i]
+			total.FramesForwarded += st.FramesForwarded
+			total.BroadcastsRelayed += st.BroadcastsRelayed
+			total.TTLDrops += st.TTLDrops
+			total.UnroutableDrops += st.UnroutableDrops
+			total.DiscoverHits += st.DiscoverHits
+			total.DiscoverMisses += st.DiscoverMisses
+			total.ProxyReplies += st.ProxyReplies
+		}
 	}
 	return total
 }
@@ -353,7 +384,9 @@ func (in *Internet) Stats() Stats {
 func (in *Internet) ResetStats() {
 	in.stats = Stats{}
 	for _, g := range in.gateways {
-		g.stats = Stats{}
+		for i := range g.astats {
+			g.astats[i] = Stats{}
+		}
 	}
 }
 
@@ -461,15 +494,16 @@ const (
 // deferred //lint:segqueue closures.
 //
 //lint:segroot
-func (g *gateway) onFrame(ingress int, raw []byte) {
+func (g *gateway) onFrame(ai int, raw []byte) {
 	if g.down || len(raw) < minFrame {
 		return
 	}
 	in := g.in
+	ingress, st := g.segs[ai], &g.astats[ai]
 	src := frame.MID(uint16(raw[offSrc])<<8 | uint16(raw[offSrc+1]))
 	dst := frame.MID(uint16(raw[offDst])<<8 | uint16(raw[offDst+1]))
 	if dst == frame.BroadcastMID {
-		g.onBroadcast(ingress, src, raw)
+		g.onBroadcast(ingress, st, src, raw)
 		return
 	}
 	dseg := in.SegmentOf(dst)
@@ -478,29 +512,33 @@ func (g *gateway) onFrame(ingress int, raw []byte) {
 		// because the destination node was never attached (e.g. it is
 		// simply absent); either way there is nowhere to route.
 		if dseg < 0 {
-			g.stats.UnroutableDrops++
+			st.UnroutableDrops++
 		}
 		return
 	}
 	next := in.parent[dseg][ingress]
 	if next.gw < 0 {
-		g.stats.UnroutableDrops++
+		st.UnroutableDrops++
 		return
 	}
 	if next.gw != g.idx {
 		return // another gateway on this segment is designated
 	}
-	g.relay(next.seg, dst, raw, &g.stats.FramesForwarded)
+	g.relay(ingress, next.seg, dst, raw, st, &st.FramesForwarded)
 }
 
 // relay copies raw (the bus shares delivery buffers, so the hop count must
 // never be bumped in place), increments the hop byte, and re-emits the
-// frame on segment egress after the store-and-forward delay.
-func (g *gateway) relay(egress int, dst frame.MID, raw []byte, counter *uint64) {
+// frame on segment egress after the store-and-forward delay. The deferred
+// send is scheduled through AfterCross: sequentially that is plain After on
+// the one kernel; under a parallel coordinator it stages the send to the
+// egress shard at the window barrier, which is sound exactly because the
+// delay is at least the coordinator's ForwardDelay lookahead.
+func (g *gateway) relay(ingress, egress int, dst frame.MID, raw []byte, st *Stats, counter *uint64) {
 	in := g.in
 	hops := int(raw[offHop])
 	if hops+1 >= in.topo.MaxHops {
-		g.stats.TTLDrops++
+		st.TTLDrops++
 		return
 	}
 	buf := make([]byte, len(raw))
@@ -508,7 +546,7 @@ func (g *gateway) relay(egress int, dst frame.MID, raw []byte, counter *uint64) 
 	buf[offHop] = byte(hops + 1)
 	*counter++
 	iface := g.ifaceOn(egress)
-	in.k.After(in.topo.ForwardDelay, func() {
+	in.ks[ingress].AfterCross(in.ks[egress], in.topo.ForwardDelay, func() {
 		if g.down {
 			return // crashed mid-forward: the frame dies in the store
 		}
@@ -529,7 +567,7 @@ func (g *gateway) ifaceOn(s int) *bus.Iface {
 // onBroadcast relays a broadcast along the spanning tree rooted at the
 // origin's segment, except client-pattern DISCOVER queries, which the
 // directory answers without flooding.
-func (g *gateway) onBroadcast(ingress int, src frame.MID, raw []byte) {
+func (g *gateway) onBroadcast(ingress int, st *Stats, src frame.MID, raw []byte) {
 	in := g.in
 	origin := in.SegmentOf(src)
 	if origin < 0 {
@@ -539,7 +577,7 @@ func (g *gateway) onBroadcast(ingress int, src frame.MID, raw []byte) {
 		if f, err := frame.DecodeTransportShared(raw); err == nil {
 			if msg, err := frame.Decode(f.Payload); err == nil {
 				if d, ok := msg.(*frame.Discover); ok && !d.Pattern.Reserved() {
-					g.answerDiscover(ingress, src, d)
+					g.answerDiscover(ingress, st, src, d)
 					return
 				}
 			}
@@ -553,7 +591,7 @@ func (g *gateway) onBroadcast(ingress int, src frame.MID, raw []byte) {
 		}
 		p := in.parent[origin][s]
 		if p.gw == g.idx && p.seg == ingress {
-			g.relay(s, frame.BroadcastMID, raw, &g.stats.BroadcastsRelayed)
+			g.relay(ingress, s, frame.BroadcastMID, raw, st, &st.BroadcastsRelayed)
 		}
 	}
 }
@@ -564,14 +602,24 @@ func (g *gateway) onBroadcast(ingress int, src frame.MID, raw []byte) {
 // the broadcast themselves and reply on their own). The flood stops here —
 // that is the cache's entire point — so discovery traffic on other segments
 // is zero.
-func (g *gateway) answerDiscover(ingress int, asker frame.MID, d *frame.Discover) {
+func (g *gateway) answerDiscover(ingress int, st *Stats, asker frame.MID, d *frame.Discover) {
 	in := g.in
-	key := cacheKey{seg: ingress, pat: d.Pattern}
-	remotes, ok := g.cache[key]
-	if ok {
-		g.stats.DiscoverHits++
-	} else {
-		g.stats.DiscoverMisses++
+	// The shared directory and this gateway's cache (which invalidate()
+	// flushes from other segments' observer events) are globally sequenced
+	// state: under parallel execution the whole lookup runs through the
+	// order gate so it reads exactly the directory a sequential run would
+	// see at this instant. Sequentially, Gated is a direct call.
+	var remotes []frame.MID
+	//lint:allow segshare (gate: directory and cache access is serialized in canonical order by the parallel coordinator's order gate)
+	in.ks[ingress].Gated(func() {
+		key := cacheKey{seg: ingress, pat: d.Pattern}
+		var ok bool
+		remotes, ok = g.cache[key]
+		if ok {
+			st.DiscoverHits++
+			return
+		}
+		st.DiscoverMisses++
 		for _, m := range sortediter.Keys(in.directory[d.Pattern]) {
 			hseg := in.SegmentOf(m)
 			if hseg < 0 || hseg == ingress {
@@ -583,7 +631,7 @@ func (g *gateway) answerDiscover(ingress int, asker frame.MID, d *frame.Discover
 			}
 		}
 		g.cache[key] = remotes
-	}
+	})
 	if len(remotes) == 0 {
 		return
 	}
@@ -596,9 +644,11 @@ func (g *gateway) answerDiscover(ingress int, asker frame.MID, d *frame.Discover
 			Payload: frame.Encode(&frame.DiscoverReply{TID: d.TID, Pattern: d.Pattern}),
 		}
 		buf := frame.EncodeTransport(reply)
-		g.stats.ProxyReplies++
+		st.ProxyReplies++
+		// delay >= ForwardDelay keeps the reply outside the lookahead
+		// window, so the same-segment send stages cleanly at the barrier.
 		delay := in.topo.ForwardDelay + time.Duration(i+1)*in.topo.ProxyStagger
-		in.k.After(delay, func() {
+		in.ks[ingress].After(delay, func() {
 			if g.down {
 				return
 			}

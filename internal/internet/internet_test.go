@@ -1,6 +1,8 @@
 package internet
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -322,5 +324,123 @@ func TestSegmentOf(t *testing.T) {
 	}
 	if _, err := n2.in.BusFor(9); err == nil {
 		t.Fatal("BusFor accepted an unlocatable MID")
+	}
+}
+
+// TestAccessorsAndResetStats covers the surface plumbing: segment/gateway
+// accessors agree with the topology, and ResetStats opens a fresh
+// measurement window over the per-attachment shares (bus.Stats contract).
+func TestAccessorsAndResetStats(t *testing.T) {
+	n := newTestNet(t, Star(3), 3, 4)
+	if n.in.Segments() != 3 || n.in.NumGateways() != 2 {
+		t.Fatalf("shape: %d segments, %d gateways", n.in.Segments(), n.in.NumGateways())
+	}
+	for i := 0; i < n.in.NumGateways(); i++ {
+		if mid := n.in.GatewayMID(i); mid != GatewayMIDBase+frame.MID(i) {
+			t.Fatalf("GatewayMID(%d) = %d", i, mid)
+		}
+	}
+	for s := 0; s < 3; s++ {
+		if n.in.Bus(s) == nil {
+			t.Fatalf("Bus(%d) is nil", s)
+		}
+	}
+	if b, err := n.in.BusFor(3); err != nil || b != n.in.Bus(0) {
+		t.Fatalf("BusFor(3) = %v, %v; want segment 0's bus", b, err)
+	}
+	n.send(3, 4, &frame.Discover{TID: 1, Pattern: frame.WellKnownPattern(7)})
+	n.run(time.Second)
+	if s := n.in.Stats(); s.FramesForwarded == 0 {
+		t.Fatalf("stats before reset = %+v, want forwards", s)
+	}
+	n.in.ResetStats()
+	if s := n.in.Stats(); s != (Stats{}) {
+		t.Fatalf("stats after reset = %+v, want zero", s)
+	}
+}
+
+// TestShardedMatchesSequential is the in-package half of the parallel
+// determinism battery: the same cross-segment traffic runs once on a
+// single kernel (New) and once on a parallel coordinator's shard kernels
+// (NewSharded), and every receiver must hear byte-identical frame
+// sequences. This pins the relay's AfterCross staging against the plain
+// After path it replaces.
+func TestShardedMatchesSequential(t *testing.T) {
+	topo := Star(3)
+	topo.ForwardDelay = 2 * time.Millisecond
+	mids := []frame.MID{3, 4, 5} // one per segment (mid % 3)
+
+	run := func(build func() (*Internet, func())) [][]string {
+		in, finish := build()
+		heard := make([][][]byte, len(mids))
+		ifaces := make([]*bus.Iface, len(mids))
+		for i, mid := range mids {
+			i := i
+			b, err := in.BusFor(mid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iface, err := b.Attach(mid, func(raw []byte) {
+				cp := make([]byte, len(raw))
+				copy(cp, raw)
+				heard[i] = append(heard[i], cp)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ifaces[i] = iface
+		}
+		send := func(i int, dst frame.MID, tid frame.TID) {
+			ifaces[i].Send(dst, datagram(mids[i], dst,
+				&frame.Discover{TID: tid, Pattern: frame.WellKnownPattern(7)}))
+		}
+		send(0, 4, 1) // one gateway hop
+		send(1, 5, 2) // two hops via the backbone
+		send(2, 3, 3)
+		send(0, 5, 4)
+		send(1, frame.BroadcastMID, 5) // floods the spanning tree
+		finish()
+		out := make([][]string, len(mids))
+		for i, frames := range heard {
+			for _, f := range frames {
+				out[i] = append(out[i], fmt.Sprintf("%x", f))
+			}
+		}
+		return out
+	}
+
+	seq := run(func() (*Internet, func()) {
+		k := sim.New(1)
+		in, err := New(k, bus.DefaultConfig(), topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in, func() {
+			if err := k.RunUntil(sim.Time(time.Second)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	total := 0
+	for _, frames := range seq {
+		total += len(frames)
+	}
+	if total == 0 {
+		t.Fatal("sequential run delivered nothing; comparison would prove nothing")
+	}
+	par := run(func() (*Internet, func()) {
+		c := sim.NewCoordinator(1, 3, 2, sim.Time(topo.ForwardDelay))
+		in, err := NewSharded(c.Shards(), bus.DefaultConfig(), topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in, func() {
+			if err := c.RunUntil(sim.Time(time.Second)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sharded delivery diverged:\nseq %v\npar %v", seq, par)
 	}
 }

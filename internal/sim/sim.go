@@ -25,12 +25,15 @@ type Time = time.Duration
 var ErrStalled = errors.New("sim: all processes suspended with no pending events")
 
 // event is a scheduled occurrence: at time t, fn runs (scheduler context) or
-// proc resumes (process context). Exactly one of fn/proc is set.
+// proc resumes (process context). Exactly one of fn/proc is set. Under a
+// parallel Coordinator every event additionally carries its canonical-order
+// record (see coordinator.go); rec is nil in plain sequential kernels.
 type event struct {
 	t    Time
 	seq  uint64
 	fn   func()
 	proc *Proc
+	rec  *execRec
 }
 
 // eventHeap orders events by (time, sequence); sequence breaks ties so that
@@ -79,6 +82,11 @@ type Kernel struct {
 	// scale with event throughput. The freelist is bounded by the peak
 	// number of simultaneously pending events.
 	free []*event
+	// par is non-nil when this kernel is one shard of a parallel
+	// Coordinator (or its global kernel); it routes scheduling through the
+	// canonical-order machinery in coordinator.go. Nil for plain kernels,
+	// which keeps every sequential code path byte-identical to before.
+	par *parState
 }
 
 // New returns a Kernel whose random source is seeded deterministically. The
@@ -127,6 +135,11 @@ func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		t = k.now
 	}
+	if k.par != nil {
+		//lint:allow noalloc (cold: parallel-mode scheduling is outside the sequential hot path)
+		k.par.schedule(k, t, fn, nil, false)
+		return
+	}
 	k.seq++
 	ev := k.newEvent()
 	ev.t, ev.seq, ev.fn = t, k.seq, fn
@@ -156,6 +169,60 @@ func (k *Kernel) recycle(ev *event) {
 //lint:segqueue
 func (k *Kernel) After(d time.Duration, fn func()) { k.At(k.now+d, fn) }
 
+// AfterCross schedules fn to run d from now on kernel dst. It is the one
+// sanctioned way to move work between bus-segment shards: under a parallel
+// Coordinator the event is staged and committed at the next window barrier
+// in canonical order, and d below the coordinator's lookahead is a
+// violation of the conservative synchronization contract (it panics rather
+// than silently reordering history). When dst is the calling kernel, or the
+// kernel is not running under a Coordinator, this is exactly At(now+d, fn).
+//
+//lint:segqueue
+func (k *Kernel) AfterCross(dst *Kernel, d time.Duration, fn func()) {
+	if dst == k || k.par == nil {
+		dst.At(k.now+d, fn)
+		return
+	}
+	t := k.now + d
+	// Clamp to the destination clock only in single-threaded phases: during
+	// a window t >= winEnd > dst.now by the lookahead invariant, and reading
+	// another shard's live clock would race.
+	if !k.par.winActive && t < dst.now {
+		t = dst.now
+	}
+	//lint:allow noalloc (cold: cross-shard staging is outside the sequential hot path)
+	k.par.schedule(dst, t, fn, nil, true)
+}
+
+// Buffer defers fn to the next parallel window barrier, where it replays in
+// the canonical (sequential-equivalent) commit order of the event that
+// buffered it. Outside a parallel window — plain kernels, exclusive steps,
+// setup code — fn runs immediately, which is already canonical order.
+// Observer and trace emissions go through here so parallel runs produce
+// byte-identical output streams.
+func (k *Kernel) Buffer(fn func()) {
+	if ps := k.par; ps != nil && ps.winActive && ps.curRec != nil {
+		ps.curRec.emits = append(ps.curRec.emits, fn)
+		return
+	}
+	fn()
+}
+
+// Gated runs fn under the coordinator's order gate: fn waits until every
+// event that canonically precedes the current one (in any shard) has
+// executed, then runs under a global mutex. Shared sequenced resources —
+// the kernel RNG stream, the internetwork directory and DISCOVER caches —
+// go through here so parallel runs consume and mutate them in exactly the
+// sequential order. Outside a parallel window fn runs immediately.
+func (k *Kernel) Gated(fn func()) {
+	ps := k.par
+	if ps == nil || !ps.winActive || ps.curRec == nil {
+		fn()
+		return
+	}
+	ps.c.gated(ps.shard, ps.curRec, fn)
+}
+
 // Stop makes Run return after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
@@ -167,6 +234,9 @@ func (k *Kernel) Run() error { return k.RunUntil(-1) }
 // RunUntil is Run bounded by an absolute virtual deadline; a negative
 // deadline means "no deadline". Events at exactly the deadline still run.
 func (k *Kernel) RunUntil(deadline Time) error {
+	if k.par != nil {
+		panic("sim: RunUntil on a coordinator-managed kernel; drive the Coordinator instead")
+	}
 	var processed uint64
 	for k.events.len() > 0 && !k.stopped {
 		if deadline >= 0 {
@@ -244,6 +314,11 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 }
 
 func (k *Kernel) scheduleProc(p *Proc, t Time) {
+	if k.par != nil {
+		//lint:allow noalloc (cold: parallel-mode scheduling is outside the sequential hot path)
+		k.par.schedule(k, t, nil, p, false)
+		return
+	}
 	k.seq++
 	ev := k.newEvent()
 	ev.t, ev.seq, ev.proc = t, k.seq, p

@@ -13,6 +13,7 @@ import (
 type eventQueue interface {
 	push(*event)
 	pop() *event
+	peek() *event // head event without removing it; nil when empty
 	peekTime() (Time, bool)
 	len() int
 }
@@ -25,6 +26,13 @@ type heapQueue struct{ h eventHeap }
 func (q *heapQueue) push(ev *event) { heap.Push(&q.h, ev) }
 
 func (q *heapQueue) pop() *event { return heap.Pop(&q.h).(*event) }
+
+func (q *heapQueue) peek() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
 
 func (q *heapQueue) peekTime() (Time, bool) {
 	if len(q.h) == 0 {
@@ -198,4 +206,12 @@ func (w *wheel) peekTime() (Time, bool) {
 		return 0, false
 	}
 	return w.bucket[0].t, true
+}
+
+// peek returns the earliest pending event without removing it.
+func (w *wheel) peek() *event {
+	if w.bucket.Len() == 0 && !w.refill() {
+		return nil
+	}
+	return w.bucket[0]
 }

@@ -33,14 +33,28 @@ func sameOrder(t *testing.T, want, got [][2]uint64) {
 // TestWheelVsHeapDifferential is TestHeapOrderingProperty ported to a
 // differential harness: random insertion orders go into both the reference
 // heap and the timer wheel, and the two must pop the exact same (time, seq)
-// sequence — including FIFO tie-breaks at equal timestamps.
+// sequence — including FIFO tie-breaks at equal timestamps. peek (the
+// parallel coordinator's window-head probe) must agree with the next pop
+// on both queues, without consuming it.
 func TestWheelVsHeapDifferential(t *testing.T) {
 	f := func(times []uint16) bool {
 		hq, wq := &heapQueue{}, newWheel()
+		if hq.peek() != nil || wq.peek() != nil {
+			return false
+		}
 		for i, v := range times {
 			tm := Time(v) * time.Microsecond
 			hq.push(&event{t: tm, seq: uint64(i)})
 			wq.push(&event{t: tm, seq: uint64(i)})
+		}
+		if len(times) > 0 {
+			hp, wp := hq.peek(), wq.peek()
+			if hp == nil || wp == nil || hp.t != wp.t || hp.seq != wp.seq {
+				return false
+			}
+			if hq.len() != len(times) || wq.len() != len(times) {
+				return false // peek consumed an event
+			}
 		}
 		h, w := drain(hq), drain(wq)
 		if len(h) != len(w) {

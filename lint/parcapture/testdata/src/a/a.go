@@ -66,6 +66,34 @@ func suppressed(specs []int) int {
 	return sum
 }
 
+// shard mirrors one per-worker slot of the parallel coordinator's window
+// dispatch (gates, cursors, per-shard commit counts).
+type shard struct {
+	frontier int
+	done     bool
+	count    int
+}
+
+// windowWorkers is the coordinator's window-dispatch shape: every worker
+// owns exactly the shard at its own index, so frontier publishes, done
+// flags and commit counts are per-index element stores — all accepted.
+func windowWorkers(shards []shard, events []int) {
+	parallelFor(4, len(shards), func(i int) {
+		shards[i].frontier = events[i%len(events)] // own slot: fine
+		shards[i].count++                          // own slot's counter: fine
+		shards[i].done = true                      // own slot's flag: fine
+	})
+}
+
+// crossShardWrite is the commit-order race the shuffle fuzzer hunts
+// dynamically, caught here statically: a worker touching a neighbouring
+// shard's slot is not partitioned by its own index.
+func crossShardWrite(shards []shard) {
+	parallelFor(4, len(shards), func(i int) {
+		shards[(i+1)%len(shards)].done = true // want `writes into shards outside its own element`
+	})
+}
+
 // elsewhere is an ordinary call: closures not passed to the parallel-for
 // entry are none of this analyzer's business.
 func elsewhere(specs []int) int {

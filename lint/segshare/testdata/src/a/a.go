@@ -75,3 +75,43 @@ func offPath(n *node) {
 	n.sh.total++
 	global = 2
 }
+
+// afterCross stands in for the parallel coordinator's cross-shard
+// staging entry (sim.Kernel.AfterCross): the closure is staged to the
+// destination shard's queue at the window barrier and replayed there as
+// its own serialized event, so it carries the same sanction as after.
+//
+//lint:segqueue
+func afterCross(dst *node, d int, fn func()) { _ = dst; _ = d; _ = fn }
+
+// relayShape mirrors the gateway relay under intra-run parallelism: the
+// synchronous half only reads shared routing state, and every mutation
+// or emission rides a cross-shard staged closure. Nothing here may be
+// flagged — this is the exact shape the coordinator commits in canonical
+// order.
+//
+//lint:segroot
+func (n *node) relayShape(peer *node, raw []byte) {
+	hops := n.sh.total // reading shared routing state synchronously: fine
+	n.own++
+	afterCross(peer, 1+hops, func() {
+		// Runs on the destination shard after the lookahead window:
+		// emission and shared writes are serialized there.
+		emit(raw)
+		n.sh.total++
+	})
+}
+
+// gateShape mirrors the order-gated directory access: the handler's
+// synchronous shared write is real, but the site is audited because the
+// coordinator's order gate serializes it in canonical commit order. The
+// suppression prunes the subtree; the gate reason is the reviewable fact.
+//
+//lint:segroot
+func (n *node) gateShape() {
+	n.directoryUpdate() //lint:allow segshare (gate: serialized in canonical order by the parallel coordinator's order gate)
+}
+
+func (n *node) directoryUpdate() {
+	n.sh.counters["dir"]++
+}

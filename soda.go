@@ -42,6 +42,7 @@ package soda
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"soda/faults"
@@ -93,6 +94,9 @@ type (
 	GatewaySpec = internet.GatewaySpec
 	// InternetStats counts gateway-layer work on a segmented network.
 	InternetStats = internet.Stats
+	// ParStats counts the parallel scheduler's deterministic work (see
+	// WithParallelSim and Network.ParStats).
+	ParStats = sim.ParStats
 	// PatternTableFullError reports a saturated 256-slot pattern table.
 	PatternTableFullError = core.PatternTableFullError
 )
@@ -185,6 +189,8 @@ type options struct {
 	tracer     *obs.Tracer
 	metrics    *obs.Registry
 	topo       *internet.Topology
+	parWorkers int
+	parShuffle int64
 }
 
 type optionFunc func(*options)
@@ -247,6 +253,30 @@ func WithTopology(t Topology) Option {
 	return optionFunc(func(o *options) { o.topo = &t })
 }
 
+// WithParallelSim asks the scheduler to execute bus segments in parallel,
+// with at most workers segments running concurrently (DESIGN.md §15). It is
+// a pure wall-clock optimization: a parallel run is byte-identical to the
+// sequential run — same trace output, same observer streams and profiles,
+// same invariant verdicts, same random draws — because cross-segment events
+// are bounded below by the topology's ForwardDelay (the conservative
+// lookahead) and every globally sequenced side effect is committed in
+// canonical order. Requires a WithTopology internetwork of at least two
+// segments with a positive ForwardDelay; otherwise the network runs
+// sequentially, warns once on stderr, and sets
+// ParStats.FallbackSequential. workers <= 1 is plain sequential execution.
+func WithParallelSim(workers int) Option {
+	return optionFunc(func(o *options) { o.parWorkers = workers })
+}
+
+// WithParallelShuffle perturbs the order parallel window jobs are handed to
+// workers, from the given seed (0 = natural order). Outputs are
+// interleaving-independent, so this exists for determinism testing: runs
+// with different shuffle seeds must stay byte-identical, and divergence
+// indicates a commit-order race. No effect without WithParallelSim.
+func WithParallelShuffle(seed int64) Option {
+	return optionFunc(func(o *options) { o.parShuffle = seed })
+}
+
 // WithNodeConfig replaces the whole per-node configuration.
 func WithNodeConfig(cfg Config) Option {
 	return optionFunc(func(o *options) { o.nodeCfg = cfg })
@@ -300,6 +330,13 @@ func WithMetrics(r *obs.Registry) Option {
 // registry, and the set of nodes.
 type Network struct {
 	k *sim.Kernel
+	// coord drives conservative parallel execution (WithParallelSim); nil on
+	// a sequential network. When set, k is the coordinator's global kernel.
+	coord *sim.Coordinator
+	// parStats records the fallback verdict when parallelism was requested
+	// but unusable (coord == nil); with a coordinator, ParStats() reads live
+	// counters from it instead.
+	parStats sim.ParStats
 	// b is the single shared bus; nil when the network is segmented.
 	b *bus.Bus
 	// buses lists every bus segment ([b] on a single-segment network).
@@ -311,7 +348,20 @@ type Network struct {
 	checker *faults.Checker
 	tracer  *obs.Tracer
 	metrics *obs.Registry
+	// userObs and userTObs hold the raw WithNodeConfig observers on a
+	// parallel network, where composition is deferred to AddNode (each node
+	// buffers through its own shard kernel).
+	userObs  func(core.ObsEvent)
+	userTObs func(deltat.Event)
 }
+
+// warnOutput receives setup-time configuration warnings; a variable so
+// tests can capture them.
+var warnOutput io.Writer = os.Stderr
+
+// parFallbackWarning is the WithParallelSim degradation notice (pinned by
+// TestParallelFallbackWarning).
+const parFallbackWarning = "soda: WithParallelSim(%d) needs a multi-segment WithTopology with a positive ForwardDelay; running sequentially\n"
 
 // NewNetwork creates an empty network.
 func NewNetwork(opts ...Option) *Network {
@@ -324,16 +374,21 @@ func NewNetwork(opts ...Option) *Network {
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
-	k := sim.New(o.seed)
-	k.SetEventLimit(o.eventCap)
+	useParallel := o.parWorkers > 1 && o.topo != nil && o.topo.Segments > 1 && o.topo.ForwardDelay > 0
 	nw := &Network{
-		k:     k,
 		reg:   core.Registry{},
 		cfg:   o.nodeCfg,
 		nodes: make(map[MID]*core.Node),
 	}
-	if o.topo != nil && o.topo.Segments > 1 {
-		in, err := internet.New(k, o.busCfg, *o.topo)
+	if useParallel {
+		c := sim.NewCoordinator(o.seed, o.topo.Segments, o.parWorkers, o.topo.ForwardDelay)
+		c.SetEventLimit(o.eventCap)
+		if o.parShuffle != 0 {
+			c.SetShuffle(o.parShuffle)
+		}
+		nw.coord = c
+		nw.k = c.Global()
+		in, err := internet.NewSharded(c.Shards(), o.busCfg, *o.topo)
 		if err != nil {
 			panic(fmt.Sprintf("soda: %v", err))
 		}
@@ -342,21 +397,51 @@ func NewNetwork(opts ...Option) *Network {
 			nw.buses = append(nw.buses, in.Bus(s))
 		}
 	} else {
-		nw.b = bus.New(k, o.busCfg)
-		nw.buses = []*bus.Bus{nw.b}
+		k := sim.New(o.seed)
+		k.SetEventLimit(o.eventCap)
+		nw.k = k
+		if o.parWorkers > 1 {
+			fmt.Fprintf(warnOutput, parFallbackWarning, o.parWorkers)
+			nw.parStats = sim.ParStats{Workers: o.parWorkers, FallbackSequential: true}
+		}
+		if o.topo != nil && o.topo.Segments > 1 {
+			in, err := internet.New(k, o.busCfg, *o.topo)
+			if err != nil {
+				panic(fmt.Sprintf("soda: %v", err))
+			}
+			nw.inet = in
+			for s := 0; s < in.Segments(); s++ {
+				nw.buses = append(nw.buses, in.Bus(s))
+			}
+		} else {
+			nw.b = bus.New(k, o.busCfg)
+			nw.buses = []*bus.Bus{nw.b}
+		}
 	}
 	if o.invariants {
 		nw.checker = faults.NewChecker()
-		for _, b := range nw.buses {
-			b.AddDeliveryTap(nw.checker.ObserveDelivery)
+		for s, b := range nw.buses {
+			b.AddDeliveryTap(nw.bufferedDeliveryTap(s, nw.checker.ObserveDelivery))
 		}
 	}
 	nw.tracer = o.tracer
 	nw.metrics = o.metrics
 	if nw.tracer != nil {
-		for _, b := range nw.buses {
-			b.AddDeliveryTap(nw.tracer.ObserveDelivery)
+		for s, b := range nw.buses {
+			b.AddDeliveryTap(nw.bufferedDeliveryTap(s, nw.tracer.ObserveDelivery))
 		}
+	}
+
+	if nw.coord != nil {
+		// Parallel network: observer composition is per-node (AddNode), so
+		// each node buffers its emissions through its own shard kernel. Only
+		// the raw user hooks are recorded here.
+		nw.userObs = nw.cfg.Observer
+		nw.cfg.Observer = nil
+		nw.userTObs = nw.cfg.Transport.Observer
+		nw.cfg.Transport.Observer = nil
+		nw.armPlan(o.plan)
+		return nw
 	}
 
 	// Fan the single kernel observer hook out to every attached consumer.
@@ -418,22 +503,120 @@ func NewNetwork(opts ...Option) *Network {
 			}
 		}
 	}
-	if o.plan != nil {
-		inj, err := faults.NewInjector(k, *o.plan)
-		if err != nil {
-			panic(fmt.Sprintf("soda: %v", err))
-		}
-		if nw.inet != nil {
-			for s, b := range nw.buses {
+	nw.armPlan(o.plan)
+	return nw
+}
+
+// armPlan installs a fault plan: window events become each segment's fault
+// model, gateway chaos lands on the global kernel (it spans segments, so it
+// must run in exclusive steps under the parallel scheduler), and node
+// crash/reboot events are routed to the kernel owning the target's segment.
+func (nw *Network) armPlan(plan *faults.Plan) {
+	if plan == nil {
+		return
+	}
+	inj, err := faults.NewInjector(nw.k, *plan)
+	if err != nil {
+		panic(fmt.Sprintf("soda: %v", err))
+	}
+	if nw.inet != nil {
+		for s, b := range nw.buses {
+			if nw.coord != nil {
+				// Fault-model random draws happen on the segment's shard
+				// during windows; routing them through that shard's kernel
+				// keeps them on the run's canonical random stream.
+				b.SetFaultModel(inj.ForSegmentOn(s, nw.coord.Shard(s)))
+			} else {
 				b.SetFaultModel(inj.ForSegment(s))
 			}
-			inj.ArmGateways(nw.inet)
-		} else {
-			nw.b.SetFaultModel(inj)
 		}
-		inj.Arm(nodeControl{nw})
+		inj.ArmGateways(nw.inet)
+	} else {
+		nw.b.SetFaultModel(inj)
 	}
-	return nw
+	if nw.coord != nil {
+		inj.ArmRouted(nodeControl{nw}, func(mid MID) *sim.Kernel {
+			if s := nw.inet.SegmentOf(mid); s >= 0 {
+				return nw.coord.Shard(s)
+			}
+			return nw.k
+		})
+		return
+	}
+	inj.Arm(nodeControl{nw})
+}
+
+// bufferedDeliveryTap adapts a delivery-tap consumer for segment s: under
+// the parallel scheduler its events are buffered on the owning shard kernel
+// and replayed in canonical commit order at the window barrier; on a
+// sequential network it is the consumer itself.
+func (nw *Network) bufferedDeliveryTap(s int, tap func(bus.DeliveryEvent)) func(bus.DeliveryEvent) {
+	if nw.coord == nil {
+		return tap
+	}
+	k := nw.coord.Shard(s)
+	return func(e bus.DeliveryEvent) { k.Buffer(func() { tap(e) }) }
+}
+
+// parObserver builds one node's kernel-observer hook on a parallel network.
+// Directory kinds apply to the internetwork immediately, under the order
+// gate — a DISCOVER proxied later in the same window must see them — while
+// every other consumer's delivery is buffered for canonical-order replay at
+// the window barrier, reproducing the sequential event order exactly.
+func (nw *Network) parObserver(k *sim.Kernel) func(core.ObsEvent) {
+	buffered := make([]func(core.ObsEvent), 0, 4)
+	if nw.userObs != nil {
+		buffered = append(buffered, nw.userObs)
+	}
+	if nw.checker != nil {
+		buffered = append(buffered, nw.checker.Observe)
+	}
+	if nw.tracer != nil {
+		buffered = append(buffered, nw.tracer.Observe)
+	}
+	if nw.metrics != nil {
+		buffered = append(buffered, nw.metrics.Observe)
+	}
+	inet := nw.inet
+	return func(ev core.ObsEvent) {
+		switch ev.Kind {
+		case core.ObsAdvertise, core.ObsUnadvertise, core.ObsCrash, core.ObsDie:
+			k.Gated(func() { inet.Observe(ev) })
+		}
+		if len(buffered) == 0 {
+			return
+		}
+		k.Buffer(func() {
+			for _, f := range buffered {
+				f(ev)
+			}
+		})
+	}
+}
+
+// parTransportObserver is parObserver's counterpart for the transport
+// event stream (which has no directory consumer, so everything buffers).
+func (nw *Network) parTransportObserver(k *sim.Kernel) func(deltat.Event) {
+	buffered := make([]func(deltat.Event), 0, 3)
+	if nw.userTObs != nil {
+		buffered = append(buffered, nw.userTObs)
+	}
+	if nw.tracer != nil {
+		buffered = append(buffered, nw.tracer.ObserveTransport)
+	}
+	if nw.metrics != nil {
+		buffered = append(buffered, nw.metrics.ObserveTransport)
+	}
+	if len(buffered) == 0 {
+		return nil
+	}
+	return func(ev deltat.Event) {
+		k.Buffer(func() {
+			for _, f := range buffered {
+				f(ev)
+			}
+		})
+	}
 }
 
 // nodeControl adapts the network to the fault injector's crash/reboot
@@ -490,6 +673,8 @@ func (nw *Network) Register(name string, prog Program) { nw.reg[name] = prog }
 // node lands on the segment Topology.Locate maps it to.
 func (nw *Network) AddNode(mid MID) (*Node, error) {
 	b := nw.b
+	k := nw.k
+	cfg := nw.cfg
 	if nw.inet != nil {
 		if mid >= internet.GatewayMIDBase {
 			return nil, fmt.Errorf("soda: MID %d collides with the gateway range (>= %d)", mid, internet.GatewayMIDBase)
@@ -498,8 +683,15 @@ func (nw *Network) AddNode(mid MID) (*Node, error) {
 		if b, err = nw.inet.BusFor(mid); err != nil {
 			return nil, err
 		}
+		if nw.coord != nil {
+			// The node schedules on the kernel owning its segment, and its
+			// observer hooks buffer (or gate) through that same kernel.
+			k = nw.coord.Shard(nw.inet.SegmentOf(mid))
+			cfg.Observer = nw.parObserver(k)
+			cfg.Transport.Observer = nw.parTransportObserver(k)
+		}
 	}
-	n, err := core.NewNode(nw.k, b, mid, nw.cfg, nw.reg)
+	n, err := core.NewNode(k, b, mid, cfg, nw.reg)
 	if err != nil {
 		return nil, err
 	}
@@ -537,12 +729,31 @@ func (nw *Network) MustBoot(mid MID, prog string) {
 
 // Run advances the simulation by d of virtual time.
 func (nw *Network) Run(d time.Duration) error {
+	if nw.coord != nil {
+		return nw.coord.RunUntil(nw.k.Now() + d)
+	}
 	return nw.k.RunUntil(nw.k.Now() + d)
 }
 
 // RunToCompletion processes events until none remain. It returns an error
 // if client processes are deadlocked (suspended with no pending events).
-func (nw *Network) RunToCompletion() error { return nw.k.Run() }
+func (nw *Network) RunToCompletion() error {
+	if nw.coord != nil {
+		return nw.coord.Run()
+	}
+	return nw.k.Run()
+}
+
+// ParStats reports the parallel scheduler's deterministic counters: the
+// zero value on a plain sequential network, FallbackSequential (with the
+// requested worker count) when WithParallelSim degraded, and live window /
+// staging / gate counters when the coordinator is driving the run.
+func (nw *Network) ParStats() ParStats {
+	if nw.coord != nil {
+		return nw.coord.Stats()
+	}
+	return nw.parStats
+}
 
 // Now reports the current virtual time.
 func (nw *Network) Now() time.Duration { return nw.k.Now() }
@@ -577,6 +788,13 @@ func (nw *Network) Trace(w io.Writer) {
 	}
 	for s, b := range nw.buses {
 		prefix := fmt.Sprintf("s%d ", s)
+		if nw.coord != nil {
+			// Buffer trace lines on the owning shard so the file interleaves
+			// in canonical commit order, byte-identical to a sequential run.
+			k := nw.coord.Shard(s)
+			b.SetTap(func(e bus.TapEvent) { k.Buffer(func() { line(prefix, e) }) })
+			continue
+		}
 		b.SetTap(func(e bus.TapEvent) { line(prefix, e) })
 	}
 }

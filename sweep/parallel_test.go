@@ -1,0 +1,137 @@
+package sweep_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"soda/faults"
+	"soda/sweep"
+)
+
+// TestParallelIntraRunMetamorphicMatrix is the three-axis determinism
+// matrix for conservative intra-run parallelism (DESIGN.md §15):
+//
+//	{bare, instrumented} × {sequential sweep, sharded sweep} × {parworkers 1, 2, 8}
+//
+// Every cell runs the same segmented chaos matrix — generated fault plans
+// with segment-scoped window events armed — and every cell's per-run trace
+// hashes must be byte-identical to the reference cell. Neither observation,
+// nor cross-run sharding, nor intra-run parallelism may move a frame.
+func TestParallelIntraRunMetamorphicMatrix(t *testing.T) {
+	base := sweep.Spec{
+		Scenario:     "internet",
+		Seeds:        []int64{1, 7},
+		PlanSeeds:    []int64{0, 11},
+		Nodes:        []int{6},
+		Horizon:      2 * time.Second,
+		Segments:     3,
+		ForwardDelay: 2 * time.Millisecond,
+	}
+
+	// The chaos column must actually arm segment-scoped faults, or the
+	// matrix silently stops covering the shard-routed fault paths.
+	plan := faults.Generate(rand.New(rand.NewSource(11)), faults.GenConfig{
+		Horizon:  base.Horizon,
+		MIDs:     []faults.MID{1, 2, 3, 4, 5, 6},
+		Segments: base.Segments,
+	})
+	scoped := 0
+	for _, e := range plan.Events {
+		if e.Segment != nil {
+			scoped++
+		}
+	}
+	if scoped == 0 {
+		t.Fatalf("plan seed 11 generated no segment-scoped events; pick a seed that does: %+v", plan.Events)
+	}
+
+	type cell struct {
+		name         string
+		instrument   bool
+		sweepWorkers int
+		parWorkers   int
+	}
+	var cells []cell
+	for _, instrument := range []bool{false, true} {
+		for _, sw := range []int{1, 4} {
+			for _, pw := range []int{1, 2, 8} {
+				label := "bare"
+				if instrument {
+					label = "instrumented"
+				}
+				cells = append(cells, cell{
+					name:         fmt.Sprintf("%s/sweep%d/par%d", label, sw, pw),
+					instrument:   instrument,
+					sweepWorkers: sw,
+					parWorkers:   pw,
+				})
+			}
+		}
+	}
+
+	var ref []string
+	for i, c := range cells {
+		spec := base
+		spec.Instrument = c.instrument
+		spec.Checks = c.instrument
+		spec.ParWorkers = c.parWorkers
+		rep, err := sweep.Run(spec, c.sweepWorkers)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(rep.Runs) != 4 {
+			t.Fatalf("%s: %d runs, want 4", c.name, len(rep.Runs))
+		}
+		hs := make([]string, len(rep.Runs))
+		for j, r := range rep.Runs {
+			if r.Err != "" {
+				t.Fatalf("%s: run %v failed: %s", c.name, r.Key, r.Err)
+			}
+			if r.FramesSent == 0 {
+				t.Fatalf("%s: run %v sent no frames", c.name, r.Key)
+			}
+			if len(r.Violations) > 0 {
+				t.Errorf("%s: run %v: invariant violations: %v", c.name, r.Key, r.Violations)
+			}
+			hs[j] = r.TraceHash
+		}
+		if i == 0 {
+			ref = hs
+			continue
+		}
+		for j := range hs {
+			if hs[j] != ref[j] {
+				t.Errorf("run %d: %s hash %s != %s hash %s",
+					j, c.name, hs[j], cells[0].name, ref[j])
+			}
+		}
+	}
+}
+
+// TestParallelSpecValidation pins Keys()'s refusal to run a parallel sweep
+// that would silently degrade: intra-run parallelism without a shardable
+// topology is a spec error, not a warning storm.
+func TestParallelSpecValidation(t *testing.T) {
+	bad := []sweep.Spec{
+		{Scenario: "internet", Seeds: []int64{1}, Nodes: []int{4}, Horizon: time.Second,
+			ParWorkers: 4},
+		{Scenario: "internet", Seeds: []int64{1}, Nodes: []int{4}, Horizon: time.Second,
+			ParWorkers: 4, Segments: 3},
+		{Scenario: "internet", Seeds: []int64{1}, Nodes: []int{4}, Horizon: time.Second,
+			ParWorkers: 4, Segments: 1, ForwardDelay: time.Millisecond},
+		{Scenario: "internet", Seeds: []int64{1}, Nodes: []int{4}, Horizon: time.Second,
+			Segments: 2, ForwardDelay: -time.Millisecond},
+	}
+	for i, spec := range bad {
+		if _, err := spec.Keys(); err == nil {
+			t.Errorf("spec %d: Keys() accepted an invalid parallel spec: %+v", i, spec)
+		}
+	}
+	good := sweep.Spec{Scenario: "internet", Seeds: []int64{1}, Nodes: []int{4}, Horizon: time.Second,
+		ParWorkers: 4, Segments: 3, ForwardDelay: 2 * time.Millisecond}
+	if _, err := good.Keys(); err != nil {
+		t.Errorf("Keys() rejected a valid parallel spec: %v", err)
+	}
+}

@@ -65,6 +65,19 @@ type Spec struct {
 	// the metamorphic battery pins that those sweeps hash identically to
 	// pre-topology builds.
 	Segments int `json:"segments,omitempty"`
+	// ForwardDelay sets the gateways' store-and-forward latency (the
+	// conservative lookahead for parallel intra-run execution, DESIGN.md
+	// §15). Zero keeps today's immediate forwarding; required positive
+	// when ParWorkers > 1.
+	ForwardDelay time.Duration `json:"forward_delay_ns,omitempty"`
+	// ParWorkers > 1 executes each run's bus segments in parallel via
+	// soda.WithParallelSim (conservative intra-run parallelism, DESIGN.md
+	// §15); <= 1 is the plain sequential scheduler. Orthogonal to the
+	// sweep's own cross-run workers: the metamorphic battery pins that
+	// neither axis changes a single trace hash. With generated chaos
+	// plans (PlanSeeds), Segments also scopes some window faults to
+	// single segments, exercising the shard-routed fault paths.
+	ParWorkers int `json:"par_workers,omitempty"`
 }
 
 // RunKey identifies one cell of the matrix. Report order is the key order:
@@ -219,6 +232,12 @@ func (s Spec) Keys() ([]RunKey, error) {
 	if s.Segments < 0 {
 		return nil, fmt.Errorf("sweep: segments must be >= 0, got %d", s.Segments)
 	}
+	if s.ForwardDelay < 0 {
+		return nil, fmt.Errorf("sweep: forward delay must be >= 0, got %v", s.ForwardDelay)
+	}
+	if s.ParWorkers > 1 && (s.Segments < 2 || s.ForwardDelay <= 0) {
+		return nil, fmt.Errorf("sweep: par_workers %d needs segments >= 2 and a positive forward delay (the parallel lookahead)", s.ParWorkers)
+	}
 	planSeeds := s.PlanSeeds
 	if len(planSeeds) == 0 {
 		planSeeds = []int64{0}
@@ -265,7 +284,12 @@ func runOne(spec Spec, key RunKey) RunResult {
 	sc := scenarios[key.Scenario]
 	opts := []soda.Option{soda.WithSeed(key.Seed)}
 	if spec.Segments > 1 {
-		opts = append(opts, soda.WithTopology(soda.StarTopology(spec.Segments)))
+		topo := soda.StarTopology(spec.Segments)
+		topo.ForwardDelay = spec.ForwardDelay
+		opts = append(opts, soda.WithTopology(topo))
+	}
+	if spec.ParWorkers > 1 {
+		opts = append(opts, soda.WithParallelSim(spec.ParWorkers))
 	}
 	if spec.Window > 1 {
 		opts = append(opts, soda.WithTransportWindow(spec.Window))
@@ -279,8 +303,9 @@ func runOne(spec Spec, key RunKey) RunResult {
 			mids[i] = faults.MID(i + 1)
 		}
 		plan := faults.Generate(rand.New(rand.NewSource(key.PlanSeed)), faults.GenConfig{
-			Horizon: spec.Horizon,
-			MIDs:    mids,
+			Horizon:  spec.Horizon,
+			MIDs:     mids,
+			Segments: spec.Segments,
 		})
 		opts = append(opts, soda.WithFaultPlan(plan))
 	}
