@@ -26,6 +26,15 @@
 //
 // Whenever any fault source is active the invariant checkers run and the
 // command exits non-zero if a reliability guarantee was violated.
+//
+// Real sockets (DESIGN.md §16): -net tcp runs one SODA machine per OS
+// process over localhost TCP instead of the simulated bus. Two terminals:
+//
+//	sodasim -net tcp -role fs     -listen 127.0.0.1:7001 -peers 2=127.0.0.1:7002
+//	sodasim -net tcp -role client -listen 127.0.0.1:7002 -peers 1=127.0.0.1:7001
+//
+// The peer map is explicit and symmetric: each process lists every other
+// machine's MID and address (the transport does not learn return routes).
 package main
 
 import (
@@ -60,8 +69,20 @@ func main() {
 	flag.IntVar(&pcfg.segments, "segments", 0, "star-internetwork segment count (<=1 = single shared bus)")
 	flag.DurationVar(&pcfg.forwardDelay, "forwarddelay", 2*time.Millisecond, "gateway store-and-forward delay; the conservative lookahead bound for -parworkers")
 	flag.IntVar(&pcfg.parworkers, "parworkers", 0, "intra-run parallel workers (needs -segments >= 2; <=1 = sequential)")
+	flag.StringVar(&ncfg.net, "net", "sim", "transport: sim (deterministic virtual time) or tcp (real sockets, wall time)")
+	flag.StringVar(&ncfg.role, "role", "", "-net tcp: which machine this process is (fileserver scenario: fs or client)")
+	flag.StringVar(&ncfg.listen, "listen", "127.0.0.1:0", "-net tcp: listen address for peer connections")
+	flag.StringVar(&ncfg.peers, "peers", "", "-net tcp: comma-separated mid=host:port peer map")
 	flag.Parse()
 	traceAll = *frames
+
+	if ncfg.net == "tcp" {
+		if err := runSocket(*scenario, *seed, *duration); err != nil {
+			fmt.Fprintf(os.Stderr, "sodasim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var err error
 	switch *scenario {

@@ -1,0 +1,101 @@
+package conformance
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden conformance fixtures")
+
+// TestGoldenSim pins each scenario's simulated neutral transcript to a
+// committed fixture: ordering regressions in the kernel, transport, or
+// scenario programs show up as a fixture diff without opening a single
+// socket. Regenerate deliberately with: go test ./conformance/ -update
+func TestGoldenSim(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			tr, err := RunSim(sc, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tr.Render()
+			path := filepath.Join("testdata", sc.Name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("sim transcript diverged from %s (regenerate with -update if intended):\n%s",
+					path, firstDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// TestSimDeterminism pins that two sim runs of every scenario produce
+// byte-identical neutral transcripts: the golden comparison above is only
+// meaningful if the left-hand side never wobbles.
+func TestSimDeterminism(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			a, err := RunSim(sc, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunSim(sc, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Render() != b.Render() {
+				t.Errorf("two identical sim runs diverged:\n%s", firstDiff(a.Render(), b.Render()))
+			}
+		})
+	}
+}
+
+// TestCompareSelf pins that a transcript is admissible against itself.
+func TestCompareSelf(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			tr, err := RunSim(sc, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reports := Compare(tr, tr, nil); len(reports) != 0 {
+				t.Errorf("self-comparison produced %d divergences:\n%s",
+					len(reports), strings.Join(reports, "\n"))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line of two multi-line strings
+// with a little context.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		get := func(l []string) string {
+			if i < len(l) {
+				return l[i]
+			}
+			return "(end)"
+		}
+		if get(wl) != get(gl) {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, get(wl), get(gl))
+		}
+	}
+	return "(no line diff?)"
+}

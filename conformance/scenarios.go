@@ -1,0 +1,363 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"soda"
+	"soda/apps/fileserver"
+	"soda/apps/philo"
+	"soda/csp"
+	"soda/timesrv"
+)
+
+// The five registered scenarios mirror the five examples: quickstart's
+// greeter, the file service session, the network example's remote
+// boot/kill, the dining philosophers, and the CSP rendezvous ring. Each is
+// count-based — a fixed number of exchanges, meals, or rounds — so both
+// backends run to the same completion point at whatever speed their clock
+// moves.
+
+var greeterPattern = soda.WellKnownPattern(0o4401)
+
+// discoverRetry blocks until a server advertising p answers, re-issuing
+// the DISCOVER after a short hold: on the socket backend the server's
+// advertisement can race the first query (broadcast chains are compared
+// as sets for exactly this reason).
+func discoverRetry(c *soda.Client, p soda.Pattern) soda.ServerSig {
+	for {
+		if srv, ok := c.Discover(p); ok {
+			return srv
+		}
+		c.Hold(20 * time.Millisecond)
+	}
+}
+
+func init() {
+	register(quickstartScenario())
+	register(fileserviceScenario())
+	register(bootkillScenario())
+	register(philosophersScenario())
+	register(rendezvousScenario())
+}
+
+// quickstartScenario: a greeter service and a client that discovers it
+// and runs two blocking exchanges (REQUEST/ACCEPT/DISCOVER end-to-end).
+func quickstartScenario() Scenario {
+	return Scenario{
+		Name: "quickstart",
+		Build: func() *Run {
+			var replies []string
+			done := false
+			run := &Run{
+				Programs: map[string]soda.Program{
+					"greeter": {
+						Init: func(c *soda.Client, _ soda.MID) {
+							if err := c.Advertise(greeterPattern); err != nil {
+								panic(err)
+							}
+						},
+						Handler: func(c *soda.Client, ev soda.Event) {
+							if ev.Kind != soda.EventRequestArrival {
+								return
+							}
+							greeting := fmt.Sprintf("hello machine %d, your %d bytes arrived",
+								ev.Asker.MID, ev.PutSize)
+							c.AcceptCurrentExchange(soda.OK, []byte(greeting), ev.PutSize)
+						},
+					},
+					"client": {
+						Task: func(c *soda.Client) {
+							srv := discoverRetry(c, greeterPattern)
+							for _, msg := range []string{"first call", "second"} {
+								res := c.BExchange(srv, soda.OK, []byte(msg), 64)
+								if res.Status == soda.StatusSuccess {
+									replies = append(replies, string(res.Data))
+								}
+							}
+							done = true
+						},
+					},
+				},
+			}
+			run.Nodes = []NodeSpec{
+				{MID: 1, Boot: "greeter"},
+				{MID: 2, Boot: "client", Done: func() bool { return done }},
+			}
+			run.Check = func() error {
+				if len(replies) != 2 {
+					return fmt.Errorf("quickstart: %d successful exchanges, want 2", len(replies))
+				}
+				want := "hello machine 2, your 10 bytes arrived"
+				if replies[0] != want {
+					return fmt.Errorf("quickstart: reply %q, want %q", replies[0], want)
+				}
+				return nil
+			}
+			return run
+		},
+	}
+}
+
+// fileserviceScenario: a file server and a client session — read a
+// published file, create one, write, seek, read it back.
+func fileserviceScenario() Scenario {
+	return Scenario{
+		Name: "fileservice",
+		Build: func() *Run {
+			var motd, journal []byte
+			done := false
+			run := &Run{
+				Programs: map[string]soda.Program{
+					"fs": fileserver.Server(map[string][]byte{
+						"motd": []byte("welcome to the SODA file service"),
+					}, 32),
+					"client": {
+						Task: func(c *soda.Client) {
+							var srv soda.MID
+							for {
+								if mid, ok := fileserver.Find(c); ok {
+									srv = mid
+									break
+								}
+								c.Hold(20 * time.Millisecond)
+							}
+							f, err := fileserver.Open(c, srv, "motd")
+							if err != nil {
+								done = true
+								return
+							}
+							motd, _ = f.Read(64)
+							g, _ := fileserver.Open(c, srv, "journal")
+							_ = g.Write([]byte("first entry"))
+							_ = g.Seek(0)
+							journal, _ = g.Read(64)
+							_ = g.Close()
+							_ = f.Close()
+							done = true
+						},
+					},
+				},
+			}
+			run.Nodes = []NodeSpec{
+				{MID: 1, Boot: "fs"},
+				{MID: 2, Boot: "client", Done: func() bool { return done }},
+			}
+			run.Check = func() error {
+				if !bytes.Equal(motd, []byte("welcome to the SODA file service")) {
+					return fmt.Errorf("fileservice: motd = %q", motd)
+				}
+				if !bytes.Equal(journal, []byte("first entry")) {
+					return fmt.Errorf("fileservice: journal roundtrip = %q", journal)
+				}
+				return nil
+			}
+			return run
+		},
+	}
+}
+
+// bootkillScenario: the network example's shell half — find a free
+// machine by its reserved boot pattern, boot a child onto it remotely,
+// kill it through the load capability, and see it become bootable again.
+func bootkillScenario() Scenario {
+	return Scenario{
+		Name: "bootkill",
+		Build: func() *Run {
+			var bootErr error
+			killed := false
+			done := false
+			run := &Run{
+				Programs: map[string]soda.Program{
+					"child": {
+						Task: func(c *soda.Client) {
+							c.WaitUntil(func() bool { return false })
+						},
+					},
+					"parent": {
+						Task: func(c *soda.Client) {
+							var free []soda.MID
+							for {
+								if free = c.DiscoverAll(soda.BootPattern, 4); len(free) > 0 {
+									break
+								}
+								c.Hold(20 * time.Millisecond)
+							}
+							loadPat, err := soda.BootRemote(c, free[0], soda.BootPattern, "child")
+							if err != nil {
+								bootErr = err
+								done = true
+								return
+							}
+							c.Hold(50 * time.Millisecond)
+							killed = soda.KillChild(c, free[0], loadPat)
+							for {
+								if again := c.DiscoverAll(soda.BootPattern, 4); len(again) > 0 {
+									break
+								}
+								c.Hold(20 * time.Millisecond)
+							}
+							done = true
+						},
+					},
+				},
+			}
+			run.Nodes = []NodeSpec{
+				{MID: 1, Boot: "parent", Done: func() bool { return done }},
+				{MID: 2}, // free, bootable
+			}
+			run.Check = func() error {
+				if bootErr != nil {
+					return fmt.Errorf("bootkill: remote boot: %w", bootErr)
+				}
+				if !killed {
+					return fmt.Errorf("bootkill: KillChild failed")
+				}
+				return nil
+			}
+			return run
+		},
+	}
+}
+
+// philosophersScenario: a three-seat dining ring with the deadlock
+// detector and time service. The philosophers run unbounded (a finished
+// philosopher's death would starve its neighbor), and the scenario
+// completes when every seat has eaten twice. Fork and probe traffic is
+// timing-driven by design — contention and deadlock repair depend on who
+// wins each race — so every philosopher pattern is elastic and the
+// semantic check (meals eaten) carries the equivalence weight.
+func philosophersScenario() Scenario {
+	ring := []soda.MID{2, 3, 4}
+	const mealsTarget = 2
+	return Scenario{
+		Name:       "philosophers",
+		MaxVirtual: 2 * time.Minute,
+		MaxWall:    2 * time.Minute,
+		Build: func() *Run {
+			meals := make([]int, len(ring))
+			run := &Run{
+				Programs: map[string]soda.Program{
+					"timesrv":  timesrv.Program(16),
+					"detector": philo.Detector(ring, 150*time.Millisecond, nil),
+				},
+				Elastic: []soda.Pattern{
+					philo.GetFork, philo.PutFork, philo.ReturnFork,
+					philo.Check, philo.GiveBack, timesrv.AlarmPattern,
+				},
+			}
+			run.Nodes = []NodeSpec{{MID: 1, Boot: "timesrv"}}
+			for i, mid := range ring {
+				i := i
+				left := ring[(i-1+len(ring))%len(ring)]
+				name := fmt.Sprintf("phil%d", i)
+				run.Programs[name] = philo.Philosopher(left, 0,
+					20*time.Millisecond, 10*time.Millisecond,
+					func(_ *soda.Client, meal int) { meals[i] = meal })
+				run.Nodes = append(run.Nodes, NodeSpec{
+					MID: mid, Boot: name,
+					Done: func() bool { return meals[i] >= mealsTarget },
+				})
+			}
+			run.Nodes = append(run.Nodes, NodeSpec{MID: 5, Boot: "detector"})
+			run.Check = func() error {
+				for i, m := range meals {
+					if m < mealsTarget {
+						return fmt.Errorf("philosophers: seat %d ate %d meals, want >= %d", i, m, mealsTarget)
+					}
+				}
+				return nil
+			}
+			return run
+		},
+	}
+}
+
+// rendezvousScenario: a CSP token ring with output guards. One token
+// circulates a three-worker ring; every worker runs exactly two Select
+// rounds (one send or receive each), so the global transfer sequence is
+// fixed while the rendezvous query traffic underneath stays timing-driven
+// (and therefore elastic).
+func rendezvousScenario() Scenario {
+	const typToken int32 = 1
+	name := func(mid soda.MID) soda.Pattern { return soda.WellKnownPattern(0o4500 + uint64(mid)) }
+	return Scenario{
+		Name: "rendezvous",
+		Build: func() *Run {
+			mids := []soda.MID{1, 2, 3}
+			holds := make([]int, len(mids))
+			doneFlags := make([]bool, len(mids))
+			run := &Run{
+				Programs: map[string]soda.Program{},
+				Elastic:  []soda.Pattern{name(1), name(2), name(3)},
+			}
+			for i, mid := range mids {
+				i := i
+				next := mids[(i+1)%len(mids)]
+				if i == 0 {
+					holds[i] = 1 // worker 1 starts with the token
+				}
+				prog := fmt.Sprintf("worker%d", mid)
+				run.Programs[prog] = soda.Program{
+					Init: func(c *soda.Client, _ soda.MID) {
+						r, err := csp.New(c, name(c.MID()))
+						if err != nil {
+							panic(err)
+						}
+						c.SetStash(r)
+					},
+					Handler: func(c *soda.Client, ev soda.Event) {
+						c.Stash().(*csp.Runtime).HandleEvent(ev)
+					},
+					Task: func(c *soda.Client) {
+						r := c.Stash().(*csp.Runtime)
+						for round := 0; round < 2; round++ {
+							res := r.Select([]csp.Guard{
+								{
+									When: func() bool { return holds[i] > 0 },
+									Send: &csp.SendGuard{
+										To:    soda.ServerSig{MID: next, Pattern: name(next)},
+										Type:  typToken,
+										Value: []byte{byte(c.MID())},
+									},
+								},
+								{Recv: &csp.RecvGuard{Type: typToken}},
+							})
+							switch res.Index {
+							case 0:
+								holds[i]--
+							case 1:
+								holds[i]++
+							default:
+								doneFlags[i] = true
+								return
+							}
+						}
+						doneFlags[i] = true
+						c.WaitUntil(func() bool { return false }) // keep answering peers
+					},
+				}
+				run.Nodes = append(run.Nodes, NodeSpec{
+					MID: mid, Boot: prog,
+					Done: func() bool { return doneFlags[i] },
+				})
+			}
+			run.Check = func() error {
+				total := 0
+				for _, h := range holds {
+					total += h
+				}
+				if total != 1 {
+					return fmt.Errorf("rendezvous: %d tokens after the run, want 1 (holds %v)", total, holds)
+				}
+				// Two rounds each with one token: it must travel 1→2→3→1.
+				if holds[0] != 1 || holds[1] != 0 || holds[2] != 0 {
+					return fmt.Errorf("rendezvous: token ended at the wrong seat (holds %v)", holds)
+				}
+				return nil
+			}
+			return run
+		},
+	}
+}

@@ -87,11 +87,11 @@ func lossyCell(seed int64, bytes, ops, window, lossPct int, mode deltat.Recovery
 	hooks := deltat.Hooks{OnData: func(frame.MID, []byte) deltat.Decision {
 		return deltat.Decision{Verdict: deltat.VerdictAck}
 	}}
-	sender, err := deltat.New(k, b, 1, cfg, hooks)
+	sender, err := deltat.New(k, b.Wire(), 1, cfg, hooks)
 	if err != nil {
 		panic(err)
 	}
-	if _, err := deltat.New(k, b, 2, cfg, hooks); err != nil {
+	if _, err := deltat.New(k, b.Wire(), 2, cfg, hooks); err != nil {
 		panic(err)
 	}
 

@@ -36,7 +36,7 @@ func newDeltaTRig(seed int64, loss float64) *deltaTRig {
 	cfg.LossProb = loss
 	r := &deltaTRig{k: k, b: bus.New(k, cfg)}
 	mk := func(mid frame.MID) *deltat.Endpoint {
-		ep, err := deltat.New(k, r.b, mid, deltat.DefaultConfig(), deltat.Hooks{
+		ep, err := deltat.New(k, r.b.Wire(), mid, deltat.DefaultConfig(), deltat.Hooks{
 			OnData: func(src frame.MID, payload []byte) deltat.Decision {
 				r.received = append(r.received, string(payload))
 				r.logf("node %d delivered %q from %d", mid, payload, src)

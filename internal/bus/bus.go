@@ -17,6 +17,7 @@ import (
 	"soda/internal/frame"
 	"soda/internal/sim"
 	"soda/internal/sortediter"
+	"soda/internal/wire"
 )
 
 // Config sets the physical characteristics of the medium.
@@ -288,6 +289,20 @@ func (b *Bus) Attach(mid frame.MID, recv func(raw []byte)) (*Iface, error) {
 	b.ifaces[mid] = i
 	return i, nil
 }
+
+// busWire adapts Attach's concrete *Iface result to the transport's wire
+// seam (Go interfaces have no covariant returns, so the one-line wrapper
+// is unavoidable).
+type busWire struct{ b *Bus }
+
+func (w busWire) Attach(mid frame.MID, recv func(raw []byte)) (wire.Iface, error) {
+	return w.b.Attach(mid, recv)
+}
+
+// Wire exposes the bus as a transport medium (wire.Network). Delta-t
+// endpoints attach through this seam, so the same transport code runs over
+// the simulated bus and the real-socket backend.
+func (b *Bus) Wire() wire.Network { return busWire{b} }
 
 // AttachBridge connects a store-and-forward gateway to the bus. A bridge
 // interface hears every broadcast (like any attachment) and, in addition,

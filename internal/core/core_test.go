@@ -27,7 +27,7 @@ func newTestNet(t *testing.T, seed int64, cfg Config, mids ...frame.MID) *testNe
 	b := bus.New(k, bus.DefaultConfig())
 	n := &testNet{t: t, k: k, b: b, reg: Registry{}, nodes: make(map[frame.MID]*Node)}
 	for _, mid := range mids {
-		node, err := NewNode(k, b, mid, cfg, n.reg)
+		node, err := NewNode(k, b.Wire(), mid, cfg, n.reg)
 		if err != nil {
 			t.Fatalf("NewNode(%d): %v", mid, err)
 		}
@@ -938,7 +938,7 @@ func TestDeterministicTrace(t *testing.T) {
 		reg := Registry{}
 		var nodes []*Node
 		for mid := frame.MID(1); mid <= 3; mid++ {
-			node, err := NewNode(k, b, mid, DefaultConfig(), reg)
+			node, err := NewNode(k, b.Wire(), mid, DefaultConfig(), reg)
 			if err != nil {
 				t.Fatal(err)
 			}

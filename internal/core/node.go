@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 
-	"soda/internal/bus"
 	"soda/internal/deltat"
 	"soda/internal/frame"
 	"soda/internal/sim"
+	"soda/internal/wire"
 )
 
 // Program is the client software loaded onto a node: the three sections of
@@ -117,9 +117,10 @@ type patternSlot struct {
 	active bool
 }
 
-// NewNode attaches a SODA kernel to the bus at mid. registry supplies the
-// bootable programs; it may be shared across nodes.
-func NewNode(k *sim.Kernel, b *bus.Bus, mid frame.MID, cfg Config, registry Registry) (*Node, error) {
+// NewNode attaches a SODA kernel to a frame-carrying medium at mid —
+// the simulated bus (bus.Bus.Wire) or the socket backend. registry
+// supplies the bootable programs; it may be shared across nodes.
+func NewNode(k *sim.Kernel, w wire.Network, mid frame.MID, cfg Config, registry Registry) (*Node, error) {
 	if cfg.MaxRequests <= 0 {
 		cfg.MaxRequests = 3
 	}
@@ -140,7 +141,7 @@ func NewNode(k *sim.Kernel, b *bus.Bus, mid frame.MID, cfg Config, registry Regi
 	if cfg.KernelRMRSize > 0 {
 		n.rmrMemory = make([]byte, cfg.KernelRMRSize)
 	}
-	ep, err := deltat.New(k, b, mid, cfg.Transport, deltat.Hooks{
+	ep, err := deltat.New(k, w, mid, cfg.Transport, deltat.Hooks{
 		OnData:        n.onData,
 		OnDatagram:    n.onDatagram,
 		OnHoldExpired: n.onHoldExpired,

@@ -27,10 +27,10 @@ import (
 	"fmt"
 	"time"
 
-	"soda/internal/bus"
 	"soda/internal/frame"
 	"soda/internal/sim"
 	"soda/internal/sortediter"
+	"soda/internal/wire"
 )
 
 // Verdict is the upper layer's disposition of a delivered DATA frame.
@@ -420,7 +420,7 @@ type Endpoint struct {
 	k       *sim.Kernel
 	cfg     Config
 	mid     frame.MID
-	iface   *bus.Iface
+	iface   wire.Iface
 	hooks   Hooks
 	conns   map[frame.MID]*conn
 	out     map[frame.MID]*outbox
@@ -458,8 +458,11 @@ func (e *Endpoint) selective() bool {
 	return e.windowed() && e.cfg.Recovery != RecoveryGoBackN
 }
 
-// New attaches a transport endpoint for mid to the bus.
-func New(k *sim.Kernel, b *bus.Bus, mid frame.MID, cfg Config, hooks Hooks) (*Endpoint, error) {
+// New attaches a transport endpoint for mid to a frame-carrying medium:
+// the simulated bus (bus.Bus.Wire) or the socket backend (internal/netx).
+// The endpoint never sees which one it got — every wire interaction goes
+// through the wire.Iface seam.
+func New(k *sim.Kernel, w wire.Network, mid frame.MID, cfg Config, hooks Hooks) (*Endpoint, error) {
 	if hooks.OnData == nil {
 		return nil, fmt.Errorf("deltat: OnData hook is required")
 	}
@@ -473,7 +476,7 @@ func New(k *sim.Kernel, b *bus.Bus, mid frame.MID, cfg Config, hooks Hooks) (*En
 		holds:   make(map[frame.MID]*held),
 		defAcks: make(map[frame.MID]*deferredAck),
 	}
-	iface, err := b.Attach(mid, e.receive)
+	iface, err := w.Attach(mid, e.receive)
 	if err != nil {
 		return nil, err
 	}

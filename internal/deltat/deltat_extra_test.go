@@ -48,13 +48,13 @@ func TestUrgentPreemptsBusyRetry(t *testing.T) {
 	b := bus.New(k, bus.DefaultConfig())
 	var got []string
 	busyUntil := 60 * time.Millisecond
-	e1, err := New(k, b, 1, DefaultConfig(), Hooks{
+	e1, err := New(k, b.Wire(), 1, DefaultConfig(), Hooks{
 		OnData: func(frame.MID, []byte) Decision { return Decision{Verdict: VerdictAck} },
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(k, b, 2, DefaultConfig(), Hooks{
+	if _, err := New(k, b.Wire(), 2, DefaultConfig(), Hooks{
 		OnData: func(_ frame.MID, p []byte) Decision {
 			if string(p) == "blocked" && k.Now() < busyUntil {
 				return Decision{Verdict: VerdictBusy}

@@ -30,7 +30,7 @@ func newRig(t *testing.T, seed int64, lossProb float64, mids []frame.MID, hooks 
 		if !ok {
 			h = Hooks{OnData: func(frame.MID, []byte) Decision { return Decision{Verdict: VerdictAck} }}
 		}
-		ep, err := New(k, b, mid, DefaultConfig(), h)
+		ep, err := New(k, b.Wire(), mid, DefaultConfig(), h)
 		if err != nil {
 			t.Fatalf("New(%d): %v", mid, err)
 		}
@@ -527,7 +527,7 @@ func TestDeterministicUnderLoss(t *testing.T) {
 func TestNewRequiresOnData(t *testing.T) {
 	k := sim.New(1)
 	b := bus.New(k, bus.DefaultConfig())
-	if _, err := New(k, b, 1, DefaultConfig(), Hooks{}); err == nil {
+	if _, err := New(k, b.Wire(), 1, DefaultConfig(), Hooks{}); err == nil {
 		t.Fatal("New without OnData must fail")
 	}
 }

@@ -31,7 +31,7 @@ func newEventRig(t *testing.T, seed int64, lossProb float64, mids []frame.MID, h
 		if !ok {
 			h = Hooks{OnData: func(frame.MID, []byte) Decision { return Decision{Verdict: VerdictAck} }}
 		}
-		ep, err := New(k, b, mid, cfg, h)
+		ep, err := New(k, b.Wire(), mid, cfg, h)
 		if err != nil {
 			t.Fatalf("New(%d): %v", mid, err)
 		}
@@ -186,7 +186,7 @@ func TestNoObserverBuildsNoEvents(t *testing.T) {
 			cfg.Observer = func(Event) { events++ }
 		}
 		mk := func(mid frame.MID) *Endpoint {
-			ep, err := New(k, b, mid, cfg, Hooks{OnData: func(frame.MID, []byte) Decision {
+			ep, err := New(k, b.Wire(), mid, cfg, Hooks{OnData: func(frame.MID, []byte) Decision {
 				return Decision{Verdict: VerdictAck}
 			}})
 			if err != nil {

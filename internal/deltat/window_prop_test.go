@@ -36,7 +36,7 @@ func newWindowRigCfg(t *testing.T, seed int64, window int, mut func(*Config), mi
 		if !ok {
 			h = Hooks{OnData: func(frame.MID, []byte) Decision { return Decision{Verdict: VerdictAck} }}
 		}
-		ep, err := New(k, b, mid, cfg, h)
+		ep, err := New(k, b.Wire(), mid, cfg, h)
 		if err != nil {
 			t.Fatalf("New(%d): %v", mid, err)
 		}

@@ -34,7 +34,7 @@ func capturedFrames(tb testing.TB) [][]byte {
 
 	reply := frame.Encode(&frame.Accept{TID: 7, Arg: -1, GetSize: 64, Data: []byte("pong")})
 	mk := func(mid frame.MID, hooks deltat.Hooks) *deltat.Endpoint {
-		ep, err := deltat.New(k, b, mid, deltat.DefaultConfig(), hooks)
+		ep, err := deltat.New(k, b.Wire(), mid, deltat.DefaultConfig(), hooks)
 		if err != nil {
 			tb.Fatalf("deltat.New(%d): %v", mid, err)
 		}
@@ -85,7 +85,7 @@ func capturedWindowFrames(tb testing.TB) [][]byte {
 	dcfg := deltat.DefaultConfig()
 	dcfg.Window = 4
 	mk := func(mid frame.MID) *deltat.Endpoint {
-		ep, err := deltat.New(k, b, mid, dcfg, deltat.Hooks{
+		ep, err := deltat.New(k, b.Wire(), mid, dcfg, deltat.Hooks{
 			OnData: func(frame.MID, []byte) deltat.Decision {
 				return deltat.Decision{Verdict: deltat.VerdictAck, Reply: []byte("ok")}
 			},
@@ -140,7 +140,7 @@ func capturedSackFrames(tb testing.TB) [][]byte {
 	dcfg.Window = 8
 	dcfg.Recovery = deltat.RecoverySelective
 	mk := func(mid frame.MID) *deltat.Endpoint {
-		ep, err := deltat.New(k, b, mid, dcfg, deltat.Hooks{
+		ep, err := deltat.New(k, b.Wire(), mid, dcfg, deltat.Hooks{
 			OnData: func(frame.MID, []byte) deltat.Decision {
 				return deltat.Decision{Verdict: deltat.VerdictAck, Reply: []byte("ok")}
 			},

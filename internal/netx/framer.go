@@ -1,0 +1,83 @@
+package netx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Stream framing for transport frames over a byte stream: a 4-byte
+// big-endian length prefix followed by exactly that many bytes of one
+// encoded transport frame. TCP preserves the frame codec's bytes verbatim;
+// the prefix only restores the record boundaries the simulated bus gets
+// for free.
+
+const (
+	// minFrameLen is the fixed transport header size — nothing shorter can
+	// decode, so a shorter prefix is a framing error, not a short frame.
+	minFrameLen = 16
+	// MaxFrameLen caps a declared frame length. The transport's payloads
+	// are bounded well under this; a larger prefix means a corrupt or
+	// hostile stream and must not turn into a giant allocation.
+	MaxFrameLen = 1 << 20
+)
+
+// framingError reports a malformed stream: the reader must drop the
+// connection (record boundaries are unrecoverable once the prefix lies).
+type framingError struct{ msg string }
+
+func (e *framingError) Error() string { return "netx: bad frame stream: " + e.msg }
+
+// IsFramingError reports whether err marks a malformed frame stream (as
+// opposed to plain EOF or a transport error).
+func IsFramingError(err error) bool {
+	_, ok := err.(*framingError)
+	return ok
+}
+
+// AppendFrame appends raw's length-prefixed stream encoding to dst.
+func AppendFrame(dst, raw []byte) []byte {
+	var pfx [4]byte
+	binary.BigEndian.PutUint32(pfx[:], uint32(len(raw)))
+	return append(append(dst, pfx[:]...), raw...)
+}
+
+// WriteFrame writes one length-prefixed frame to w in a single Write call
+// (one writer per connection keeps frames contiguous on the wire).
+func WriteFrame(w io.Writer, raw []byte) error {
+	if len(raw) > MaxFrameLen {
+		return &framingError{msg: fmt.Sprintf("refusing to send a %d-byte frame (cap %d)", len(raw), MaxFrameLen)}
+	}
+	buf := AppendFrame(make([]byte, 0, 4+len(raw)), raw)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r, rejecting declared
+// lengths below the transport header size or above max (MaxFrameLen when
+// max <= 0). A truncated prefix at a clean stream boundary returns io.EOF;
+// truncation mid-prefix or mid-frame returns io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = MaxFrameLen
+	}
+	var pfx [4]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(pfx[:])
+	if n < minFrameLen {
+		return nil, &framingError{fmt.Sprintf("declared length %d below transport header size %d", n, minFrameLen)}
+	}
+	if n > uint32(max) {
+		return nil, &framingError{fmt.Sprintf("declared length %d exceeds cap %d", n, max)}
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return raw, nil
+}

@@ -226,6 +226,11 @@ func (k *Kernel) Gated(fn func()) {
 // Stop makes Run return after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// PeekNext reports the virtual time of the earliest pending event, if any.
+// The real-socket backend's driver uses it to sleep exactly until the next
+// transport timer would fire instead of polling the queue.
+func (k *Kernel) PeekNext() (Time, bool) { return k.events.peekTime() }
+
 // Run processes events until none remain, Stop is called, or the event limit
 // is exceeded. If processes remain suspended when the event queue drains,
 // Run returns ErrStalled so deadlocks in client programs surface as errors.

@@ -159,6 +159,11 @@ func listSuppressions(selected []*Package, opts driverOptions) int {
 	var sites []AllowSite
 	for _, pkg := range selected {
 		sites = append(sites, CollectAllowSites(pkg)...)
+		// Zone declarations are package-wide suppressions in effect; audit
+		// them in the same listing, tagged "zone:<name>".
+		for _, z := range CollectZoneSites(pkg) {
+			sites = append(sites, AllowSite{Pos: z.Pos, Analyzer: "zone:" + z.Name, Reason: z.Reason})
+		}
 	}
 	sort.Slice(sites, func(i, j int) bool {
 		if sites[i].Pos.Filename != sites[j].Pos.Filename {

@@ -33,6 +33,13 @@ func run(pass *lint.Pass) error {
 	if ExemptPaths[pass.Pkg.Path()] {
 		return nil
 	}
+	// A declared real-time zone (//lint:zone realtime, eligibility-checked
+	// by lint.InRealtimeZone) owns its concurrency: the socket backend's
+	// accept loops and per-peer writers are the point, and its isolation
+	// from kernel state is argued in DESIGN.md §16 instead.
+	if lint.InRealtimeZone(pass) {
+		return nil
+	}
 	const remedy = "concurrency outside internal/sim must go through the scheduler (sim.Kernel.Spawn / Proc.Hold / Proc.Suspend)"
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {

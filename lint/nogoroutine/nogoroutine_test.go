@@ -3,10 +3,33 @@ package nogoroutine_test
 import (
 	"testing"
 
+	"soda/lint"
 	"soda/lint/linttest"
 	"soda/lint/nogoroutine"
 )
 
 func TestAnalyzer(t *testing.T) {
 	linttest.Run(t, "testdata/src/a", nogoroutine.Analyzer)
+}
+
+// TestZoneIneligible pins that a //lint:zone realtime declaration outside
+// lint.RealtimeZonePaths is itself a finding and lifts nothing.
+func TestZoneIneligible(t *testing.T) {
+	linttest.Run(t, "testdata/src/zone", nogoroutine.Analyzer)
+}
+
+// TestZoneActive pins that an eligible, reasoned declaration lifts the
+// concurrency bans for the whole package.
+func TestZoneActive(t *testing.T) {
+	lint.RealtimeZonePaths["a"] = true
+	defer delete(lint.RealtimeZonePaths, "a")
+	linttest.Run(t, "testdata/src/zoneok", nogoroutine.Analyzer)
+}
+
+// TestZoneMissingReason pins that an eligible but reasonless declaration
+// is reported and ignored.
+func TestZoneMissingReason(t *testing.T) {
+	lint.RealtimeZonePaths["a"] = true
+	defer delete(lint.RealtimeZonePaths, "a")
+	linttest.Run(t, "testdata/src/zonebare", nogoroutine.Analyzer)
 }

@@ -1,0 +1,11 @@
+// Package a declares a realtime zone without being eligible: the
+// declaration is itself a finding and the concurrency bans stay in force.
+package a
+
+//lint:zone realtime (wishful) // want `not eligible for the realtime zone`
+
+func bad() {
+	go work() // want `go statement spawns a raw goroutine`
+}
+
+func work() {}

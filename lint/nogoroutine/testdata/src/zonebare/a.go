@@ -1,0 +1,11 @@
+// Package a is eligible for the realtime zone but declares it without a
+// reason: the declaration is reported and ignored, so the bans stay.
+package a
+
+//lint:zone realtime // want `needs a non-empty \(reason\)`
+
+func bad() {
+	go work() // want `go statement spawns a raw goroutine`
+}
+
+func work() {}

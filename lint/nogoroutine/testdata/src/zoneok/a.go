@@ -1,0 +1,24 @@
+// Package a is an eligible, well-formed realtime zone: the concurrency
+// bans lift for the whole package. (The test grants eligibility to path
+// "a" before running.)
+package a
+
+//lint:zone realtime (sanctioned realtime zone for this golden test)
+
+import "sync"
+
+func fine() {
+	var mu sync.Mutex
+	ch := make(chan int, 1)
+	go func() {
+		mu.Lock()
+		ch <- 1
+		mu.Unlock()
+	}()
+	<-ch
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}

@@ -3,10 +3,19 @@ package nowallclock_test
 import (
 	"testing"
 
+	"soda/lint"
 	"soda/lint/linttest"
 	"soda/lint/nowallclock"
 )
 
 func TestAnalyzer(t *testing.T) {
 	linttest.Run(t, "testdata/src/a", nowallclock.Analyzer)
+}
+
+// TestZoneActive pins that an eligible, reasoned //lint:zone realtime
+// declaration lifts the wall-clock ban for the whole package.
+func TestZoneActive(t *testing.T) {
+	lint.RealtimeZonePaths["a"] = true
+	defer delete(lint.RealtimeZonePaths, "a")
+	linttest.Run(t, "testdata/src/zoneok", nowallclock.Analyzer)
 }

@@ -1,0 +1,13 @@
+// Package a is an eligible, well-formed realtime zone: the wall-clock ban
+// lifts for the whole package. (The test grants eligibility to path "a"
+// before running.)
+package a
+
+//lint:zone realtime (sanctioned realtime zone for this golden test)
+
+import "time"
+
+func fine() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Real-time zone declarations.
+//
+// Almost every package in this module is simulation code: virtual time
+// only (nowallclock) and scheduler-owned concurrency only (nogoroutine).
+// The socket backend is the one deliberate exception — wall-clock pacing
+// and socket goroutines are its entire job. Rather than silently widening
+// the analyzers' exemption tables, a package that needs real time must
+// *declare* it in source with
+//
+//	//lint:zone realtime (reason)
+//
+// and the declaration is enforced three ways: it only takes effect in
+// packages listed in RealtimeZonePaths (a declaration anywhere else is
+// itself a finding), it must carry a non-empty parenthesized reason (like
+// //lint:allow), and every declaration is listed by `sodavet
+// -suppressions` so the zone stays auditable next to the suppressions.
+
+// zoneDirective is the comment prefix that declares a zone.
+const zoneDirective = "//lint:zone "
+
+// RealtimeZonePaths lists the package import paths eligible to declare the
+// "realtime" zone. Eligibility is a reviewed property of the architecture,
+// not something a package can grant itself.
+var RealtimeZonePaths = map[string]bool{
+	"soda/internal/netx": true,
+}
+
+// ZoneSite is one //lint:zone declaration.
+type ZoneSite struct {
+	Pos    token.Position
+	Name   string // zone name, e.g. "realtime"
+	Reason string // empty when the declaration is malformed
+
+	pos token.Pos
+}
+
+// collectZones gathers every zone declaration in pkg's files, in source
+// order.
+func collectZones(pkg *Package) []ZoneSite {
+	var sites []ZoneSite
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, zoneDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, zoneDirective))
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" {
+					continue
+				}
+				reason = strings.TrimSpace(reason)
+				if strings.HasPrefix(reason, "(") && strings.HasSuffix(reason, ")") {
+					reason = strings.TrimSpace(reason[1 : len(reason)-1])
+				} else {
+					reason = "" // a bare trailing word is not a reason
+				}
+				sites = append(sites, ZoneSite{
+					Pos: pkg.Fset.Position(c.Pos()), Name: name, Reason: reason, pos: c.Pos(),
+				})
+			}
+		}
+	}
+	return sites
+}
+
+// CollectZoneSites returns every //lint:zone declaration in pkg, for the
+// driver's -suppressions audit.
+func CollectZoneSites(pkg *Package) []ZoneSite { return collectZones(pkg) }
+
+// InRealtimeZone reports whether the pass's package has an effective
+// realtime-zone declaration. A declaration in an ineligible package, or
+// one missing its reason, is reported through the pass (so the calling
+// analyzer's findings stay attributed to it) and does not activate the
+// zone — the wall-clock and concurrency bans still apply there.
+func InRealtimeZone(pass *Pass) bool {
+	active := false
+	for _, z := range zoneSitesOf(pass) {
+		if z.Name != "realtime" {
+			pass.Reportf(z.pos, "unknown lint zone %q (only \"realtime\" exists)", z.Name)
+			continue
+		}
+		if !RealtimeZonePaths[pass.Pkg.Path()] {
+			pass.Reportf(z.pos,
+				"package %s is not eligible for the realtime zone (see lint.RealtimeZonePaths); the declaration is ignored",
+				pass.Pkg.Path())
+			continue
+		}
+		if z.Reason == "" {
+			pass.Reportf(z.pos, "//lint:zone realtime needs a non-empty (reason); the declaration is ignored")
+			continue
+		}
+		active = true
+	}
+	return active
+}
+
+// RealtimeZoneActive reports whether pkg carries an effective realtime
+// zone declaration (eligible import path and a well-formed reason).
+// Unlike InRealtimeZone it never reports findings; interprocedural
+// analyzers use it to prune traversal at the zone boundary — code inside
+// the zone runs on the wall clock, never inside a measured simulation.
+func RealtimeZoneActive(pkg *Package) bool {
+	if !RealtimeZonePaths[pkg.Path] {
+		return false
+	}
+	for _, z := range collectZones(pkg) {
+		if z.Name == "realtime" && z.Reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// zoneSitesOf adapts a Pass to collectZones's package shape.
+func zoneSitesOf(pass *Pass) []ZoneSite {
+	return collectZones(&Package{Fset: pass.Fset, Files: pass.Files})
+}

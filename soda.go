@@ -51,7 +51,9 @@ import (
 	"soda/internal/deltat"
 	"soda/internal/frame"
 	"soda/internal/internet"
+	"soda/internal/netx"
 	"soda/internal/sim"
+	"soda/internal/wire"
 	"soda/obs"
 )
 
@@ -191,6 +193,9 @@ type options struct {
 	topo       *internet.Topology
 	parWorkers int
 	parShuffle int64
+	sockListen string
+	sockPeers  map[MID]string
+	sockTap    func(raw []byte)
 }
 
 type optionFunc func(*options)
@@ -277,6 +282,54 @@ func WithParallelShuffle(seed int64) Option {
 	return optionFunc(func(o *options) { o.parShuffle = seed })
 }
 
+// WithSocketTransport replaces the simulated broadcast bus with a real
+// TCP transport (DESIGN.md §16): the network listens for peer connections
+// on listen (use "127.0.0.1:0" for an ephemeral port and read the bound
+// address back with SocketAddr), and virtual time is pinned to the wall
+// clock by a real-time driver instead of the discrete-event scheduler.
+// The kernel, Delta-t transport, and frame codec are unchanged — only the
+// medium underneath them is real.
+//
+// A socket network runs differently from a simulated one:
+//
+//   - Peers are point-to-point TCP streams, declared with WithSocketPeers
+//     or SetSocketPeer; broadcast (DISCOVER) fans out over every declared
+//     peer plus local loopback.
+//   - Run(d) runs the network for d of wall-clock time. For event-driven
+//     completion use StartSocket / WaitSocket / WaitSocketIdle, then
+//     CloseSocket.
+//   - Runs are NOT deterministic. Observable equivalence with the sim
+//     backend is cross-checked by the conformance harness (conformance/).
+//
+// WithSocketTransport is incompatible with WithTopology, WithParallelSim,
+// WithFaultPlan and WithLoss (the real wire provides its own loss);
+// NewNetwork panics on such combinations.
+func WithSocketTransport(listen string) Option {
+	return optionFunc(func(o *options) { o.sockListen = listen })
+}
+
+// WithSocketPeers declares the MID -> "host:port" address map of a socket
+// network's peers (see WithSocketTransport). Peers may also be added
+// after creation with SetSocketPeer, once their ephemeral addresses are
+// known.
+func WithSocketPeers(peers map[MID]string) Option {
+	return optionFunc(func(o *options) {
+		if o.sockPeers == nil {
+			o.sockPeers = make(map[MID]string, len(peers))
+		}
+		for mid, addr := range peers {
+			o.sockPeers[mid] = addr
+		}
+	})
+}
+
+// WithSocketFrameTap observes every raw transport frame delivered by a
+// socket network, before decoding (fuzz-corpus capture; nil disables).
+// The tap runs on the driver goroutine.
+func WithSocketFrameTap(tap func(raw []byte)) Option {
+	return optionFunc(func(o *options) { o.sockTap = tap })
+}
+
 // WithNodeConfig replaces the whole per-node configuration.
 func WithNodeConfig(cfg Config) Option {
 	return optionFunc(func(o *options) { o.nodeCfg = cfg })
@@ -340,7 +393,10 @@ type Network struct {
 	// b is the single shared bus; nil when the network is segmented.
 	b *bus.Bus
 	// buses lists every bus segment ([b] on a single-segment network).
-	buses   []*bus.Bus
+	buses []*bus.Bus
+	// nx is the real TCP transport (WithSocketTransport); nil on a
+	// simulated network. When set, b, buses and inet are all nil.
+	nx      *netx.Network
 	inet    *internet.Internet
 	reg     core.Registry
 	cfg     core.Config
@@ -380,7 +436,30 @@ func NewNetwork(opts ...Option) *Network {
 		cfg:   o.nodeCfg,
 		nodes: make(map[MID]*core.Node),
 	}
-	if useParallel {
+	if o.sockListen != "" {
+		switch {
+		case o.topo != nil:
+			panic("soda: WithSocketTransport is incompatible with WithTopology")
+		case o.parWorkers > 1:
+			panic("soda: WithSocketTransport is incompatible with WithParallelSim")
+		case o.plan != nil:
+			panic("soda: WithSocketTransport is incompatible with WithFaultPlan")
+		case o.busCfg.LossProb != 0:
+			panic("soda: WithSocketTransport is incompatible with WithLoss (the real wire provides its own loss)")
+		}
+		k := sim.New(o.seed)
+		k.SetEventLimit(o.eventCap)
+		nw.k = k
+		nx, err := netx.New(k, netx.Config{
+			Listen:   o.sockListen,
+			Peers:    o.sockPeers,
+			FrameTap: o.sockTap,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("soda: %v", err))
+		}
+		nw.nx = nx
+	} else if useParallel {
 		c := sim.NewCoordinator(o.seed, o.topo.Segments, o.parWorkers, o.topo.ForwardDelay)
 		c.SetEventLimit(o.eventCap)
 		if o.parShuffle != 0 {
@@ -691,7 +770,13 @@ func (nw *Network) AddNode(mid MID) (*Node, error) {
 			cfg.Transport.Observer = nw.parTransportObserver(k)
 		}
 	}
-	n, err := core.NewNode(k, b, mid, cfg, nw.reg)
+	var w wire.Network
+	if nw.nx != nil {
+		w = nw.nx
+	} else {
+		w = b.Wire()
+	}
+	n, err := core.NewNode(k, w, mid, cfg, nw.reg)
 	if err != nil {
 		return nil, err
 	}
@@ -727,8 +812,13 @@ func (nw *Network) MustBoot(mid MID, prog string) {
 	}
 }
 
-// Run advances the simulation by d of virtual time.
+// Run advances the simulation by d of virtual time. On a socket-transport
+// network this is d of wall-clock time: the real-time driver is started if
+// needed and the call blocks until the deadline passes.
 func (nw *Network) Run(d time.Duration) error {
+	if nw.nx != nil {
+		return nw.nx.RunFor(d)
+	}
 	if nw.coord != nil {
 		return nw.coord.RunUntil(nw.k.Now() + d)
 	}
@@ -737,7 +827,12 @@ func (nw *Network) Run(d time.Duration) error {
 
 // RunToCompletion processes events until none remain. It returns an error
 // if client processes are deadlocked (suspended with no pending events).
+// Undefined on a socket-transport network (peers keep the event queue
+// alive); use StartSocket with a completion predicate instead.
 func (nw *Network) RunToCompletion() error {
+	if nw.nx != nil {
+		return fmt.Errorf("soda: RunToCompletion is undefined on a socket-transport network; use StartSocket/WaitSocket")
+	}
 	if nw.coord != nil {
 		return nw.coord.Run()
 	}
@@ -769,6 +864,11 @@ func (nw *Network) At(t time.Duration, fn func()) { nw.k.At(t, fn) }
 // gateway as its wire-level source). Intended for debugging protocol
 // flows; the output is deterministic.
 func (nw *Network) Trace(w io.Writer) {
+	if nw.nx != nil {
+		// The real wire has no deterministic tap; use WithSocketFrameTap
+		// for raw frame observation.
+		return
+	}
 	if w == nil {
 		for _, b := range nw.buses {
 			b.SetTap(nil)
@@ -802,6 +902,9 @@ func (nw *Network) Trace(w io.Writer) {
 // Stats returns the bus traffic counters; on a segmented network, the sum
 // over every segment.
 func (nw *Network) Stats() BusStats {
+	if nw.nx != nil {
+		return nw.nx.Stats()
+	}
 	if nw.inet == nil {
 		return nw.b.Stats()
 	}
@@ -815,6 +918,10 @@ func (nw *Network) Stats() BusStats {
 // ResetStats zeroes the bus counters — every segment's, and the gateway
 // layer's — for measurement windows.
 func (nw *Network) ResetStats() {
+	if nw.nx != nil {
+		nw.nx.ResetStats()
+		return
+	}
 	for _, b := range nw.buses {
 		b.ResetStats()
 	}
@@ -852,3 +959,61 @@ func (nw *Network) InternetStats() InternetStats {
 // TransportConfig exposes the Delta-t parameters in effect (for tests that
 // reason about timing bounds).
 func (nw *Network) TransportConfig() deltat.Config { return nw.cfg.Transport }
+
+// socket returns the TCP transport, panicking on a simulated network (the
+// Socket* methods are programmer errors there, like MustAddNode's panic).
+func (nw *Network) socket(method string) *netx.Network {
+	if nw.nx == nil {
+		panic("soda: " + method + " requires WithSocketTransport")
+	}
+	return nw.nx
+}
+
+// SocketAddr reports the bound listen address of a socket-transport
+// network ("127.0.0.1:54321" after listening on "127.0.0.1:0").
+func (nw *Network) SocketAddr() string { return nw.socket("SocketAddr").Addr() }
+
+// SetSocketPeer maps a peer MID to its "host:port" address, connecting
+// lazily on first send (and redialing on failure). Used to wire ephemeral
+// addresses after every process has bound its listener.
+func (nw *Network) SetSocketPeer(mid MID, addr string) {
+	nw.socket("SetSocketPeer").SetPeer(mid, addr)
+}
+
+// StartSocket launches the real-time driver of a socket-transport
+// network: virtual time 0 is pinned to the wall clock at the call. done,
+// when non-nil, is polled between events on the driver goroutine — it may
+// read kernel-owned node state — and parks the driver once it reports
+// true. Idempotent.
+func (nw *Network) StartSocket(done func() bool) { nw.socket("StartSocket").Start(done) }
+
+// WaitSocket blocks until the driver parks (done predicate satisfied or
+// CloseSocket), or max elapses; it reports whether the driver parked.
+// After a true return, kernel-owned state is safe to read from the caller.
+func (nw *Network) WaitSocket(max time.Duration) bool {
+	return nw.socket("WaitSocket").Wait(max)
+}
+
+// WaitSocketIdle blocks until the network has been quiescent — no frames
+// moving, no timers firing — for settle, or until max elapses; it reports
+// whether quiescence was reached. This is how a server-side harness knows
+// its peers are done without a completion predicate of its own.
+func (nw *Network) WaitSocketIdle(settle, max time.Duration) bool {
+	return nw.socket("WaitSocketIdle").WaitIdle(settle, max)
+}
+
+// PostSocket schedules fn onto the socket network's driver goroutine in
+// kernel context — the one safe way to read (or mutate) kernel-owned node
+// state while the driver runs. It blocks until accepted and reports false
+// if the network stops first; an accepted fn runs unless the driver exits
+// before its turn.
+func (nw *Network) PostSocket(fn func()) bool { return nw.socket("PostSocket").Post(fn) }
+
+// SocketErr reports a driver fault (event-limit overrun), readable after
+// WaitSocket/CloseSocket.
+func (nw *Network) SocketErr() error { return nw.socket("SocketErr").Err() }
+
+// CloseSocket stops the driver, closes the listener and every connection,
+// and waits for all socket goroutines to drain. A non-nil error means a
+// goroutine leaked past the drain timeout — tests treat that as a failure.
+func (nw *Network) CloseSocket() error { return nw.socket("CloseSocket").Close() }
